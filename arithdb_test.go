@@ -1,0 +1,191 @@
+package arithdb_test
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	arithdb "repro"
+)
+
+func pairDB() (*arithdb.Schema, *arithdb.Database) {
+	s := arithdb.MustSchema(arithdb.MustRelation("R",
+		arithdb.Col("a", arithdb.NumCol), arithdb.Col("b", arithdb.NumCol)))
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("R", arithdb.NullNum(0), arithdb.NullNum(1))
+	return s, d
+}
+
+// Example demonstrates the package's headline computation: the measure of
+// certainty of σ_{A>B} selecting an all-null tuple is exactly 1/2.
+func Example() {
+	s := arithdb.MustSchema(arithdb.MustRelation("R",
+		arithdb.Col("a", arithdb.NumCol), arithdb.Col("b", arithdb.NumCol)))
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("R", arithdb.NullNum(0), arithdb.NullNum(1))
+
+	q := arithdb.MustParseQuery(`sel() := exists a:num, b:num . (R(a, b) and a > b)`)
+	res, err := arithdb.NewEngine(arithdb.EngineOptions{}).Measure(q, d, nil, 0.01, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rat)
+	// Output: 1/2
+}
+
+func TestFacadeMeasureRoundTrip(t *testing.T) {
+	s, d := pairDB()
+	q := arithdb.MustParseQuery(`sel() := exists a:num, b:num . (R(a, b) and a > b)`)
+	if err := arithdb.Typecheck(q, s); err != nil {
+		t.Fatal(err)
+	}
+	res, err := arithdb.NewEngine(arithdb.EngineOptions{}).Measure(q, d, nil, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rat == nil || res.Rat.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("μ = %v, want 1/2", res.Rat)
+	}
+}
+
+func TestFacadeTranslate(t *testing.T) {
+	_, d := pairDB()
+	q := arithdb.MustParseQuery(`sel() := exists a:num, b:num . (R(a, b) and a > b)`)
+	phi, err := arithdb.Translate(q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arithdb.NewEngine(arithdb.EngineOptions{}).MeasureFormula(phi, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0.5 {
+		t.Errorf("via Translate: μ = %g", res.Value)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	_, d := pairDB()
+	dir := t.TempDir()
+	if err := arithdb.SaveDatabase(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := arithdb.LoadDatabase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != d.Size() {
+		t.Errorf("size %d != %d", back.Size(), d.Size())
+	}
+}
+
+func TestBackgroundFromColumnRanges(t *testing.T) {
+	s := arithdb.MustSchema(
+		arithdb.MustRelation("P",
+			arithdb.Col("rrp", arithdb.NumCol), arithdb.Col("dis", arithdb.NumCol)))
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("P", arithdb.NullNum(0), arithdb.NullNum(1))
+	// ⊤2 occurs in both columns: gets the intersection of their ranges.
+	d.MustInsert("P", arithdb.NullNum(2), arithdb.NullNum(2))
+
+	index := map[int]int{0: 0, 1: 1, 2: 2}
+	bg := arithdb.BackgroundFromColumnRanges(d, map[string]arithdb.Interval{
+		"P.rrp": arithdb.AtLeast(0),
+		"P.dis": arithdb.Between(0, 1),
+	}, index)
+
+	if iv := bg[0]; iv.Lo != 0 || !math.IsInf(iv.Hi, 1) {
+		t.Errorf("rrp null interval = %+v", iv)
+	}
+	if iv := bg[1]; iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("dis null interval = %+v", iv)
+	}
+	if iv := bg[2]; iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("shared null interval = %+v, want intersection [0,1]", iv)
+	}
+	// Nulls without constrained columns stay absent.
+	d2 := arithdb.NewDatabase(s)
+	d2.MustInsert("P", arithdb.NullNum(0), arithdb.Num(1))
+	bg2 := arithdb.BackgroundFromColumnRanges(d2, map[string]arithdb.Interval{
+		"P.dis": arithdb.Between(0, 1),
+	}, map[int]int{0: 0})
+	if len(bg2) != 0 {
+		t.Errorf("unconstrained null got interval: %v", bg2)
+	}
+}
+
+// TestEndToEndSQLPipeline is the integration test of the full Section 9
+// pipeline at a tiny, fully checkable scale: SQL → candidates → μ, with
+// the value verified against a hand-computed constraint.
+func TestEndToEndSQLPipeline(t *testing.T) {
+	s := arithdb.MustSchema(
+		arithdb.MustRelation("Products",
+			arithdb.Col("id", arithdb.BaseCol),
+			arithdb.Col("rrp", arithdb.NumCol),
+			arithdb.Col("dis", arithdb.NumCol)),
+		arithdb.MustRelation("Market", arithdb.Col("rrp", arithdb.NumCol)),
+	)
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("Products", arithdb.Base("p1"), arithdb.NullNum(0), arithdb.Num(0.8))
+	d.MustInsert("Market", arithdb.Num(80))
+
+	q, err := arithdb.ParseSQL(`SELECT P.id FROM Products P, Market M WHERE P.rrp * P.dis <= M.rrp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arithdb.EvaluateSQL(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 {
+		t.Fatalf("candidates: %v", res.Candidates)
+	}
+	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: 5})
+	m, err := engine.MeasureFormula(res.Candidates[0].Phi, 0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.8·z ≤ 80 holds asymptotically iff z goes to −∞: μ = 1/2 exactly.
+	if !m.Exact || m.Value != 0.5 {
+		t.Errorf("μ = %g (exact=%v), want exactly 0.5", m.Value, m.Exact)
+	}
+	// Conditioned on rrp ≥ 0 the measure collapses to 0 but the answer
+	// stays possible.
+	bg := arithdb.BackgroundFromColumnRanges(d,
+		map[string]arithdb.Interval{"Products.rrp": arithdb.AtLeast(0)}, res.Index)
+	cond, err := engine.MeasureWithBackground(res.Candidates[0].Phi, bg, 0.02, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.Value != 0 {
+		t.Errorf("conditioned μ = %g, want 0", cond.Value)
+	}
+	sat, _, err := engine.Satisfiable(res.Candidates[0].Phi)
+	if err != nil || !sat {
+		t.Errorf("possibility: %v, %v; want true", sat, err)
+	}
+}
+
+func TestSalesGeneratorThroughFacade(t *testing.T) {
+	d, err := arithdb.GenerateSales(arithdb.SalesConfig{Seed: 1, Products: 100, Orders: 80, Market: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 200 {
+		t.Errorf("size = %d", d.Size())
+	}
+	for _, sql := range []string{
+		arithdb.QueryCompetitiveAdvantage,
+		arithdb.QueryNeverKnowinglyUndersold,
+		arithdb.QueryUnfairDiscount,
+	} {
+		q, err := arithdb.ParseSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := arithdb.EvaluateSQL(q, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

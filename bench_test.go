@@ -1,0 +1,407 @@
+// Benchmarks regenerating the paper's evaluation (Figure 1a/1b/1c) plus
+// ablations of the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Figure 1 benches time the per-ε Monte-Carlo confidence computation over
+// the 25 candidate tuples of each decision-support query, mirroring
+// cmd/experiments; the workload (synthetic sales database, conditional
+// join) is built once per process.
+package arithdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	arithdb "repro"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/mc"
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+	"repro/internal/translate"
+)
+
+// workload is the shared Figure 1 setup: database + per-query candidates.
+type workload struct {
+	db         *arithdb.Database
+	candidates map[string][]arithdb.SQLCandidate
+}
+
+var (
+	wlOnce sync.Once
+	wl     *workload
+	wlErr  error
+)
+
+func figureWorkload(b *testing.B) *workload {
+	b.Helper()
+	wlOnce.Do(func() {
+		d, err := arithdb.GenerateSales(arithdb.SalesConfig{
+			Seed:           2020,
+			Products:       20000,
+			Orders:         16000,
+			Market:         4000,
+			Segments:       2000,
+			NullRate:       0.1,
+			MarketNullRate: 0.5,
+		})
+		if err != nil {
+			wlErr = err
+			return
+		}
+		w := &workload{db: d, candidates: make(map[string][]arithdb.SQLCandidate)}
+		for name, sql := range map[string]string{
+			"CompetitiveAdvantage":    arithdb.QueryCompetitiveAdvantage,
+			"NeverKnowinglyUndersold": arithdb.QueryNeverKnowinglyUndersold,
+			"UnfairDiscount":          arithdb.QueryUnfairDiscount,
+		} {
+			q, err := arithdb.ParseSQL(sql)
+			if err != nil {
+				wlErr = err
+				return
+			}
+			res, err := arithdb.EvaluateSQL(q, d)
+			if err != nil {
+				wlErr = err
+				return
+			}
+			w.candidates[name] = res.Candidates
+		}
+		wl = w
+	})
+	if wlErr != nil {
+		b.Fatal(wlErr)
+	}
+	return wl
+}
+
+// benchFigure times one Figure 1 series: the AFPRAS confidence computation
+// for all candidate tuples of the query at the given ε, with the paper's
+// m = ⌈ε⁻²⌉ sample count.
+func benchFigure(b *testing.B, query string) {
+	w := figureWorkload(b)
+	cands := w.candidates[query]
+	if len(cands) == 0 {
+		b.Fatalf("no candidates for %s", query)
+	}
+	for _, eps := range []float64{0.1, 0.05, 0.02, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			engine := arithdb.NewEngine(arithdb.EngineOptions{
+				Seed:             7,
+				PaperSampleCount: true,
+				DisableExact:     true,
+				ForceSampling:    true,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range cands {
+					if _, err := engine.MeasureFormula(c.Phi, eps, 0.25); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1a regenerates Figure 1a (Competitive Advantage runtime
+// vs ε).
+func BenchmarkFigure1a(b *testing.B) { benchFigure(b, "CompetitiveAdvantage") }
+
+// BenchmarkFigure1b regenerates Figure 1b (Never Knowingly Undersold).
+func BenchmarkFigure1b(b *testing.B) { benchFigure(b, "NeverKnowinglyUndersold") }
+
+// BenchmarkFigure1c regenerates Figure 1c (Unfair Discount).
+func BenchmarkFigure1c(b *testing.B) { benchFigure(b, "UnfairDiscount") }
+
+// BenchmarkConditionalJoin times the candidate-generation phase (the role
+// Postgres plays in the paper's pipeline).
+func BenchmarkConditionalJoin(b *testing.B) {
+	w := figureWorkload(b)
+	q, err := arithdb.ParseSQL(arithdb.QueryCompetitiveAdvantage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arithdb.EvaluateSQL(q, w.db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslate times the Prop 5.3 translation on the introduction's
+// database and query.
+func BenchmarkTranslate(b *testing.B) {
+	s := arithdb.MustSchema(
+		arithdb.MustRelation("P",
+			arithdb.Col("id", arithdb.BaseCol), arithdb.Col("seg", arithdb.BaseCol),
+			arithdb.Col("rrp", arithdb.NumCol), arithdb.Col("dis", arithdb.NumCol)),
+		arithdb.MustRelation("C",
+			arithdb.Col("id", arithdb.BaseCol), arithdb.Col("seg", arithdb.BaseCol),
+			arithdb.Col("p", arithdb.NumCol)),
+		arithdb.MustRelation("E",
+			arithdb.Col("id", arithdb.BaseCol), arithdb.Col("seg", arithdb.BaseCol)),
+	)
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("C", arithdb.Base("c"), arithdb.Base("s"), arithdb.NullNum(0))
+	d.MustInsert("P", arithdb.Base("id1"), arithdb.Base("s"), arithdb.Num(10), arithdb.Num(0.8))
+	d.MustInsert("P", arithdb.Base("id2"), arithdb.Base("s"), arithdb.NullNum(1), arithdb.Num(0.7))
+	d.MustInsert("E", arithdb.NullBase(0), arithdb.Base("s"))
+	q := arithdb.MustParseQuery(`
+	q(s:base) := forall i:base, r:num, dd:num, i2:base, p:num .
+	    (P(i, s, r, dd) and not E(i, s) and C(i2, s, p))
+	    -> (r * dd <= p and r >= 0 and dd >= 0 and p >= 0)`)
+	args := []arithdb.Value{arithdb.Base("s")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arithdb.Translate(q, d, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsymEvalSample times one Monte-Carlo sample (direction draw +
+// asymptotic evaluation) on a Competitive Advantage candidate constraint —
+// the inner loop of the AFPRAS.
+func BenchmarkAsymEvalSample(b *testing.B) {
+	w := figureWorkload(b)
+	cand := w.candidates["CompetitiveAdvantage"][0]
+	reduced, vars := realfmla.Reduce(cand.Phi)
+	if len(vars) == 0 {
+		// Fall back to a candidate that has relevant nulls.
+		for _, c := range w.candidates["CompetitiveAdvantage"] {
+			reduced, vars = realfmla.Reduce(c.Phi)
+			if len(vars) > 0 {
+				break
+			}
+		}
+	}
+	if len(vars) == 0 {
+		b.Skip("no constrained candidate in this workload")
+	}
+	compiled := realfmla.Compile(reduced)
+	rng := mc.NewRNG(1)
+	dir := make([]float64, len(vars))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dir {
+			dir[j] = rng.NormFloat64()
+		}
+		compiled.AsymEval(dir, 1e-12)
+	}
+}
+
+// BenchmarkExactOrderCells times the exact rational algorithm on a
+// 6-variable order formula (2⁶·6! = 46080 cells).
+func BenchmarkExactOrderCells(b *testing.B) {
+	n := 6
+	var conj []realfmla.Formula
+	for i := 0; i+1 < n; i++ {
+		p := poly.Var(n, i).Sub(poly.Var(n, i+1))
+		conj = append(conj, realfmla.FAtom{A: realfmla.Atom{P: p, Rel: realfmla.LT}})
+	}
+	phi := realfmla.And(conj...)
+	e := core.New(core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.MeasureFormula(phi, 0.1, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exact {
+			b.Fatal("expected exact result")
+		}
+	}
+}
+
+// BenchmarkFPRASvsAFPRAS is the Section 7 vs Section 8 ablation on the
+// same 3-dimensional linear formula (an octant union): the multiplicative
+// union-of-cones estimator against additive direction sampling.
+func BenchmarkFPRASvsAFPRAS(b *testing.B) {
+	oct := func(sign float64) realfmla.Formula {
+		var conj []realfmla.Formula
+		for i := 0; i < 3; i++ {
+			p := poly.Var(3, i).Scale(-sign)
+			conj = append(conj, realfmla.FAtom{A: realfmla.Atom{P: p, Rel: realfmla.LT}})
+		}
+		return realfmla.And(conj...)
+	}
+	phi := realfmla.Or(oct(1), oct(-1))
+	b.Run("FPRAS", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.FPRAS(phi, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AFPRAS", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1, DisableExact: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AdditiveApprox(phi, 0.1, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectVsFormulaPath is the ablation between the two AFPRAS
+// implementations: sampling over the materialized translation vs direct
+// asymptotic evaluation of the query.
+func BenchmarkDirectVsFormulaPath(b *testing.B) {
+	s := arithdb.MustSchema(arithdb.MustRelation("R",
+		arithdb.Col("x", arithdb.NumCol), arithdb.Col("y", arithdb.NumCol)))
+	d := arithdb.NewDatabase(s)
+	for i := 0; i < 8; i++ {
+		d.MustInsert("R", arithdb.NullNum(2*i), arithdb.NullNum(2*i+1))
+	}
+	q := arithdb.MustParseQuery(`q() := forall x:num, y:num . (R(x, y) -> x + y > 0)`)
+	b.Run("formula", func(b *testing.B) {
+		phi, err := translate.Query(q, d, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := core.New(core.Options{Seed: 1, DisableExact: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AdditiveApprox(phi.Phi, 0.05, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AdditiveApproxDirect(q, d, nil, 0.05, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHitAndRun times one hit-and-run sample from a 6-dimensional
+// cone ∩ ball — the inner oracle of the Section 7 FPRAS.
+func BenchmarkHitAndRun(b *testing.B) {
+	n := 6
+	normals := make([][]float64, n)
+	for i := range normals {
+		c := make([]float64, n)
+		c[i] = 1
+		normals[i] = c
+	}
+	body := geometry.NewConeInBall(n, normals)
+	x0, _, ok, err := body.InteriorPoint()
+	if err != nil || !ok {
+		b.Fatalf("interior point: ok=%v err=%v", ok, err)
+	}
+	s, err := geometry.NewSampler(body, x0, mc.NewRNG(1), 4*n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+// BenchmarkMeasureBatch compares sequential and concurrent confidence
+// computation over the Competitive Advantage candidate set.
+func BenchmarkMeasureBatch(b *testing.B) {
+	w := figureWorkload(b)
+	cands := w.candidates["CompetitiveAdvantage"]
+	phis := make([]arithdb.Constraint, len(cands))
+	for i, c := range cands {
+		phis[i] = c.Phi
+	}
+	opts := arithdb.EngineOptions{Seed: 7, DisableExact: true, ForceSampling: true, PaperSampleCount: true}
+	b.Run("sequential", func(b *testing.B) {
+		engine := arithdb.NewEngine(opts)
+		for i := 0; i < b.N; i++ {
+			for _, phi := range phis {
+				if _, err := engine.MeasureFormula(phi, 0.02, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, errs := arithdb.MeasureBatch(opts, phis, 0.02, 0.25)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkBackgroundMeasure times the Section 10 range-constrained
+// measure against the plain AFPRAS on the same constraint.
+func BenchmarkBackgroundMeasure(b *testing.B) {
+	p := poly.Var(2, 0).Sub(poly.Var(2, 1).Scale(0.7))
+	phi := realfmla.FAtom{A: realfmla.Atom{P: p, Rel: realfmla.LE}}
+	b.Run("plain", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1, DisableExact: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AdditiveApprox(phi, 0.02, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ranges", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1})
+		bg := core.Background{0: core.AtLeast(0), 1: core.Between(0, 1)}
+		for i := 0; i < b.N; i++ {
+			if _, err := e.MeasureWithBackground(phi, bg, 0.02, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPartialSamplingAblation measures the Section 9 optimization:
+// reducing to the relevant variables before sampling vs sampling every
+// null coordinate of the database.
+func BenchmarkPartialSamplingAblation(b *testing.B) {
+	// A formula over 2 relevant variables embedded in a 500-variable
+	// ambient space (a 500-null database where one candidate's constraint
+	// touches two nulls).
+	n := 500
+	p := poly.Var(n, 3).Sub(poly.Var(n, 4).Scale(0.7))
+	phi := realfmla.FAtom{A: realfmla.Atom{P: p, Rel: realfmla.LE}}
+	b.Run("reduced", func(b *testing.B) {
+		e := core.New(core.Options{Seed: 1, DisableExact: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AdditiveApprox(phi, 0.05, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-dimension", func(b *testing.B) {
+		// Simulate the unoptimized sampler: draw all 500 coordinates.
+		compiled := realfmla.Compile(phi)
+		rng := mc.NewRNG(1)
+		m, err := mc.HoeffdingSamples(0.05, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for s := 0; s < m; s++ {
+				for j := range dir {
+					dir[j] = rng.NormFloat64()
+				}
+				if compiled.AsymEval(dir, 1e-12) {
+					hits++
+				}
+			}
+			_ = hits
+		}
+	})
+}

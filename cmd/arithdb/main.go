@@ -1,0 +1,241 @@
+// Command arithdb answers queries over incomplete databases with
+// confidence levels, from the command line.
+//
+// Subcommands:
+//
+//	arithdb sql -data DIR -query "SELECT ..." [-eps 0.01] [-delta 0.05]
+//	    Run a SQL query under conditional semantics and print every
+//	    candidate answer tuple with its measure of certainty.
+//
+//	arithdb measure -data DIR -query "q(...) := ..." [args...]
+//	    Compute μ(q, D, args) for an FO(+,·,<) query. Positional
+//	    arguments supply values for the query's free variables:
+//	    plain text for base constants, numbers for numerical constants,
+//	    _B<i>/_N<i> for nulls of the database.
+//
+//	arithdb info -data DIR
+//	    Print the schema and null inventory of a stored database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	arithdb "repro"
+	"repro/internal/fo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arithdb: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "sql":
+		runSQL(os.Args[2:])
+	case "measure":
+		runMeasure(os.Args[2:])
+	case "info":
+		runInfo(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  arithdb sql     -data DIR -query "SELECT ..." [-eps E] [-delta D] [-seed S]
+  arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S] [args...]
+  arithdb info    -data DIR`)
+	os.Exit(2)
+}
+
+func commonFlags(fs *flag.FlagSet) (data, query *string, eps, delta *float64, seed *int64) {
+	data = fs.String("data", "", "database directory (written by datagen or SaveDatabase)")
+	query = fs.String("query", "", "query text")
+	eps = fs.Float64("eps", 0.01, "additive error of the approximation")
+	delta = fs.Float64("delta", 0.05, "failure probability")
+	seed = fs.Int64("seed", 1, "random seed")
+	return
+}
+
+// rangeFlags collects repeated -range Relation.column=lo:hi declarations
+// (either bound may be empty for ±∞).
+type rangeFlags map[string]arithdb.Interval
+
+func (r rangeFlags) String() string { return fmt.Sprintf("%v", map[string]arithdb.Interval(r)) }
+
+func (r rangeFlags) Set(s string) error {
+	col, spec, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want Relation.column=lo:hi, got %q", s)
+	}
+	loS, hiS, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("want lo:hi bounds in %q", s)
+	}
+	iv := arithdb.Unbounded()
+	if loS != "" {
+		lo, err := strconv.ParseFloat(loS, 64)
+		if err != nil {
+			return fmt.Errorf("bad lower bound %q", loS)
+		}
+		iv.Lo = lo
+	}
+	if hiS != "" {
+		hi, err := strconv.ParseFloat(hiS, 64)
+		if err != nil {
+			return fmt.Errorf("bad upper bound %q", hiS)
+		}
+		iv.Hi = hi
+	}
+	r[col] = iv
+	return nil
+}
+
+func runSQL(args []string) {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	data, query, eps, delta, seed := commonFlags(fs)
+	ranges := rangeFlags{}
+	fs.Var(ranges, "range", "column range constraint Relation.column=lo:hi (repeatable; empty bound = ±inf)")
+	_ = fs.Parse(args)
+	if *data == "" || *query == "" {
+		log.Fatal("sql: -data and -query are required")
+	}
+	d, err := arithdb.LoadDatabase(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := arithdb.ParseSQL(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := arithdb.EvaluateSQL(q, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bg arithdb.Background
+	if len(ranges) > 0 {
+		bg = arithdb.BackgroundFromColumnRanges(d, ranges, res.Index)
+	}
+	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: *seed})
+	fmt.Printf("%d candidate tuples (%d derivations)\n", len(res.Candidates), res.Derivations)
+	for _, c := range res.Candidates {
+		var m arithdb.Result
+		if bg != nil {
+			m, err = engine.MeasureWithBackground(c.Phi, bg, *eps, *delta)
+		} else {
+			m, err = engine.MeasureFormula(c.Phi, *eps, *delta)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "approx"
+		if m.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("%-24s μ = %.4f  [%s, %s]\n", c.Tuple, m.Value, kind, m.Method)
+	}
+}
+
+func runMeasure(args []string) {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	data, query, eps, delta, seed := commonFlags(fs)
+	_ = fs.Parse(args)
+	if *data == "" || *query == "" {
+		log.Fatal("measure: -data and -query are required")
+	}
+	d, err := arithdb.LoadDatabase(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := arithdb.ParseQuery(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := arithdb.Typecheck(q, d.Schema()); err != nil {
+		log.Fatal(err)
+	}
+	if len(fs.Args()) != len(q.Free) {
+		log.Fatalf("query has %d free variables, got %d arguments", len(q.Free), len(fs.Args()))
+	}
+	// The general translation expands quantifiers over the active domain;
+	// guard against inputs where that blows up and point at the join-based
+	// pipeline instead.
+	if cost := measureCost(q, d); cost > 5e7 {
+		log.Fatalf("query too expensive for the general translation on this database "+
+			"(~%.0g quantifier expansions); for SELECT-shaped queries use `arithdb sql`, "+
+			"which evaluates joins conditionally", cost)
+	}
+	vals := make([]arithdb.Value, len(fs.Args()))
+	for i, a := range fs.Args() {
+		vals[i] = parseValue(a)
+	}
+	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: *seed})
+	m, err := engine.Measure(q, d, vals, *eps, *delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("μ = %.6f", m.Value)
+	if m.Rat != nil {
+		fmt.Printf(" (exactly %s)", m.Rat)
+	}
+	fmt.Printf("  [method %s, %d numerical nulls, %d relevant]\n", m.Method, m.K, m.RelevantK)
+}
+
+// measureCost estimates the active-domain expansion size of the general
+// translation: |base domain|^(base quantifiers) · |num domain|^(num
+// quantifiers), times the database size for relation-atom expansion.
+func measureCost(q *arithdb.Query, d *arithdb.Database) float64 {
+	baseQ, numQ := fo.CountQuantifiers(q.Body)
+	baseDom := float64(len(d.BaseConstants()) + len(d.BaseNulls()))
+	numDom := float64(len(d.NumConstants()) + len(d.NumNulls()))
+	if baseDom < 1 {
+		baseDom = 1
+	}
+	if numDom < 1 {
+		numDom = 1
+	}
+	return math.Pow(baseDom, float64(baseQ)) * math.Pow(numDom, float64(numQ)) * float64(d.Size()+1)
+}
+
+// parseValue interprets a CLI argument: _B<i>/_N<i> as nulls, numbers as
+// numerical constants, everything else as base constants.
+func parseValue(s string) arithdb.Value {
+	if rest, ok := strings.CutPrefix(s, "_B"); ok {
+		if id, err := strconv.Atoi(rest); err == nil {
+			return arithdb.NullBase(id)
+		}
+	}
+	if rest, ok := strings.CutPrefix(s, "_N"); ok {
+		if id, err := strconv.Atoi(rest); err == nil {
+			return arithdb.NullNum(id)
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return arithdb.Num(f)
+	}
+	return arithdb.Base(s)
+}
+
+func runInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	data := fs.String("data", "", "database directory")
+	_ = fs.Parse(args)
+	if *data == "" {
+		log.Fatal("info: -data is required")
+	}
+	d, err := arithdb.LoadDatabase(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Schema())
+	fmt.Printf("tuples: %d\n", d.Size())
+	fmt.Printf("base nulls: %d, numerical nulls: %d\n", len(d.BaseNulls()), len(d.NumNulls()))
+}

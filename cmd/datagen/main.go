@@ -1,0 +1,49 @@
+// Command datagen generates the synthetic sales database of the paper's
+// experiments (Section 9) and writes it as a directory of CSV files.
+//
+// Usage:
+//
+//	datagen -out data/ -products 100000 -orders 80000 -market 20000 -nullrate 0.05 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	arithdb "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	out := flag.String("out", "data", "output directory")
+	products := flag.Int("products", 1000, "number of Products tuples")
+	orders := flag.Int("orders", 800, "number of Orders tuples")
+	market := flag.Int("market", 200, "number of Market tuples")
+	nullRate := flag.Float64("nullrate", 0.05, "probability of a numerical null per numeric attribute")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "datagen: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := arithdb.GenerateSales(arithdb.SalesConfig{
+		Seed:     *seed,
+		Products: *products,
+		Orders:   *orders,
+		Market:   *market,
+		NullRate: *nullRate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := arithdb.SaveDatabase(d, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d tuples to %s\n", d.Size(), *out)
+}

@@ -1,0 +1,64 @@
+// Quickstart: the paper's opening example. Relation R(A, B) holds a single
+// tuple (⊥1, ⊥2) of numerical nulls; should σ_{A>B} select it? Classical
+// certain answers say "no" (there are interpretations where A ≤ B), but
+// intuitively the tuple is selected half the time. The measure of
+// certainty makes that intuition precise: μ = 1/2, computed exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arithdb "repro"
+)
+
+func main() {
+	s := arithdb.MustSchema(arithdb.MustRelation("R",
+		arithdb.Col("a", arithdb.NumCol),
+		arithdb.Col("b", arithdb.NumCol)))
+
+	d := arithdb.NewDatabase(s)
+	d.MustInsert("R", arithdb.NullNum(0), arithdb.NullNum(1))
+
+	q := arithdb.MustParseQuery(`sel() := exists a:num, b:num . (R(a, b) and a > b)`)
+	if err := arithdb.Typecheck(q, s); err != nil {
+		log.Fatal(err)
+	}
+
+	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: 1})
+	res, err := engine.Measure(q, d, nil, 0.01, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query:    %s\n", q)
+	fmt.Printf("database: R = {(⊤0, ⊤1)}\n")
+	fmt.Printf("μ(σ_{A>B} selects the tuple) = %g", res.Value)
+	if res.Rat != nil {
+		fmt.Printf(" (exactly %s, method %s)", res.Rat, res.Method)
+	}
+	fmt.Println()
+
+	// A tuple with one known value: (5, ⊥). Now μ is still 1/2 — the null
+	// is bigger or smaller than 5 with equal asymptotic likelihood — but
+	// constraining the null changes it.
+	d2 := arithdb.NewDatabase(s)
+	d2.MustInsert("R", arithdb.Num(5), arithdb.NullNum(0))
+	res2, err := engine.Measure(q, d2, nil, 0.01, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("μ over R = {(5, ⊤0)}            = %g (%s)\n", res2.Value, res2.Method)
+
+	// With the extra filter b > 0 the null must land in the bounded
+	// interval (0, 5) — and bounded regions have asymptotic measure zero
+	// under the agnostic semantics (any fixed finite range is negligible
+	// against the whole numerical domain), so μ drops to 0.
+	q3 := arithdb.MustParseQuery(`sel() := exists a:num, b:num . (R(a, b) and a > b and b > 0)`)
+	res3, err := engine.Measure(q3, d2, nil, 0.01, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("μ with the extra filter b > 0   = %g (%s; bounded region ⇒ measure 0)\n",
+		res3.Value, res3.Method)
+}

@@ -1,0 +1,174 @@
+package certain
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/poly"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func naiveSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "b", Type: schema.Base}),
+		schema.MustRelation("S",
+			schema.Column{Name: "a", Type: schema.Base}),
+	)
+}
+
+func TestNaiveEvalBasics(t *testing.T) {
+	d := db.New(naiveSchema())
+	d.MustInsert("R", value.Base("x"), value.NullBase(0))
+	d.MustInsert("S", value.Base("x"))
+
+	// ∃a,b. R(a,b) ∧ S(a): witnessed by ("x", ⊥0).
+	q := fo.MustParseQuery(`q() := exists a:base, b:base . (R(a, b) and S(a))`)
+	got, err := NaiveEval(q, d, nil)
+	if err != nil || !got {
+		t.Errorf("got %v, %v; want true", got, err)
+	}
+	// ∃a. S(a) ∧ R(a, a): ⊥0 ≠ "x" under naive semantics.
+	q2 := fo.MustParseQuery(`q() := exists a:base . (S(a) and R(a, a))`)
+	got2, err := NaiveEval(q2, d, nil)
+	if err != nil || got2 {
+		t.Errorf("got %v, %v; want false", got2, err)
+	}
+}
+
+func TestNaiveEvalOpenQuery(t *testing.T) {
+	d := db.New(naiveSchema())
+	d.MustInsert("R", value.Base("x"), value.NullBase(0))
+
+	q := fo.MustParseQuery(`q(a:base, b:base) := R(a, b)`)
+	// The permissive semantics of [28]: (x, ⊥0) is itself an almost-certain
+	// answer.
+	got, err := NaiveEval(q, d, []value.Value{value.Base("x"), value.NullBase(0)})
+	if err != nil || !got {
+		t.Errorf("(x, ⊥0): got %v, %v; want true", got, err)
+	}
+	// But (x, "y") is not.
+	got2, err := NaiveEval(q, d, []value.Value{value.Base("x"), value.Base("y")})
+	if err != nil || got2 {
+		t.Errorf("(x, y): got %v, %v; want false", got2, err)
+	}
+}
+
+func TestNaiveEvalRejectsArithmetic(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("T", schema.Column{Name: "x", Type: schema.Num}))
+	d := db.New(s)
+	d.MustInsert("T", value.NullNum(0))
+	q := fo.MustParseQuery(`q() := exists x:num . (T(x) and x > 0)`)
+	if _, err := NaiveEval(q, d, nil); err == nil {
+		t.Error("order comparison accepted by naive evaluation")
+	}
+}
+
+// TestNaiveMatchesMeasureOne: for generic queries, naive evaluation agrees
+// with μ = 1 computed by the engine — the zero-one law of [27] that the
+// paper's framework extends.
+func TestNaiveMatchesMeasureOne(t *testing.T) {
+	d := db.New(naiveSchema())
+	d.MustInsert("R", value.Base("x"), value.NullBase(0))
+	d.MustInsert("S", value.NullBase(1))
+
+	e := core.New(core.Options{})
+	queries := []string{
+		`q() := exists a:base, b:base . R(a, b)`,
+		`q() := exists a:base . (S(a) and not (a == "x"))`,
+		`q() := exists a:base . (S(a) and a == "x")`,
+		`q() := forall a:base . (S(a) -> exists b:base . R(b, a))`,
+	}
+	for _, src := range queries {
+		q := fo.MustParseQuery(src)
+		naive, err := NaiveEval(q, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Measure(q, d, nil, 0.1, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Method != core.MethodTrivial {
+			t.Errorf("%s: method %s, want trivial (no numerical nulls)", src, res.Method)
+		}
+		if (res.Value == 1) != naive {
+			t.Errorf("%s: μ = %g but naive = %v", src, res.Value, naive)
+		}
+	}
+}
+
+func TestHasIntegerRoot(t *testing.T) {
+	// x² + y² - 25 has roots (3,4), (5,0), ...
+	x, y := poly.Var(2, 0), poly.Var(2, 1)
+	p := x.Mul(x).Add(y.Mul(y)).Sub(poly.Const(2, 25))
+	root, found := HasIntegerRoot(p, 6)
+	if !found {
+		t.Fatal("missed a root of x²+y²-25")
+	}
+	if p.Eval(root) != 0 {
+		t.Errorf("claimed root %v does not vanish", root)
+	}
+	// x² - 2 has no integer roots.
+	q := poly.Var(1, 0).Mul(poly.Var(1, 0)).Sub(poly.Const(1, 2))
+	if _, found := HasIntegerRoot(q, 1000); found {
+		t.Error("found an integer √2")
+	}
+	if _, found := HasIntegerRoot(q, -1); found {
+		t.Error("negative bound should find nothing")
+	}
+}
+
+// TestDiophantineDemo: the Prop 4.1 reduction. Over valuations bounded by
+// B, the query ∃x̄ R(x̄) ∧ p² > 0 fails to be certain exactly when p has an
+// integer root within the bound.
+func TestDiophantineDemo(t *testing.T) {
+	x, y := poly.Var(2, 0), poly.Var(2, 1)
+	p := x.Mul(x).Add(y.Mul(y)).Sub(poly.Const(2, 25))
+	q, d, err := DiophantineQuery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fo.Typecheck(q, d.Schema()); err != nil {
+		t.Fatalf("gadget query ill-typed: %v", err)
+	}
+	// Check over all integer valuations with |v| ≤ 6: the query is true for
+	// each valuation except the roots.
+	failures := 0
+	for vx := -6; vx <= 6; vx++ {
+		for vy := -6; vy <= 6; vy++ {
+			val := db.NewValuation()
+			val.Num[0], val.Num[1] = float64(vx), float64(vy)
+			cd, err := val.Apply(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := fo.FromComplete(cd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := fo.Eval(q, inst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			isRoot := p.Eval([]float64{float64(vx), float64(vy)}) == 0
+			if truth == isRoot {
+				t.Errorf("valuation (%d,%d): query=%v isRoot=%v", vx, vy, truth, isRoot)
+			}
+			if !truth {
+				failures++
+			}
+		}
+	}
+	// The circle x²+y²=25 has 12 integer points.
+	if failures != 12 {
+		t.Errorf("query failed on %d valuations, want 12 (lattice points of the circle)", failures)
+	}
+	if _, _, err := DiophantineQuery(poly.Const(0, 1)); err == nil {
+		t.Error("variable-free polynomial accepted")
+	}
+}

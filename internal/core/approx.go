@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/mc"
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+	"repro/internal/value"
+)
+
+// sampleCount picks the number of Monte-Carlo samples for additive error
+// eps at confidence 1-delta. With Options.PaperSampleCount it reproduces
+// the paper's m = ⌈ε⁻²⌉ (analyzed at confidence 3/4); otherwise it uses
+// the Hoeffding bound for the requested confidence.
+func (e *Engine) sampleCount(eps, delta float64) (int, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return 0, err
+	}
+	if e.opts.PaperSampleCount {
+		return mc.PaperSamples(eps)
+	}
+	return mc.HoeffdingSamples(eps, delta)
+}
+
+// AdditiveApprox is the AFPRAS of Section 8 applied to a translated
+// formula: sample directions a uniformly at random and average the
+// indicator of lim_k f_{φ,a}(k). Only the variables that actually occur in
+// φ are sampled (the paper's Section 9 optimization); since asymptotic
+// truth is invariant under positive scaling of the direction, unnormalized
+// Gaussian vectors sample the directional measure exactly.
+func (e *Engine) AdditiveApprox(phi realfmla.Formula, eps, delta float64) (Result, error) {
+	m, err := e.sampleCount(eps, delta)
+	if err != nil {
+		return Result{}, err
+	}
+	reduced, vars := realfmla.Reduce(phi)
+	n := len(vars)
+	if n == 0 {
+		if !e.opts.ForceSampling {
+			return trivialResult(realfmla.Eval(reduced, nil), realfmla.NumVars(phi)), nil
+		}
+		// Faithful to the reference implementation: evaluate the (constant)
+		// formula once per sample anyway.
+		compiled := realfmla.Compile(reduced)
+		hits := 0
+		for i := 0; i < m; i++ {
+			if compiled.Eval(nil) {
+				hits++
+			}
+		}
+		return Result{
+			Value:   float64(hits) / float64(m),
+			Method:  MethodAFPRAS,
+			Samples: m,
+			K:       realfmla.NumVars(phi),
+		}, nil
+	}
+	compiled := realfmla.Compile(reduced)
+	hits := 0
+	dir := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := range dir {
+			dir[j] = e.rng.NormFloat64()
+		}
+		if compiled.AsymEval(dir, e.opts.Tol) {
+			hits++
+		}
+	}
+	return Result{
+		Value:     float64(hits) / float64(m),
+		Method:    MethodAFPRAS,
+		Samples:   m,
+		K:         realfmla.NumVars(phi),
+		RelevantK: n,
+	}, nil
+}
+
+// AdditiveApproxDirect is the same additive-error scheme evaluated without
+// materializing φ: each sampled direction interprets the numerical nulls
+// as asymptotic reals k·a_i and the query is evaluated under that numeric
+// domain (package fo), which decides lim_k f_{φ,a}(k) directly. This keeps
+// the per-sample cost at plain query-evaluation cost and avoids the
+// active-domain expansion of the translation, at the price of not being
+// able to reduce to the relevant nulls up front.
+func (e *Engine) AdditiveApproxDirect(q *fo.Query, d *db.Database, args []value.Value, eps, delta float64) (Result, error) {
+	if err := fo.Typecheck(q, d.Schema()); err != nil {
+		return Result{}, err
+	}
+	m, err := e.sampleCount(eps, delta)
+	if err != nil {
+		return Result{}, err
+	}
+	tmpl, err := fo.NewDirTemplate(d, e.opts.Tol)
+	if err != nil {
+		return Result{}, err
+	}
+	ids := tmpl.NullIDs()
+	if len(ids) == 0 {
+		// No numerical nulls: μ ∈ {0,1}, decided by one evaluation.
+		if err := tmpl.SetDirection(fo.Direction{}); err != nil {
+			return Result{}, err
+		}
+		cargs, err := argCells(args, fo.Direction{})
+		if err != nil {
+			return Result{}, err
+		}
+		truth, err := fo.Eval(q, tmpl.Instance(), cargs)
+		if err != nil {
+			return Result{}, err
+		}
+		return trivialResult(truth, 0), nil
+	}
+
+	dir := make(fo.Direction, len(ids))
+	hits := 0
+	for i := 0; i < m; i++ {
+		for _, id := range ids {
+			dir[id] = e.rng.NormFloat64()
+		}
+		if err := tmpl.SetDirection(dir); err != nil {
+			return Result{}, err
+		}
+		cargs, err := argCells(args, dir)
+		if err != nil {
+			return Result{}, err
+		}
+		ok, err := fo.Eval(q, tmpl.Instance(), cargs)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			hits++
+		}
+	}
+	return Result{
+		Value:     float64(hits) / float64(m),
+		Method:    MethodAFPRASDirect,
+		Samples:   m,
+		K:         len(ids),
+		RelevantK: len(ids),
+	}, nil
+}
+
+// argCells converts answer-tuple values into asymptotic cells under the
+// sampled direction.
+func argCells(args []value.Value, dir fo.Direction) ([]fo.Cell[poly.Uni], error) {
+	out := make([]fo.Cell[poly.Uni], len(args))
+	for i, a := range args {
+		c, err := fo.CellForAnswerValue(a, dir)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

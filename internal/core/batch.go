@@ -1,0 +1,48 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/realfmla"
+)
+
+// MeasureBatch computes measures for many formulas concurrently — the
+// shape of the experiment pipeline, where every candidate tuple of a SQL
+// result needs its own confidence level. Engines are not safe for
+// concurrent use, so each formula gets its own engine, seeded
+// deterministically from the parent options and the formula's index:
+// results are identical to a sequential run regardless of scheduling.
+// A nil error slice entry means the corresponding result is valid.
+func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]Result, []error) {
+	n := len(phis)
+	results := make([]Result, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	o := opts.withDefaults()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				iopts := o
+				iopts.Seed = o.Seed + int64(i)*1_000_003
+				results[i], errs[i] = New(iopts).MeasureFormula(phis[i], eps, delta)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errs
+}

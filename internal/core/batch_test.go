@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/realfmla"
+)
+
+func TestMeasureBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var phis []realfmla.Formula
+	for i := 0; i < 20; i++ {
+		phis = append(phis, randOrderFormula(rng, 2+rng.Intn(2), 3))
+	}
+	opts := Options{Seed: 9}
+	results, errs := MeasureBatch(opts, phis, 0.05, 0.1)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("formula %d: %v", i, err)
+		}
+		// Sequential reference with the same per-index derived seed.
+		iopts := opts
+		iopts.Seed = opts.Seed + int64(i)*1_000_003
+		ref, err := New(iopts.withDefaults()).MeasureFormula(phis[i], 0.05, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Value != ref.Value || results[i].Method != ref.Method {
+			t.Errorf("formula %d: batch %.4f/%s vs sequential %.4f/%s",
+				i, results[i].Value, results[i].Method, ref.Value, ref.Method)
+		}
+	}
+}
+
+func TestMeasureBatchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var phis []realfmla.Formula
+	for i := 0; i < 12; i++ {
+		phis = append(phis, randOrderFormula(rng, 3, 3))
+	}
+	a, _ := MeasureBatch(Options{Seed: 1, DisableExact: true}, phis, 0.05, 0.25)
+	b, _ := MeasureBatch(Options{Seed: 1, DisableExact: true}, phis, 0.05, 0.25)
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			t.Errorf("formula %d: %.4f vs %.4f across runs", i, a[i].Value, b[i].Value)
+		}
+	}
+}
+
+func TestMeasureBatchEmptyAndErrors(t *testing.T) {
+	res, errs := MeasureBatch(Options{}, nil, 0.1, 0.1)
+	if len(res) != 0 || len(errs) != 0 {
+		t.Error("empty batch misbehaves")
+	}
+	// Invalid eps propagates per item.
+	_, errs = MeasureBatch(Options{DisableExact: true},
+		[]realfmla.Formula{linAtom(1, []float64{1}, 0, realfmla.LT)}, 0, 0.1)
+	if errs[0] == nil {
+		t.Error("eps = 0 accepted in batch")
+	}
+}
+
+func TestMeasureBatchAccuracy(t *testing.T) {
+	// Batch values stay close to the true measure.
+	phis := []realfmla.Formula{
+		linAtom(2, []float64{1, -1}, 0, realfmla.LT), // 1/2
+		linAtom(1, []float64{-1}, 0, realfmla.LT),    // 1/2
+		linAtom(2, []float64{1, 0}, 0, realfmla.EQ),  // 0
+	}
+	results, errs := MeasureBatch(Options{Seed: 2, DisableExact: true}, phis, 0.02, 0.01)
+	want := []float64{0.5, 0.5, 0}
+	for i := range phis {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if math.Abs(results[i].Value-want[i]) > 0.04 {
+			t.Errorf("formula %d: %.4f, want %.2f", i, results[i].Value, want[i])
+		}
+	}
+}

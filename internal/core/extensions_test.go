@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+)
+
+// TestBackgroundBoundedDiscount models the Section 10 motivating case:
+// a discount known to lie in [0,1]. φ = (10·z < 5) with z ∈ [0,1]
+// conditions to P(z < 0.5 | z uniform in [0,1]) = 1/2, whereas the
+// unconditioned asymptotic measure of a bounded region is 0.
+func TestBackgroundBoundedDiscount(t *testing.T) {
+	e := New(Options{Seed: 11})
+	phi := linAtom(1, []float64{10}, -5, realfmla.LT) // 10z - 5 < 0
+	res, err := e.MeasureWithBackground(phi, Background{0: Between(0, 1)}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-0.5) > 0.03 {
+		t.Errorf("conditioned μ = %.4f, want 0.5", res.Value)
+	}
+	// Unconditioned: bounded satisfying region ∩ rays → the atom holds
+	// exactly on the negative direction: μ = 1/2 as well (10z < 5
+	// asymptotically means z < 0)... so distinguish with a two-sided
+	// bounded region: 1 < z < 2 has unconditioned measure 0 but
+	// conditioned-on-[0,4] measure 1/4.
+	band := realfmla.And(
+		linAtom(1, []float64{-1}, 1, realfmla.LT), // z > 1
+		linAtom(1, []float64{1}, -2, realfmla.LT), // z < 2
+	)
+	plain, err := e.MeasureFormula(band, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Value != 0 {
+		t.Errorf("unconditioned measure of a bounded band = %g, want 0", plain.Value)
+	}
+	cond, err := e.MeasureWithBackground(band, Background{0: Between(0, 4)}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond.Value-0.25) > 0.03 {
+		t.Errorf("conditioned band measure = %.4f, want 0.25", cond.Value)
+	}
+}
+
+// TestBackgroundHalfBounded: a price known non-negative. φ = z0 < z1 with
+// both in [0, ∞) is a symmetric comparison of two positive rays: 1/2.
+// With z0 ≥ 0 and z1 ≤ 0 it is almost surely false.
+func TestBackgroundHalfBounded(t *testing.T) {
+	e := New(Options{Seed: 13})
+	phi := linAtom(2, []float64{1, -1}, 0, realfmla.LT)
+	res, err := e.MeasureWithBackground(phi,
+		Background{0: AtLeast(0), 1: AtLeast(0)}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-0.5) > 0.03 {
+		t.Errorf("μ(z0<z1 | both ≥ 0) = %.4f, want 0.5", res.Value)
+	}
+	res2, err := e.MeasureWithBackground(phi,
+		Background{0: AtLeast(0), 1: AtMost(0)}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value != 0 {
+		t.Errorf("μ(z0<z1 | z0≥0, z1≤0) = %.4f, want 0", res2.Value)
+	}
+}
+
+// TestBackgroundMixed: one bounded null against one ray. φ = z1 > z0·z0
+// with z0 ∈ [1,2] and z1 free: z1 must outgrow a bounded square — true on
+// the positive z1 ray: 1/2.
+func TestBackgroundMixed(t *testing.T) {
+	e := New(Options{Seed: 17})
+	z0sq := poly.Var(2, 0).Mul(poly.Var(2, 0))
+	phi := realfmla.FAtom{A: realfmla.Atom{P: z0sq.Sub(poly.Var(2, 1)), Rel: realfmla.LT}}
+	res, err := e.MeasureWithBackground(phi, Background{0: Between(1, 2)}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-0.5) > 0.03 {
+		t.Errorf("μ = %.4f, want 0.5", res.Value)
+	}
+}
+
+func TestBackgroundMatchesPlainWhenUnbounded(t *testing.T) {
+	// No constraints ⇒ MeasureWithBackground must agree with the ordinary
+	// AFPRAS.
+	e1 := New(Options{Seed: 19, DisableExact: true})
+	e2 := New(Options{Seed: 23})
+	phi := realfmla.And(
+		linAtom(2, []float64{0, -1}, 0, realfmla.LE),
+		linAtom(2, []float64{-1, 0}, 8, realfmla.LE),
+		linAtom(2, []float64{1, -0.7}, 0, realfmla.LE),
+	)
+	a, err := e1.AdditiveApprox(phi, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e2.MeasureWithBackground(phi, nil, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-b.Value) > 0.04 {
+		t.Errorf("plain %.4f vs empty background %.4f", a.Value, b.Value)
+	}
+}
+
+func TestBackgroundErrors(t *testing.T) {
+	e := New(Options{})
+	phi := linAtom(1, []float64{1}, 0, realfmla.LT)
+	if _, err := e.MeasureWithBackground(phi, Background{0: Between(2, 1)}, 0.1, 0.1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := e.MeasureWithBackground(phi, nil, 0, 0.1); err == nil {
+		t.Error("eps = 0 accepted")
+	}
+}
+
+// TestDistributions: with explicit priors the measure is a plain
+// probability. z0 ~ N(0,1), z1 ~ U[0,1]: P(z0 < z1) = Φ-weighted ≈
+// ∫₀¹ Φ(t) dt = Φ(1)·1 - ... compute by the closed form
+// E[Φ(U)] = ∫₀¹Φ(t)dt = [tΦ(t)+φ(t)]₀¹ = Φ(1)+φ(1)−φ(0) ≈ 0.6091.
+func TestDistributions(t *testing.T) {
+	e := New(Options{Seed: 29})
+	phi := linAtom(2, []float64{1, -1}, 0, realfmla.LT)
+	res, err := e.MeasureWithDistributions(phi, map[int]Distribution{
+		0: NormalDist{Mean: 0, Stddev: 1},
+		1: UniformDist{Lo: 0, Hi: 1},
+	}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiN := func(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+	cdf := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	want := cdf(1) + phiN(1) - phiN(0)
+	if math.Abs(res.Value-want) > 0.03 {
+		t.Errorf("P(z0 < z1) = %.4f, want %.4f", res.Value, want)
+	}
+	// Exponential prior: P(z > 1) with z ~ Exp(1) is 1/e.
+	gt1 := linAtom(1, []float64{-1}, 1, realfmla.LT)
+	res2, err := e.MeasureWithDistributions(gt1, map[int]Distribution{
+		0: ExponentialDist{Rate: 1},
+	}, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Value-1/math.E) > 0.03 {
+		t.Errorf("P(Exp(1) > 1) = %.4f, want %.4f", res2.Value, 1/math.E)
+	}
+	// Missing distribution errors out.
+	if _, err := e.MeasureWithDistributions(phi, map[int]Distribution{0: UniformDist{0, 1}}, 0.1, 0.1); err == nil {
+		t.Error("missing distribution accepted")
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	e := New(Options{Seed: 31})
+	cases := []struct {
+		phi  realfmla.Formula
+		want bool
+	}{
+		// z = 5 is possible though μ = 0.
+		{linAtom(1, []float64{1}, -5, realfmla.EQ), true},
+		// 1 < z < 2: bounded band, possible.
+		{realfmla.And(
+			linAtom(1, []float64{-1}, 1, realfmla.LT),
+			linAtom(1, []float64{1}, -2, realfmla.LT)), true},
+		// z < 0 ∧ z > 1: impossible.
+		{realfmla.And(
+			linAtom(1, []float64{1}, 0, realfmla.LT),
+			linAtom(1, []float64{-1}, 1, realfmla.LT)), false},
+		// z ≤ 0 ∧ z ≥ 0 ∧ z ≠ 0: impossible (the ≠ bites).
+		{realfmla.And(
+			linAtom(1, []float64{1}, 0, realfmla.LE),
+			linAtom(1, []float64{-1}, 0, realfmla.LE),
+			linAtom(1, []float64{1}, 0, realfmla.NE)), false},
+		// z0 + z1 = 1 ∧ z0 ≥ 0 ∧ z1 ≥ 0: a segment, possible.
+		{realfmla.And(
+			linAtom(2, []float64{1, 1}, -1, realfmla.EQ),
+			linAtom(2, []float64{-1, 0}, 0, realfmla.LE),
+			linAtom(2, []float64{0, -1}, 0, realfmla.LE)), true},
+		// Disjunction with one feasible branch.
+		{realfmla.Or(
+			realfmla.And(
+				linAtom(1, []float64{1}, 0, realfmla.LT),
+				linAtom(1, []float64{-1}, 1, realfmla.LT)),
+			linAtom(1, []float64{1}, -3, realfmla.EQ)), true},
+	}
+	for i, c := range cases {
+		sat, w, err := e.Satisfiable(c.phi)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if sat != c.want {
+			t.Errorf("case %d: sat = %v, want %v (φ=%s)", i, sat, c.want, c.phi)
+		}
+		if sat && !realfmla.Eval(c.phi, w) {
+			t.Errorf("case %d: witness %v does not satisfy φ", i, w)
+		}
+	}
+}
+
+func TestSatisfiableNEWithinInterior(t *testing.T) {
+	// z > 0 ∧ z ≠ 1: feasible, witness must avoid 1.
+	e := New(Options{Seed: 37})
+	phi := realfmla.And(
+		linAtom(1, []float64{-1}, 0, realfmla.LT),
+		linAtom(1, []float64{1}, -1, realfmla.NE))
+	sat, w, err := e.Satisfiable(phi)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if w[0] <= 0 || w[0] == 1 {
+		t.Errorf("bad witness %v", w)
+	}
+}
+
+func TestSatisfiableRejectsNonlinear(t *testing.T) {
+	e := New(Options{})
+	q := realfmla.FAtom{A: realfmla.Atom{P: poly.Var(1, 0).Mul(poly.Var(1, 0)).Sub(poly.Const(1, 1)), Rel: realfmla.LT}}
+	if _, _, err := e.Satisfiable(q); err == nil {
+		t.Error("nonlinear accepted")
+	}
+}
+
+func TestCertainlyTrue(t *testing.T) {
+	e := New(Options{Seed: 41})
+	// z ≤ 0 ∨ z ≥ 0 is a tautology.
+	taut := realfmla.Or(
+		linAtom(1, []float64{1}, 0, realfmla.LE),
+		linAtom(1, []float64{-1}, 0, realfmla.LE))
+	ok, err := e.CertainlyTrue(taut)
+	if err != nil || !ok {
+		t.Errorf("tautology not certain: %v %v", ok, err)
+	}
+	// z > 0 is not certain.
+	ok2, err := e.CertainlyTrue(linAtom(1, []float64{-1}, 0, realfmla.LT))
+	if err != nil || ok2 {
+		t.Errorf("z > 0 reported certain: %v %v", ok2, err)
+	}
+}
+
+// TestLatticeMatchesContinuous: the Section 10 integer variant — the
+// lattice-point measure converges to the same ν as the volume measure
+// (Gauss circle regime).
+func TestLatticeMatchesContinuous(t *testing.T) {
+	e := New(Options{Seed: 43})
+	// Halfplane z0 < z1: ν = 1/2.
+	phi := linAtom(2, []float64{1, -1}, 0, realfmla.LT)
+	mu, err := e.MuAtRadiusLattice(phi, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-0.5) > 0.02 {
+		t.Errorf("lattice μ = %.4f, want ≈0.5", mu)
+	}
+	// The intro constraint: lattice count at growing radii approaches
+	// 0.0972.
+	intro := realfmla.And(
+		linAtom(2, []float64{0, -1}, 0, realfmla.LE),
+		linAtom(2, []float64{-1, 0}, 8, realfmla.LE),
+		linAtom(2, []float64{1, -0.7}, 0, realfmla.LE),
+	)
+	limit := (math.Pi/2 - math.Atan(10.0/7)) / (2 * math.Pi)
+	prev := math.Inf(1)
+	for _, r := range []int{20, 80, 320} {
+		mu, err := e.MuAtRadiusLattice(intro, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(mu - limit)
+		if gap > prev+0.005 {
+			t.Errorf("lattice measure diverging at r=%d: gap %.4f after %.4f", r, gap, prev)
+		}
+		prev = gap
+	}
+	if prev > 0.01 {
+		t.Errorf("lattice measure at r=320 off by %.4f", prev)
+	}
+	// Guards.
+	if _, err := e.MuAtRadiusLattice(phi, 0); err == nil {
+		t.Error("r = 0 accepted")
+	}
+	if _, err := e.MuAtRadiusLattice(realfmla.FTrue{}, 10); err != nil {
+		t.Error("trivial formula should work")
+	}
+}

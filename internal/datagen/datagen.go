@@ -1,0 +1,187 @@
+// Package datagen generates the synthetic sales database of the paper's
+// experimental evaluation (Section 9). The paper used the DataFiller tool
+// to populate a Postgres schema with ~200K tuples containing SQL NULLs and
+// then replaced each NULL with a distinct marked null; this package plays
+// that role: a seeded, schema-driven generator with per-column null rates
+// that emits marked nulls directly.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Config controls the generated database. The zero value of a count keeps
+// its default; null rates are probabilities in [0,1].
+type Config struct {
+	Seed int64
+
+	Products int // default 1000
+	Orders   int // default 800
+	Market   int // default 200 (one row per competing segment offer)
+	Segments int // default max(8, Market/4)
+
+	// NullRate is the probability that a numerical attribute is a fresh
+	// marked null (the paper's incompleteness regime, highest in the
+	// web-extracted Market relation unless overridden).
+	NullRate float64 // default 0.05
+	// MarketNullRate overrides NullRate for the Market relation.
+	MarketNullRate float64 // default 2×NullRate (capped at 1)
+	// BaseNullRate is the probability that Orders.pr (the ordered product
+	// reference) is a base null.
+	BaseNullRate float64 // default NullRate/2
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Products <= 0 {
+		c.Products = 1000
+	}
+	if c.Orders <= 0 {
+		c.Orders = 800
+	}
+	if c.Market <= 0 {
+		c.Market = 200
+	}
+	if c.Segments <= 0 {
+		c.Segments = c.Market / 4
+		if c.Segments < 8 {
+			c.Segments = 8
+		}
+	}
+	if c.NullRate == 0 {
+		c.NullRate = 0.05
+	}
+	if c.MarketNullRate == 0 {
+		c.MarketNullRate = 2 * c.NullRate
+		if c.MarketNullRate > 1 {
+			c.MarketNullRate = 1
+		}
+	}
+	if c.BaseNullRate == 0 {
+		c.BaseNullRate = c.NullRate / 2
+	}
+	return c
+}
+
+// Schema returns the sales schema of Section 9:
+//
+//	Products(id:base, seg:base, rrp:num, dis:num)
+//	Orders(id:base, pr:base, q:num, dis:num)
+//	Market(seg:base, rrp:num, dis:num)
+func Schema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("Products",
+			schema.Column{Name: "id", Type: schema.Base},
+			schema.Column{Name: "seg", Type: schema.Base},
+			schema.Column{Name: "rrp", Type: schema.Num},
+			schema.Column{Name: "dis", Type: schema.Num}),
+		schema.MustRelation("Orders",
+			schema.Column{Name: "id", Type: schema.Base},
+			schema.Column{Name: "pr", Type: schema.Base},
+			schema.Column{Name: "q", Type: schema.Num},
+			schema.Column{Name: "dis", Type: schema.Num}),
+		schema.MustRelation("Market",
+			schema.Column{Name: "seg", Type: schema.Base},
+			schema.Column{Name: "rrp", Type: schema.Num},
+			schema.Column{Name: "dis", Type: schema.Num}),
+	)
+}
+
+// Generate produces a deterministic synthetic database for the given
+// configuration.
+func Generate(cfg Config) (*db.Database, error) {
+	c := cfg.withDefaults()
+	if c.NullRate < 0 || c.NullRate > 1 || c.MarketNullRate < 0 || c.MarketNullRate > 1 ||
+		c.BaseNullRate < 0 || c.BaseNullRate > 1 {
+		return nil, fmt.Errorf("datagen: null rates must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	d := db.New(Schema())
+
+	seg := func(i int) string { return fmt.Sprintf("seg%d", i) }
+	prodID := func(i int) string { return fmt.Sprintf("p%d", i) }
+
+	numOrNull := func(rate float64, gen func() float64) value.Value {
+		if rng.Float64() < rate {
+			return d.FreshNumNull()
+		}
+		return value.Num(gen())
+	}
+	price := func() float64 { return 1 + 199*rng.Float64() }      // rrp in [1, 200)
+	discount := func() float64 { return 0.5 + 0.5*rng.Float64() } // dis in [0.5, 1): fraction of rrp kept
+	quantity := func() float64 { return float64(1 + rng.Intn(50)) }
+
+	for i := 0; i < c.Products; i++ {
+		if err := d.Insert("Products", value.Tuple{
+			value.Base(prodID(i)),
+			value.Base(seg(rng.Intn(c.Segments))),
+			numOrNull(c.NullRate, price),
+			numOrNull(c.NullRate, discount),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Orders; i++ {
+		pr := value.Value(value.Base(prodID(rng.Intn(c.Products))))
+		if rng.Float64() < c.BaseNullRate {
+			pr = d.FreshBaseNull()
+		}
+		if err := d.Insert("Orders", value.Tuple{
+			value.Base(fmt.Sprintf("o%d", i)),
+			pr,
+			numOrNull(c.NullRate, quantity),
+			numOrNull(c.NullRate, func() float64 { return 0.5 + 2*rng.Float64() }), // order extra discount
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Market; i++ {
+		if err := d.Insert("Market", value.Tuple{
+			value.Base(seg(i % c.Segments)),
+			numOrNull(c.MarketNullRate, price),
+			numOrNull(c.MarketNullRate, discount),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Experiment queries of Section 9. The paper's printed SQL contains two
+// artifacts that cannot typecheck (M.id used in arithmetic although Market
+// has no id column, and a missing operator in "P.rrp * P.dis O.q"); the
+// versions below restore the intended reading described in the prose, and
+// divisions by the possibly-null O.q are rewritten multiplicatively with a
+// positivity guard (see DESIGN.md and EXPERIMENTS.md).
+const (
+	// CompetitiveAdvantage: market segments where the company's discounted
+	// price beats the best competing offer.
+	CompetitiveAdvantage = `
+		SELECT P.seg FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis
+		LIMIT 25`
+
+	// NeverKnowinglyUndersold: products that will sell (after the
+	// per-order discount dis/q) for less than half of the best market
+	// price.
+	NeverKnowinglyUndersold = `
+		SELECT P.id FROM Products P, Orders O, Market M
+		WHERE P.seg = M.seg AND P.id = O.pr AND O.q > 0
+		  AND P.rrp * P.dis * O.dis <= 0.5 * M.rrp * M.dis * O.q
+		LIMIT 25`
+
+	// UnfairDiscount: orders whose effective extra discount (dis/q)
+	// exceeds the intended campaign discount by at least 60%.
+	UnfairDiscount = `
+		SELECT O.id FROM Products P, Orders O
+		WHERE P.id = O.pr AND O.q > 0
+		  AND O.dis >= 1.6 * P.dis * O.q
+		LIMIT 25`
+)

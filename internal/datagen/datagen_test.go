@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/sqlfront"
+	"repro/internal/value"
+)
+
+func TestGenerateCountsAndSchema(t *testing.T) {
+	d, err := Generate(Config{Seed: 3, Products: 200, Orders: 150, Market: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Tuples("Products")); got != 200 {
+		t.Errorf("Products = %d", got)
+	}
+	if got := len(d.Tuples("Orders")); got != 150 {
+		t.Errorf("Orders = %d", got)
+	}
+	if got := len(d.Tuples("Market")); got != 40 {
+		t.Errorf("Market = %d", got)
+	}
+	if d.IsComplete() {
+		t.Error("generated database has no nulls at the default null rate")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 9, Products: 50, Orders: 50, Market: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 9, Products: 50, Orders: 50, Market: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"Products", "Orders", "Market"} {
+		ta, tb := a.Tuples(rel), b.Tuples(rel)
+		if len(ta) != len(tb) {
+			t.Fatalf("%s sizes differ", rel)
+		}
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("%s row %d differs: %v vs %v", rel, i, ta[i], tb[i])
+			}
+		}
+	}
+	c, err := Generate(Config{Seed: 10, Products: 50, Orders: 50, Market: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, tup := range a.Tuples("Products") {
+		if !tup.Equal(c.Tuples("Products")[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestNullRates(t *testing.T) {
+	d, err := Generate(Config{Seed: 5, Products: 4000, Orders: 10, Market: 10, NullRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls := 0
+	for _, tup := range d.Tuples("Products") {
+		for _, v := range tup {
+			if v.Kind() == value.NumNull {
+				nulls++
+			}
+		}
+	}
+	rate := float64(nulls) / float64(2*4000) // two numeric columns
+	if rate < 0.17 || rate > 0.23 {
+		t.Errorf("numerical null rate = %.3f, want ≈0.2", rate)
+	}
+	if _, err := Generate(Config{NullRate: 1.5}); err == nil {
+		t.Error("null rate > 1 accepted")
+	}
+}
+
+func TestNoNullsWhenRateNegligible(t *testing.T) {
+	d, err := Generate(Config{Seed: 5, Products: 50, Orders: 50, Market: 10,
+		NullRate: 1e-12, MarketNullRate: 1e-12, BaseNullRate: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsComplete() {
+		t.Error("nulls generated at negligible rate")
+	}
+}
+
+// TestExperimentQueriesRunEndToEnd: the three Section 9 queries parse,
+// bind against the generated schema, and produce candidates with
+// constraints.
+func TestExperimentQueriesRunEndToEnd(t *testing.T) {
+	d, err := Generate(Config{Seed: 7, Products: 400, Orders: 300, Market: 80, NullRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"CompetitiveAdvantage":    CompetitiveAdvantage,
+		"NeverKnowinglyUndersold": NeverKnowinglyUndersold,
+		"UnfairDiscount":          UnfairDiscount,
+	} {
+		q, err := sqlfront.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		res, err := sqlfront.Evaluate(q, d)
+		if err != nil {
+			t.Fatalf("%s: evaluate: %v", name, err)
+		}
+		if len(res.Candidates) == 0 {
+			t.Errorf("%s: no candidates on a 780-tuple database", name)
+		}
+		if len(res.Candidates) > 25 {
+			t.Errorf("%s: LIMIT 25 not applied (%d candidates)", name, len(res.Candidates))
+		}
+	}
+}

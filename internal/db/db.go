@@ -1,0 +1,224 @@
+// Package db implements incomplete databases over the two-sorted data model:
+// finite relations whose entries are base/numerical constants or marked
+// nulls, together with valuations (interpretations of nulls by constants)
+// and the active-domain bookkeeping the algorithms of the paper need.
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Database is an incomplete database instance: for each relation of the
+// schema, a finite set (stored as a slice) of tuples over constants and
+// marked nulls.
+type Database struct {
+	schema *schema.Schema
+	tables map[string][]value.Tuple
+
+	nextBaseNull int
+	nextNumNull  int
+}
+
+// New returns an empty database over the given schema.
+func New(s *schema.Schema) *Database {
+	return &Database{schema: s, tables: make(map[string][]value.Tuple)}
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *schema.Schema { return d.schema }
+
+// Insert adds a tuple to the named relation after validating it against the
+// schema. Nulls mentioned in the tuple are registered so that FreshBaseNull
+// and FreshNumNull never collide with them.
+func (d *Database) Insert(rel string, t value.Tuple) error {
+	r := d.schema.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("db: unknown relation %s", rel)
+	}
+	if err := r.CheckTuple(t); err != nil {
+		return err
+	}
+	for _, v := range t {
+		switch v.Kind() {
+		case value.BaseNull:
+			if v.NullID() >= d.nextBaseNull {
+				d.nextBaseNull = v.NullID() + 1
+			}
+		case value.NumNull:
+			if v.NullID() >= d.nextNumNull {
+				d.nextNumNull = v.NullID() + 1
+			}
+		}
+	}
+	d.tables[rel] = append(d.tables[rel], t.Clone())
+	return nil
+}
+
+// MustInsert is Insert that panics on error, for tests and examples.
+func (d *Database) MustInsert(rel string, vals ...value.Value) {
+	if err := d.Insert(rel, value.Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// FreshBaseNull allocates a base null unused anywhere in the database.
+func (d *Database) FreshBaseNull() value.Value {
+	v := value.NullBase(d.nextBaseNull)
+	d.nextBaseNull++
+	return v
+}
+
+// FreshNumNull allocates a numerical null unused anywhere in the database.
+func (d *Database) FreshNumNull() value.Value {
+	v := value.NullNum(d.nextNumNull)
+	d.nextNumNull++
+	return v
+}
+
+// Tuples returns the tuples of the named relation. The returned slice is
+// owned by the database and must not be modified.
+func (d *Database) Tuples(rel string) []value.Tuple { return d.tables[rel] }
+
+// Size returns the total number of tuples across all relations.
+func (d *Database) Size() int {
+	n := 0
+	for _, ts := range d.tables {
+		n += len(ts)
+	}
+	return n
+}
+
+// BaseNulls returns the identifiers of all base nulls occurring in the
+// database, sorted ascending. This is the set Nbase(D) of the paper.
+func (d *Database) BaseNulls() []int { return d.nullIDs(value.BaseNull) }
+
+// NumNulls returns the identifiers of all numerical nulls occurring in the
+// database, sorted ascending. This is the set Nnum(D) of the paper.
+func (d *Database) NumNulls() []int { return d.nullIDs(value.NumNull) }
+
+func (d *Database) nullIDs(kind value.Kind) []int {
+	set := make(map[int]bool)
+	for _, ts := range d.tables {
+		for _, t := range ts {
+			for _, v := range t {
+				if v.Kind() == kind {
+					set[v.NullID()] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BaseConstants returns the set Cbase(D): all base-type constants occurring
+// in the database, sorted.
+func (d *Database) BaseConstants() []string {
+	set := make(map[string]bool)
+	for _, ts := range d.tables {
+		for _, t := range ts {
+			for _, v := range t {
+				if v.Kind() == value.BaseConst {
+					set[v.Str()] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumConstants returns the set Cnum(D): all numerical constants occurring
+// in the database, sorted ascending.
+func (d *Database) NumConstants() []float64 {
+	set := make(map[float64]bool)
+	for _, ts := range d.tables {
+		for _, t := range ts {
+			for _, v := range t {
+				if v.Kind() == value.NumConst {
+					set[v.Float()] = true
+				}
+			}
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// NumNullOccurrences returns, for each numerical null ID, the
+// "Relation.column" positions where it occurs. Range constraints declared
+// per column (the Section 10 extension) are attached to nulls through
+// this map.
+func (d *Database) NumNullOccurrences() map[int][]string {
+	out := make(map[int][]string)
+	seen := make(map[[2]interface{}]bool)
+	for _, rel := range d.schema.Relations() {
+		for _, t := range d.tables[rel.Name] {
+			for i, v := range t {
+				if v.Kind() != value.NumNull {
+					continue
+				}
+				key := [2]interface{}{v.NullID(), rel.Name + "." + rel.Columns[i].Name}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out[v.NullID()] = append(out[v.NullID()], rel.Name+"."+rel.Columns[i].Name)
+			}
+		}
+	}
+	return out
+}
+
+// IsComplete reports whether the database contains no nulls.
+func (d *Database) IsComplete() bool {
+	return len(d.BaseNulls()) == 0 && len(d.NumNulls()) == 0
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	c := New(d.schema)
+	c.nextBaseNull = d.nextBaseNull
+	c.nextNumNull = d.nextNumNull
+	for rel, ts := range d.tables {
+		cp := make([]value.Tuple, len(ts))
+		for i, t := range ts {
+			cp[i] = t.Clone()
+		}
+		c.tables[rel] = cp
+	}
+	return c
+}
+
+// String renders every relation with its tuples, sorted by relation name.
+func (d *Database) String() string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += n + ":\n"
+		for _, t := range d.tables[n] {
+			s += "  " + t.String() + "\n"
+		}
+	}
+	return s
+}

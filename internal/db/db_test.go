@@ -1,0 +1,211 @@
+package db
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("S",
+			schema.Column{Name: "x", Type: schema.Num},
+			schema.Column{Name: "y", Type: schema.Num}),
+	)
+}
+
+func TestInsertValidates(t *testing.T) {
+	d := New(testSchema())
+	if err := d.Insert("Nope", value.Tuple{value.Base("a")}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := d.Insert("R", value.Tuple{value.Base("a")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := d.Insert("R", value.Tuple{value.Num(1), value.Num(2)}); err == nil {
+		t.Error("sort violation accepted")
+	}
+	if err := d.Insert("R", value.Tuple{value.Base("a"), value.Num(2)}); err != nil {
+		t.Errorf("valid insert rejected: %v", err)
+	}
+	if d.Size() != 1 {
+		t.Errorf("size = %d", d.Size())
+	}
+}
+
+func TestInsertIsolatesCallerTuple(t *testing.T) {
+	d := New(testSchema())
+	tup := value.Tuple{value.Base("a"), value.Num(1)}
+	if err := d.Insert("R", tup); err != nil {
+		t.Fatal(err)
+	}
+	tup[0] = value.Base("mutated")
+	if d.Tuples("R")[0][0].Str() != "a" {
+		t.Error("Insert aliases caller's tuple")
+	}
+}
+
+func TestNullAndConstantInventories(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.NullBase(3), value.NullNum(1))
+	d.MustInsert("R", value.Base("a"), value.Num(10))
+	d.MustInsert("S", value.NullNum(1), value.NullNum(4))
+	d.MustInsert("S", value.Num(10), value.Num(-2))
+
+	if got := d.BaseNulls(); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("BaseNulls = %v", got)
+	}
+	if got := d.NumNulls(); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("NumNulls = %v", got)
+	}
+	if got := d.BaseConstants(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("BaseConstants = %v", got)
+	}
+	if got := d.NumConstants(); !reflect.DeepEqual(got, []float64{-2, 10}) {
+		t.Errorf("NumConstants = %v", got)
+	}
+	if d.IsComplete() {
+		t.Error("database with nulls reported complete")
+	}
+}
+
+func TestFreshNullsAvoidExisting(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.NullBase(5), value.NullNum(7))
+	if b := d.FreshBaseNull(); b.NullID() <= 5 {
+		t.Errorf("fresh base null %v collides", b)
+	}
+	if n := d.FreshNumNull(); n.NullID() <= 7 {
+		t.Errorf("fresh num null %v collides", n)
+	}
+	n1, n2 := d.FreshNumNull(), d.FreshNumNull()
+	if n1 == n2 {
+		t.Error("fresh nulls not distinct")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.Base("a"), value.NullNum(0))
+	c := d.Clone()
+	c.MustInsert("R", value.Base("b"), value.Num(1))
+	if d.Size() != 1 || c.Size() != 2 {
+		t.Errorf("sizes after clone-insert: d=%d c=%d", d.Size(), c.Size())
+	}
+	c.Tuples("R")[0][0] = value.Base("z")
+	if d.Tuples("R")[0][0].Str() != "a" {
+		t.Error("Clone shares tuple storage")
+	}
+}
+
+func TestNumNullOccurrences(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.Base("a"), value.NullNum(0))
+	d.MustInsert("R", value.Base("b"), value.NullNum(0)) // same null, same column: one entry
+	d.MustInsert("S", value.NullNum(0), value.NullNum(1))
+	d.MustInsert("S", value.Num(1), value.Num(2))
+
+	occ := d.NumNullOccurrences()
+	if len(occ) != 2 {
+		t.Fatalf("occurrences for %d nulls, want 2: %v", len(occ), occ)
+	}
+	has := func(id int, col string) bool {
+		for _, c := range occ[id] {
+			if c == col {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, "R.x") || !has(0, "S.x") {
+		t.Errorf("⊤0 occurrences = %v", occ[0])
+	}
+	if len(occ[0]) != 2 {
+		t.Errorf("⊤0 should have 2 distinct column occurrences, got %v", occ[0])
+	}
+	if !has(1, "S.y") || len(occ[1]) != 1 {
+		t.Errorf("⊤1 occurrences = %v", occ[1])
+	}
+}
+
+func TestValuationApply(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.NullBase(0), value.NullNum(0))
+	d.MustInsert("S", value.NullNum(0), value.Num(3))
+
+	v := NewValuation()
+	v.Base[0] = "c"
+	v.Num[0] = 2.5
+	cd, err := v.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cd.IsComplete() {
+		t.Error("applied database still has nulls")
+	}
+	r := cd.Tuples("R")[0]
+	if r[0].Str() != "c" || r[1].Float() != 2.5 {
+		t.Errorf("R tuple after valuation: %v", r)
+	}
+	s := cd.Tuples("S")[0]
+	if s[0].Float() != 2.5 || s[1].Float() != 3 {
+		t.Errorf("S tuple after valuation: %v", s)
+	}
+}
+
+func TestValuationUndefined(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.NullBase(0), value.Num(1))
+	v := NewValuation()
+	if _, err := v.Apply(d); err == nil {
+		t.Error("valuation undefined on ⊥0 accepted")
+	}
+	if !strings.Contains(err2(v, d), "⊥0") {
+		t.Errorf("error should mention the null: %q", err2(v, d))
+	}
+}
+
+func err2(v *Valuation, d *Database) string {
+	_, err := v.Apply(d)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestBijectiveBaseValuation(t *testing.T) {
+	d := New(testSchema())
+	d.MustInsert("R", value.NullBase(0), value.Num(1))
+	d.MustInsert("R", value.NullBase(1), value.Num(2))
+	d.MustInsert("R", value.Base("a"), value.NullNum(0))
+
+	v := BijectiveBaseValuation(d)
+	if len(v.Base) != 2 {
+		t.Fatalf("valuation covers %d nulls", len(v.Base))
+	}
+	if v.Base[0] == v.Base[1] {
+		t.Error("valuation not injective")
+	}
+	for _, img := range v.Base {
+		if img == "a" {
+			t.Error("valuation range intersects Cbase(D)")
+		}
+	}
+
+	nd, _ := ApplyBijectiveBase(d)
+	if len(nd.BaseNulls()) != 0 {
+		t.Error("base nulls remain after ApplyBijectiveBase")
+	}
+	if got := nd.NumNulls(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("numerical nulls changed: %v", got)
+	}
+	if nd.Tuples("R")[0][0] == nd.Tuples("R")[1][0] {
+		t.Error("distinct base nulls mapped to the same constant")
+	}
+}

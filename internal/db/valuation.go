@@ -1,0 +1,126 @@
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Valuation interprets the nulls of a database by constants: base nulls by
+// base constants (v_base) and numerical nulls by reals (v_num). This is the
+// pair v = (v_base, v_num) of Section 4 of the paper.
+type Valuation struct {
+	// Base maps base-null IDs to base-type constants.
+	Base map[int]string
+	// Num maps numerical-null IDs to real numbers.
+	Num map[int]float64
+}
+
+// NewValuation returns an empty valuation.
+func NewValuation() *Valuation {
+	return &Valuation{Base: make(map[int]string), Num: make(map[int]float64)}
+}
+
+// Value applies the valuation to a single value: nulls are replaced by
+// their images, constants are returned unchanged. It returns an error if a
+// null has no image.
+func (v *Valuation) Value(x value.Value) (value.Value, error) {
+	switch x.Kind() {
+	case value.BaseNull:
+		s, ok := v.Base[x.NullID()]
+		if !ok {
+			return value.Value{}, fmt.Errorf("db: valuation undefined on ⊥%d", x.NullID())
+		}
+		return value.Base(s), nil
+	case value.NumNull:
+		f, ok := v.Num[x.NullID()]
+		if !ok {
+			return value.Value{}, fmt.Errorf("db: valuation undefined on ⊤%d", x.NullID())
+		}
+		return value.Num(f), nil
+	default:
+		return x, nil
+	}
+}
+
+// Tuple applies the valuation to every component of a tuple.
+func (v *Valuation) Tuple(t value.Tuple) (value.Tuple, error) {
+	out := make(value.Tuple, len(t))
+	for i, x := range t {
+		y, err := v.Value(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Apply produces the complete database v(D): every null replaced by its
+// image under the valuation. It returns an error if any null of D has no
+// image.
+func (v *Valuation) Apply(d *Database) (*Database, error) {
+	out := New(d.schema)
+	for rel, ts := range d.tables {
+		for _, t := range ts {
+			vt, err := v.Tuple(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Insert(rel, vt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// BijectiveBaseValuation returns a valuation of the base nulls of d that is
+// injective and whose range is disjoint from Cbase(D), as required by
+// Proposition 5.2 of the paper ("bijective valuation"): asymptotically
+// almost all base valuations behave like such a valuation, so the measure
+// only depends on the image database under any one of them. Numerical nulls
+// are left uninterpreted.
+func BijectiveBaseValuation(d *Database) *Valuation {
+	existing := make(map[string]bool)
+	for _, c := range d.BaseConstants() {
+		existing[c] = true
+	}
+	v := NewValuation()
+	i := 0
+	for _, id := range d.BaseNulls() {
+		for {
+			cand := fmt.Sprintf("·fresh%d", i)
+			i++
+			if !existing[cand] {
+				existing[cand] = true
+				v.Base[id] = cand
+				break
+			}
+		}
+	}
+	return v
+}
+
+// ApplyBijectiveBase replaces every base null of d with a fresh base
+// constant (per BijectiveBaseValuation) and returns the resulting database,
+// which has numerical nulls only, together with the valuation used.
+func ApplyBijectiveBase(d *Database) (*Database, *Valuation) {
+	v := BijectiveBaseValuation(d)
+	out := New(d.schema)
+	out.nextNumNull = d.nextNumNull
+	for rel, ts := range d.tables {
+		for _, t := range ts {
+			nt := make(value.Tuple, len(t))
+			for i, x := range t {
+				if x.Kind() == value.BaseNull {
+					nt[i] = value.Base(v.Base[x.NullID()])
+				} else {
+					nt[i] = x
+				}
+			}
+			out.tables[rel] = append(out.tables[rel], nt)
+		}
+	}
+	return out, v
+}

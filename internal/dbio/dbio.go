@@ -1,0 +1,214 @@
+// Package dbio persists incomplete databases as a directory of CSV files
+// (one per relation) plus a schema manifest, with an ASCII encoding for
+// marked nulls: _B<i> for base nulls ⊥i and _N<i> for numerical nulls ⊤i.
+// This is how the command-line tools exchange the synthetic datasets of
+// the experiments.
+package dbio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+const schemaFile = "schema.txt"
+
+// Save writes the database into dir (created if missing): schema.txt plus
+// <Relation>.csv per relation with a header row of column names.
+func Save(d *db.Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	var manifest strings.Builder
+	for _, rel := range d.Schema().Relations() {
+		manifest.WriteString(rel.Name)
+		for _, c := range rel.Columns {
+			fmt.Fprintf(&manifest, " %s:%s", c.Name, c.Type)
+		}
+		manifest.WriteByte('\n')
+		if err := saveRelation(d, rel, dir); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, schemaFile), []byte(manifest.String()), 0o644); err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	return nil
+}
+
+func saveRelation(d *db.Database, rel *schema.Relation, dir string) error {
+	f, err := os.Create(filepath.Join(dir, rel.Name+".csv"))
+	if err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
+		header[i] = c.Name
+	}
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	row := make([]string, len(rel.Columns))
+	for _, t := range d.Tuples(rel.Name) {
+		for i, v := range t {
+			row[i] = encode(v)
+		}
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("dbio: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a database previously written by Save.
+func Load(dir string) (*db.Database, error) {
+	manifest, err := os.ReadFile(filepath.Join(dir, schemaFile))
+	if err != nil {
+		return nil, fmt.Errorf("dbio: %w", err)
+	}
+	var rels []*schema.Relation
+	for ln, line := range strings.Split(strings.TrimSpace(string(manifest)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dbio: schema line %d malformed: %q", ln+1, line)
+		}
+		cols := make([]schema.Column, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			name, typ, ok := strings.Cut(f, ":")
+			if !ok {
+				return nil, fmt.Errorf("dbio: schema line %d: bad column %q", ln+1, f)
+			}
+			var ct schema.ColType
+			switch typ {
+			case "base":
+				ct = schema.Base
+			case "num":
+				ct = schema.Num
+			default:
+				return nil, fmt.Errorf("dbio: schema line %d: unknown type %q", ln+1, typ)
+			}
+			cols = append(cols, schema.Column{Name: name, Type: ct})
+		}
+		rel, err := schema.NewRelation(fields[0], cols...)
+		if err != nil {
+			return nil, fmt.Errorf("dbio: %w", err)
+		}
+		rels = append(rels, rel)
+	}
+	s, err := schema.New(rels...)
+	if err != nil {
+		return nil, fmt.Errorf("dbio: %w", err)
+	}
+	d := db.New(s)
+	for _, rel := range rels {
+		if err := loadRelation(d, rel, dir); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func loadRelation(d *db.Database, rel *schema.Relation, dir string) error {
+	f, err := os.Open(filepath.Join(dir, rel.Name+".csv"))
+	if err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	records, err := r.ReadAll()
+	if err != nil {
+		return fmt.Errorf("dbio: %s: %w", rel.Name, err)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("dbio: %s.csv missing header", rel.Name)
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != rel.Arity() {
+			return fmt.Errorf("dbio: %s.csv row %d has %d fields, want %d", rel.Name, i+2, len(rec), rel.Arity())
+		}
+		tup := make(value.Tuple, len(rec))
+		for j, s := range rec {
+			v, err := decode(s, rel.Columns[j].Type)
+			if err != nil {
+				return fmt.Errorf("dbio: %s.csv row %d col %s: %w", rel.Name, i+2, rel.Columns[j].Name, err)
+			}
+			tup[j] = v
+		}
+		if err := d.Insert(rel.Name, tup); err != nil {
+			return fmt.Errorf("dbio: %w", err)
+		}
+	}
+	return nil
+}
+
+// nullID extracts i from "_B<i>" / "_N<i>"; ok is false when the text is
+// not exactly of that shape.
+func nullID(s, prefix string) (int, bool) {
+	rest, found := strings.CutPrefix(s, prefix)
+	if !found || rest == "" {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// encode renders a value. Base constants beginning with an underscore are
+// escaped with one extra underscore so that the null syntax stays
+// unambiguous.
+func encode(v value.Value) string {
+	switch v.Kind() {
+	case value.BaseNull:
+		return "_B" + strconv.Itoa(v.NullID())
+	case value.NumNull:
+		return "_N" + strconv.Itoa(v.NullID())
+	case value.NumConst:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	default:
+		s := v.Str()
+		if strings.HasPrefix(s, "_") {
+			return "_" + s
+		}
+		return s
+	}
+}
+
+func decode(s string, t schema.ColType) (value.Value, error) {
+	if t == schema.Num {
+		if id, ok := nullID(s, "_N"); ok {
+			return value.NullNum(id), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad number %q", s)
+		}
+		return value.Num(f), nil
+	}
+	if id, ok := nullID(s, "_B"); ok {
+		return value.NullBase(id), nil
+	}
+	if strings.HasPrefix(s, "__") {
+		return value.Base(s[1:]), nil
+	}
+	if strings.HasPrefix(s, "_") {
+		// An escaped literal always has a doubled underscore; a single one
+		// can only be produced by hand-edited files. Accept it verbatim.
+		return value.Base(s), nil
+	}
+	return value.Base(s), nil
+}

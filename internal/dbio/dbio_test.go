@@ -1,0 +1,112 @@
+package dbio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func roundtripSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("Empty",
+			schema.Column{Name: "y", Type: schema.Num}),
+	)
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := db.New(roundtripSchema())
+	d.MustInsert("R", value.Base("plain"), value.Num(3.5))
+	d.MustInsert("R", value.NullBase(2), value.NullNum(7))
+	d.MustInsert("R", value.Base("_B2"), value.Num(-1e9))      // collides with null syntax
+	d.MustInsert("R", value.Base("_underscore"), value.Num(0)) // leading underscore
+	d.MustInsert("R", value.Base("has,comma \"q\""), value.Num(2.25))
+
+	dir := t.TempDir()
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != d.Size() {
+		t.Fatalf("size %d != %d", back.Size(), d.Size())
+	}
+	orig, got := d.Tuples("R"), back.Tuples("R")
+	for i := range orig {
+		if !orig[i].Equal(got[i]) {
+			t.Errorf("row %d: %v != %v", i, got[i], orig[i])
+		}
+	}
+	if len(back.Tuples("Empty")) != 0 {
+		t.Error("empty relation gained tuples")
+	}
+	if got := back.Schema().String(); got != d.Schema().String() {
+		t.Errorf("schema mismatch:\n%s\nvs\n%s", got, d.Schema())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("schema.txt", "R a:base x:num\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("missing relation CSV accepted")
+	}
+	write("R.csv", "a,x\nc,notanumber\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("malformed number accepted")
+	}
+	write("R.csv", "a,x\nc\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("short row accepted")
+	}
+	write("R.csv", "")
+	if _, err := Load(dir); err == nil {
+		t.Error("headerless CSV accepted")
+	}
+
+	write("schema.txt", "R a:float\n")
+	write("R.csv", "a\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("unknown column type accepted")
+	}
+	write("schema.txt", "justaname\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("column-free schema line accepted")
+	}
+}
+
+func TestNullEncodingInNumColumn(t *testing.T) {
+	d := db.New(roundtripSchema())
+	d.MustInsert("Empty", value.NullNum(0))
+	d.MustInsert("Empty", value.Num(12))
+	dir := t.TempDir()
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := back.Tuples("Empty")
+	if rows[0][0] != value.NullNum(0) || rows[1][0] != value.Num(12) {
+		t.Errorf("rows = %v", rows)
+	}
+}

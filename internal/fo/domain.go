@@ -1,0 +1,248 @@
+package fo
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/poly"
+	"repro/internal/value"
+)
+
+// Real is the numeric domain of ordinary real arithmetic (float64), used
+// when evaluating queries over complete databases.
+type Real struct{}
+
+// FromConst returns x itself.
+func (Real) FromConst(x float64) float64 { return x }
+
+// Add returns a + b.
+func (Real) Add(a, b float64) float64 { return a + b }
+
+// Mul returns a · b.
+func (Real) Mul(a, b float64) float64 { return a * b }
+
+// Cmp compares two reals.
+func (Real) Cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Asym is the numeric domain of "asymptotic reals": values are univariate
+// polynomials in the ray parameter k, ordered by the sign of the leading
+// coefficient of their difference. A numerical null ⊤i interpreted along
+// direction a is the value k·a_i, i.e. the polynomial poly.Uni{0, a_i};
+// a constant c is poly.Uni{c}. Comparisons under this domain decide the
+// *eventual* truth of arithmetic atoms along the ray (Lemma 8.4).
+type Asym struct {
+	// Tol treats leading coefficients with |c| ≤ Tol as zero, guarding
+	// against floating-point cancellation in sampled directions.
+	Tol float64
+}
+
+// FromConst returns the constant polynomial x.
+func (Asym) FromConst(x float64) poly.Uni {
+	if x == 0 {
+		return poly.Uni{}
+	}
+	return poly.Uni{x}
+}
+
+// Add returns a + b.
+func (Asym) Add(a, b poly.Uni) poly.Uni { return a.Add(b) }
+
+// Mul returns a · b.
+func (Asym) Mul(a, b poly.Uni) poly.Uni { return a.Mul(b) }
+
+// Cmp compares by the asymptotic sign of a - b.
+func (d Asym) Cmp(a, b poly.Uni) int { return a.Sub(b).AsymptoticSign(d.Tol) }
+
+// RayValue returns the asymptotic value k·ai of a null with direction
+// coefficient ai.
+func RayValue(ai float64) poly.Uni {
+	if ai == 0 {
+		return poly.Uni{}
+	}
+	return poly.Uni{0, ai}
+}
+
+// Direction assigns a direction coefficient a_i to every numerical null ID
+// of a database; it is one sampled point of the unit ball in the AFPRAS.
+type Direction map[int]float64
+
+// FromDirection prepares an incomplete database for asymptotic evaluation
+// along the given direction. Base nulls are interpreted by a bijective
+// valuation (Prop 5.2): each ⊥i becomes a reserved fresh constant distinct
+// from every base constant of the database. Numerical nulls ⊤i become the
+// asymptotic values k·a_i. The active numerical domain is
+// Cnum(D) ∪ Nnum(D), per the translation of Prop 5.3.
+func FromDirection(d *db.Database, dir Direction, tol float64) (*Instance[poly.Uni], error) {
+	dom := Asym{Tol: tol}
+	inst := &Instance[poly.Uni]{dom: dom, rels: make(map[string][][]Cell[poly.Uni])}
+	for _, id := range d.NumNulls() {
+		if _, ok := dir[id]; !ok {
+			return nil, evalErrf("direction undefined on numerical null ⊤%d", id)
+		}
+	}
+	for _, rel := range d.Schema().Relations() {
+		rows := make([][]Cell[poly.Uni], 0, len(d.Tuples(rel.Name)))
+		for _, t := range d.Tuples(rel.Name) {
+			row := make([]Cell[poly.Uni], len(t))
+			for i, v := range t {
+				c, err := cellForValue(v, dir)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = c
+			}
+			rows = append(rows, row)
+		}
+		inst.rels[rel.Name] = rows
+	}
+	inst.baseDomain = d.BaseConstants()
+	for _, id := range d.BaseNulls() {
+		inst.baseDomain = append(inst.baseDomain, FreshBaseName(id))
+	}
+	for _, x := range d.NumConstants() {
+		inst.numDomain = append(inst.numDomain, dom.FromConst(x))
+	}
+	for _, id := range d.NumNulls() {
+		inst.numDomain = append(inst.numDomain, RayValue(dir[id]))
+	}
+	return inst, nil
+}
+
+// FreshBaseName is the reserved base constant interpreting base null ⊥id
+// under the built-in bijective valuation. The NUL prefix keeps it disjoint
+// from any realistic user constant.
+func FreshBaseName(id int) string { return fmt.Sprintf("\x00⊥%d", id) }
+
+// cellForValue converts a database value into an asymptotic cell.
+func cellForValue(v value.Value, dir Direction) (Cell[poly.Uni], error) {
+	switch v.Kind() {
+	case value.BaseConst:
+		return BaseCell[poly.Uni](v.Str()), nil
+	case value.BaseNull:
+		return BaseCell[poly.Uni](FreshBaseName(v.NullID())), nil
+	case value.NumConst:
+		return NumCell(Asym{}.FromConst(v.Float())), nil
+	case value.NumNull:
+		a, ok := dir[v.NullID()]
+		if !ok {
+			return Cell[poly.Uni]{}, evalErrf("direction undefined on ⊤%d", v.NullID())
+		}
+		return NumCell(RayValue(a)), nil
+	}
+	return Cell[poly.Uni]{}, evalErrf("unknown value kind")
+}
+
+// DirTemplate is a reusable asymptotic instance for repeated direction
+// sampling: it is built once from the database and mutated in place by
+// SetDirection, avoiding a full instance rebuild per Monte-Carlo sample.
+// This is the workhorse of the "direct" AFPRAS path.
+type DirTemplate struct {
+	inst      *Instance[poly.Uni]
+	nullCells map[int][]*Cell[poly.Uni]
+	nullIDs   []int
+	domainIdx []domainSlot
+}
+
+// NewDirTemplate prepares the template. All numerical nulls start at
+// direction 0; call SetDirection before evaluating.
+func NewDirTemplate(d *db.Database, tol float64) (*DirTemplate, error) {
+	dom := Asym{Tol: tol}
+	t := &DirTemplate{
+		inst:      &Instance[poly.Uni]{dom: dom, rels: make(map[string][][]Cell[poly.Uni])},
+		nullCells: make(map[int][]*Cell[poly.Uni]),
+		nullIDs:   d.NumNulls(),
+	}
+	zero := Direction{}
+	for _, id := range t.nullIDs {
+		zero[id] = 0
+	}
+	for _, rel := range d.Schema().Relations() {
+		rows := make([][]Cell[poly.Uni], 0, len(d.Tuples(rel.Name)))
+		for _, tup := range d.Tuples(rel.Name) {
+			row := make([]Cell[poly.Uni], len(tup))
+			for i, v := range tup {
+				c, err := cellForValue(v, zero)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = c
+				if v.Kind() == value.NumNull {
+					t.nullCells[v.NullID()] = append(t.nullCells[v.NullID()], &row[i])
+				}
+			}
+			rows = append(rows, row)
+		}
+		t.inst.rels[rel.Name] = rows
+	}
+	t.inst.baseDomain = d.BaseConstants()
+	for _, id := range d.BaseNulls() {
+		t.inst.baseDomain = append(t.inst.baseDomain, FreshBaseName(id))
+	}
+	for _, x := range d.NumConstants() {
+		t.inst.numDomain = append(t.inst.numDomain, dom.FromConst(x))
+	}
+	for _, id := range t.nullIDs {
+		t.inst.numDomain = append(t.inst.numDomain, RayValue(0))
+		t.domainIdx = append(t.domainIdx, domainSlot{id: id, idx: len(t.inst.numDomain) - 1})
+	}
+	return t, nil
+}
+
+// domainSlot records which numDomain entry belongs to which null.
+type domainSlot struct {
+	id  int
+	idx int
+}
+
+// SetDirection updates every occurrence of each numerical null to the
+// asymptotic value k·dir[id].
+func (t *DirTemplate) SetDirection(dir Direction) error {
+	for _, id := range t.nullIDs {
+		a, ok := dir[id]
+		if !ok {
+			return evalErrf("direction undefined on ⊤%d", id)
+		}
+		rv := RayValue(a)
+		for _, c := range t.nullCells[id] {
+			c.Num = rv
+		}
+	}
+	for _, s := range t.domainIdx {
+		t.inst.numDomain[s.idx] = RayValue(dir[s.id])
+	}
+	return nil
+}
+
+// Instance returns the underlying instance for evaluation. The instance is
+// mutated by SetDirection; do not retain results across calls.
+func (t *DirTemplate) Instance() *Instance[poly.Uni] { return t.inst }
+
+// NullIDs returns the numerical null IDs of the template's database.
+func (t *DirTemplate) NullIDs() []int { return t.nullIDs }
+
+// CellForAnswerValue converts a component of a candidate answer tuple into
+// an asymptotic cell (same conventions as FromDirection).
+func CellForAnswerValue(v value.Value, dir Direction) (Cell[poly.Uni], error) {
+	return cellForValue(v, dir)
+}
+
+// CellForCompleteValue converts a constant value into a float64 cell,
+// erroring on nulls.
+func CellForCompleteValue(v value.Value) (Cell[float64], error) {
+	switch v.Kind() {
+	case value.BaseConst:
+		return BaseCell[float64](v.Str()), nil
+	case value.NumConst:
+		return NumCell(v.Float()), nil
+	}
+	return Cell[float64]{}, evalErrf("CellForCompleteValue on null %v", v)
+}

@@ -1,0 +1,274 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func evalSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("S",
+			schema.Column{Name: "x", Type: schema.Num},
+			schema.Column{Name: "y", Type: schema.Num}),
+	)
+}
+
+func completeDB() *db.Database {
+	d := db.New(evalSchema())
+	d.MustInsert("R", value.Base("a"), value.Num(5))
+	d.MustInsert("R", value.Base("b"), value.Num(3))
+	d.MustInsert("S", value.Num(5), value.Num(2))
+	d.MustInsert("S", value.Num(3), value.Num(9))
+	return d
+}
+
+func evalBool(t *testing.T, src string, d *db.Database) bool {
+	t.Helper()
+	q := MustParseQuery(src)
+	if err := Typecheck(q, d.Schema()); err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	inst, err := FromComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(q, inst, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return got
+}
+
+func TestEvalCompleteBoolean(t *testing.T) {
+	d := completeDB()
+	cases := map[string]bool{
+		`q() := exists a:base, x:num . (R(a, x) and x > 4)`:         true,
+		`q() := exists a:base, x:num . (R(a, x) and x > 5)`:         false,
+		`q() := forall x:num, y:num . (S(x, y) -> x + y >= 7)`:      true,
+		`q() := forall x:num, y:num . (S(x, y) -> x > y)`:           false,
+		`q() := exists x:num, y:num . (S(x, y) and y = x * x - 16)`: false, // no S pair satisfies y = x²-16
+		`q() := exists x:num, y:num . (S(x, y) and y = x * x - 23)`: true,  // S(5,2): 25-23=2
+		`q() := exists a:base . (R(a, 5) and a == "a")`:             true,
+		`q() := exists a:base . (R(a, 5) and a == "b")`:             false,
+		`q() := exists x:num . (S(x, 9) and x = 3)`:                 true,
+		`q() := true`:  true,
+		`q() := false`: false,
+	}
+	for src, want := range cases {
+		if got := evalBool(t, src, d); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalWithFreeVariables(t *testing.T) {
+	d := completeDB()
+	q := MustParseQuery(`q(a:base) := exists x:num . (R(a, x) and x > 4)`)
+	inst, err := FromComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(q, inst, []Cell[float64]{BaseCell[float64]("a")})
+	if err != nil || !got {
+		t.Errorf(`q("a") = %v, %v; want true`, got, err)
+	}
+	got, err = Eval(q, inst, []Cell[float64]{BaseCell[float64]("b")})
+	if err != nil || got {
+		t.Errorf(`q("b") = %v, %v; want false`, got, err)
+	}
+	// Wrong arity and wrong sort are reported.
+	if _, err := Eval(q, inst, nil); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if _, err := Eval(q, inst, []Cell[float64]{NumCell(1.0)}); err == nil {
+		t.Error("numeric argument for base variable accepted")
+	}
+}
+
+func TestEvalActiveDomainSemantics(t *testing.T) {
+	// Quantifiers range over the active domain only: a constant mentioned in
+	// the query but absent from the database is not a witness.
+	d := completeDB()
+	if evalBool(t, `q() := exists x:num . x = 100`, d) {
+		t.Error("∃x.x=100 true although 100 not in active domain")
+	}
+	inst, _ := FromComplete(d)
+	inst.AddNumDomain(100)
+	q := MustParseQuery(`q() := exists x:num . x = 100`)
+	got, _ := Eval(q, inst, nil)
+	if !got {
+		t.Error("extended domain ignored")
+	}
+	// AddNumDomain deduplicates.
+	n := len(inst.NumDomain())
+	inst.AddNumDomain(100)
+	if len(inst.NumDomain()) != n {
+		t.Error("AddNumDomain duplicated an element")
+	}
+}
+
+func TestFromCompleteRejectsNulls(t *testing.T) {
+	d := completeDB()
+	d.MustInsert("R", value.Base("c"), value.NullNum(0))
+	if _, err := FromComplete(d); err == nil {
+		t.Error("FromComplete accepted a database with nulls")
+	}
+}
+
+// TestAsymMatchesLargeK is the core consistency property behind the AFPRAS:
+// evaluating a query under the asymptotic domain along direction a agrees
+// with ordinary evaluation on the complete database v(D) where every null
+// ⊤i is replaced by K·a_i, for K large enough.
+func TestAsymMatchesLargeK(t *testing.T) {
+	s := evalSchema()
+	queries := []string{
+		`q() := exists a:base, x:num . (R(a, x) and x > 4)`,
+		`q() := forall x:num, y:num . (S(x, y) -> x + y >= 0)`,
+		`q() := exists x:num, y:num . (S(x, y) and x * y > x + y)`,
+		`q() := exists x:num, y:num . (S(x, y) and x < y)`,
+		`q() := forall x:num, y:num . (S(x, y) -> not (x = y))`,
+		`q() := exists x:num . (S(x, x))`,
+	}
+	rng := rand.New(rand.NewSource(7))
+	const bigK = 1e7
+	for trial := 0; trial < 60; trial++ {
+		d := db.New(s)
+		// Random small incomplete database with 3 numerical nulls.
+		nulls := []value.Value{value.NullNum(0), value.NullNum(1), value.NullNum(2)}
+		randNumVal := func() value.Value {
+			if rng.Intn(2) == 0 {
+				return nulls[rng.Intn(len(nulls))]
+			}
+			return value.Num(float64(rng.Intn(7) - 3))
+		}
+		for i := 0; i < 3; i++ {
+			d.MustInsert("R", value.Base(string(rune('a'+rng.Intn(3)))), randNumVal())
+			d.MustInsert("S", randNumVal(), randNumVal())
+		}
+		dir := Direction{}
+		a := make(map[int]float64)
+		for _, id := range d.NumNulls() {
+			v := rng.NormFloat64()
+			dir[id] = v
+			a[id] = v
+		}
+		for _, src := range queries {
+			q := MustParseQuery(src)
+			if err := Typecheck(q, s); err != nil {
+				t.Fatal(err)
+			}
+			inst, err := FromDirection(d, dir, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asym, err := Eval(q, inst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Complete database at K·a.
+			val := db.NewValuation()
+			for id, ai := range a {
+				val.Num[id] = bigK * ai
+			}
+			cd, err := val.Apply(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cinst, err := FromComplete(cd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			concrete, err := Eval(q, cinst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if asym != concrete {
+				t.Errorf("trial %d query %s: asym=%v concrete(K=%g)=%v\nDB:\n%s dir=%v",
+					trial, src, asym, bigK, concrete, d, dir)
+			}
+		}
+	}
+}
+
+// TestDirTemplateMatchesFromDirection: the mutable template must evaluate
+// identically to a freshly built instance for every direction — it is the
+// hot path of the direct AFPRAS, and in-place mutation bugs would silently
+// skew measures.
+func TestDirTemplateMatchesFromDirection(t *testing.T) {
+	s := evalSchema()
+	d := db.New(s)
+	d.MustInsert("R", value.Base("a"), value.NullNum(0))
+	d.MustInsert("S", value.NullNum(0), value.NullNum(1))
+	d.MustInsert("S", value.NullNum(2), value.Num(4))
+	d.MustInsert("R", value.NullBase(0), value.NullNum(2))
+
+	queries := []*Query{
+		MustParseQuery(`q() := exists x:num, y:num . (S(x, y) and x > y)`),
+		MustParseQuery(`q() := forall x:num, y:num . (S(x, y) -> x * y < x + y)`),
+		MustParseQuery(`q() := exists a:base, x:num . (R(a, x) and x > 0 and not (a == "a"))`),
+	}
+	tmpl, err := NewDirTemplate(d, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 100; trial++ {
+		dir := Direction{}
+		for _, id := range d.NumNulls() {
+			dir[id] = rng.NormFloat64()
+		}
+		if err := tmpl.SetDirection(dir); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := FromDirection(d, dir, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			a, err := Eval(q, tmpl.Instance(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Eval(q, fresh, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("trial %d, %s: template=%v fresh=%v dir=%v", trial, q, a, b, dir)
+			}
+		}
+	}
+	// Missing direction entries are reported.
+	if err := tmpl.SetDirection(Direction{}); err == nil {
+		t.Error("incomplete direction accepted")
+	}
+}
+
+func TestCollectConstants(t *testing.T) {
+	q := MustParseQuery(`q() := exists a:base . (R(a, 2 + 3) and a == "seg" and R("x", -1.5))`)
+	bases, nums := CollectConstants(q)
+	wantB := map[string]bool{"seg": true, "x": true}
+	for _, b := range bases {
+		if !wantB[b] {
+			t.Errorf("unexpected base constant %q", b)
+		}
+		delete(wantB, b)
+	}
+	if len(wantB) > 0 {
+		t.Errorf("missing base constants: %v", wantB)
+	}
+	sum := 0.0
+	for _, n := range nums {
+		sum += n
+	}
+	if len(nums) != 3 || sum != 3.5 {
+		t.Errorf("nums = %v", nums)
+	}
+}

@@ -1,0 +1,105 @@
+package fo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted base constant
+	tokSymbol // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int // byte offset in input, for error messages
+}
+
+// symbols, longest first so that the lexer is greedy.
+var symbols = []string{
+	":=", "->", "==", "!=", "<=", ">=",
+	"<", ">", "=", "+", "-", "*", "/", "(", ")", ",", ".", ":",
+}
+
+// lex splits the input into tokens. It returns a descriptive error with a
+// byte offset on any malformed input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+outer:
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+			continue
+		case c == '#': // comment to end of line
+			for i < n && input[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '"':
+			j := i + 1
+			for j < n && input[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("fo: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+			continue
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' ||
+				input[j] == 'e' || input[j] == 'E' ||
+				(j > i && (input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			text := input[i:j]
+			// A trailing '.' belongs to the formula syntax (quantifier dot),
+			// not the number, unless followed by a digit.
+			if strings.HasSuffix(text, ".") {
+				text = text[:len(text)-1]
+				j--
+			}
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fo: bad number %q at offset %d", text, i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: f, pos: i})
+			i = j
+			continue
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+			continue
+		default:
+			for _, s := range symbols {
+				if strings.HasPrefix(input[i:], s) {
+					toks = append(toks, token{kind: tokSymbol, text: s, pos: i})
+					i += len(s)
+					continue outer
+				}
+			}
+			return nil, fmt.Errorf("fo: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

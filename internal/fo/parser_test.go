@@ -1,0 +1,200 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIntroQuery(t *testing.T) {
+	// The introduction's competitive-advantage query.
+	src := `
+	q(s:base) := forall i:base, r:num, d:num, i2:base, p:num .
+	    (P(i, s, r, d) and not E(i, s) and C(i2, s, p))
+	    -> (r * d <= p and r >= 0 and d >= 0 and p >= 0)
+	`
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "q" || len(q.Free) != 1 || q.Free[0] != (FreeVar{"s", SortBase}) {
+		t.Errorf("head parsed wrong: %v %v", q.Name, q.Free)
+	}
+	// Five nested universal quantifiers.
+	f := q.Body
+	for i := 0; i < 5; i++ {
+		fa, ok := f.(Forall)
+		if !ok {
+			t.Fatalf("expected 5 nested foralls, got %T at depth %d", f, i)
+		}
+		f = fa.Body
+	}
+	if _, ok := f.(Implies); !ok {
+		t.Fatalf("expected implication under quantifiers, got %T", f)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parsing the String rendering yields the same rendering (fixpoint).
+	srcs := []string{
+		`q() := exists x:num, y:num . (R(x, y) and x > y)`,
+		`sel(a:base) := exists v:num . (R(a, v) and v * 0.5 + 1 <= 10)`,
+		`b() := forall x:num . (S(x) -> x >= 0) or exists y:num . S(y)`,
+		`c() := exists x:base . (x == "seg1" and not T(x))`,
+		`d() := exists x:num . (x != 3 and -x < 2 and x - 1 > 0)`,
+	}
+	for _, src := range srcs {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := ParseQuery(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("not a fixpoint:\n  %s\n  %s", q1, q2)
+		}
+	}
+}
+
+func TestParseDivision(t *testing.T) {
+	q, err := ParseQuery(`q() := exists x:num . x / 4 > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x/4 becomes x * 0.25
+	ex := q.Body.(Exists)
+	cmp := ex.Body.(Cmp)
+	mul, ok := cmp.L.(Mul)
+	if !ok {
+		t.Fatalf("division not rewritten: %T", cmp.L)
+	}
+	if c, ok := mul.R.(NumConst); !ok || c.Value != 0.25 {
+		t.Errorf("1/4 = %v", mul.R)
+	}
+	if _, err := ParseQuery(`q() := exists x:num, y:num . x / y > 1`); err == nil {
+		t.Error("division by variable accepted")
+	}
+	if _, err := ParseQuery(`q() := exists x:num . x / 0 > 1`); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := MustParseQuery(`q() := exists x:num . x * 2 + 1 < 7`)
+	cmp := q.Body.(Exists).Body.(Cmp)
+	// (x*2) + 1, not x*(2+1)
+	add, ok := cmp.L.(Add)
+	if !ok {
+		t.Fatalf("top of LHS should be Add, got %T", cmp.L)
+	}
+	if _, ok := add.L.(Mul); !ok {
+		t.Errorf("Mul should bind tighter than Add: %v", add)
+	}
+
+	// and binds tighter than or; -> is weakest and right-associative.
+	q2 := MustParseQuery(`q() := true and false or true -> false -> true`)
+	imp, ok := q2.Body.(Implies)
+	if !ok {
+		t.Fatalf("top should be Implies, got %T", q2.Body)
+	}
+	if _, ok := imp.L.(Or); !ok {
+		t.Errorf("LHS of -> should be Or, got %T", imp.L)
+	}
+	if _, ok := imp.R.(Implies); !ok {
+		t.Errorf("-> should be right-associative, got %T", imp.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`q( := true`,
+		`q() := `,
+		`q(x:int) := true`,
+		`q() := R(x`,
+		`q() := exists x . true`,   // missing sort
+		`q() := exists x:num true`, // missing dot
+		`q() := x <`,
+		`q() := "unterminated`,
+		`q() := true extra`,
+		`q() := exists and:num . true`, // keyword as variable
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := ParseQuery("q() := true # trailing comment\n# whole line\n and false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Body.(And); !ok {
+		t.Errorf("comment swallowed formula: %v", q.Body)
+	}
+}
+
+func TestFreeVarsAndFragments(t *testing.T) {
+	q := MustParseQuery(`q(s:base) := exists p:num . (R(s, p) and p > 0)`)
+	fv := FreeVars(q.Body)
+	if len(fv) != 1 || fv[0] != "s" {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	if !IsConjunctive(q.Body) {
+		t.Error("CQ misclassified")
+	}
+	q2 := MustParseQuery(`q() := forall x:num . R(x, x)`)
+	if IsConjunctive(q2.Body) {
+		t.Error("∀ classified conjunctive")
+	}
+
+	a := Arithmetic(MustParseQuery(`q() := exists x:num, y:num . x * y < 1`).Body)
+	if !a.UsesMul || !a.UsesOrder {
+		t.Errorf("arithmetic = %+v", a)
+	}
+	a2 := Arithmetic(MustParseQuery(`q() := exists x:num . x * 2 + 1 = 3`).Body)
+	if a2.UsesMul {
+		t.Error("constant multiplication counted as Mul")
+	}
+	if !a2.UsesAdd {
+		t.Error("addition missed")
+	}
+	a3 := Arithmetic(MustParseQuery(`q() := exists x:num, y:num . x < y`).Body)
+	if a3.UsesAdd || a3.UsesMul || !a3.UsesOrder {
+		t.Errorf("order-only query misclassified: %+v", a3)
+	}
+}
+
+func TestCountQuantifiers(t *testing.T) {
+	cases := map[string][2]int{
+		`q() := true`:                                               {0, 0},
+		`q() := exists a:base, x:num . R(a, x)`:                     {1, 1},
+		`q() := forall x:num . (S(x) -> exists y:num . S(y))`:       {0, 2},
+		`q() := not exists a:base . (T(a) or exists b:base . T(b))`: {2, 0},
+		`q() := (exists x:num . S(x)) and (forall y:num . S(y))`:    {0, 2},
+	}
+	for src, want := range cases {
+		q := MustParseQuery(src)
+		b, n := CountQuantifiers(q.Body)
+		if b != want[0] || n != want[1] {
+			t.Errorf("%s: (%d, %d), want (%d, %d)", src, b, n, want[0], want[1])
+		}
+	}
+}
+
+func TestParseNumberWithQuantifierDot(t *testing.T) {
+	// "2." must not eat the quantifier dot.
+	if _, err := ParseQuery(`q() := exists x:num . x > 2`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`q() := exists x:num . x > 2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "2.5") {
+		t.Errorf("decimal lost: %s", q)
+	}
+}

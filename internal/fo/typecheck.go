@@ -1,0 +1,187 @@
+package fo
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// TypeError reports a sort or arity violation found during typechecking.
+type TypeError struct {
+	Msg string
+}
+
+func (e *TypeError) Error() string { return "fo: " + e.Msg }
+
+func typeErrf(format string, args ...any) error {
+	return &TypeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Typecheck validates a query against a schema: every variable must be
+// bound exactly once (by a quantifier or the query head), relation atoms
+// must match the schema's arities and column sorts, numerical operators
+// must apply to numerical terms only, and base equality to base terms only.
+func Typecheck(q *Query, s *schema.Schema) error {
+	env := make(map[string]Sort, len(q.Free))
+	for _, fv := range q.Free {
+		if _, dup := env[fv.Name]; dup {
+			return typeErrf("duplicate free variable %s", fv.Name)
+		}
+		env[fv.Name] = fv.Sort
+	}
+	return checkFormula(q.Body, s, env)
+}
+
+func checkFormula(f Formula, s *schema.Schema, env map[string]Sort) error {
+	switch x := f.(type) {
+	case True, False:
+		return nil
+	case Atom:
+		rel := s.Relation(x.Rel)
+		if rel == nil {
+			return typeErrf("unknown relation %s", x.Rel)
+		}
+		if len(x.Args) != rel.Arity() {
+			return typeErrf("relation %s expects %d arguments, got %d",
+				x.Rel, rel.Arity(), len(x.Args))
+		}
+		for i, a := range x.Args {
+			want := SortBase
+			if rel.Columns[i].Type == schema.Num {
+				want = SortNum
+			}
+			got, err := termSort(a, env)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return typeErrf("argument %d of %s: column %s is %s-typed, term %s is %s",
+					i+1, x.Rel, rel.Columns[i].Name, want, a, got)
+			}
+			if want == SortBase {
+				if err := checkBaseTermShape(a); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case BaseEq:
+		for _, t := range []Term{x.L, x.R} {
+			srt, err := termSort(t, env)
+			if err != nil {
+				return err
+			}
+			if srt != SortBase {
+				return typeErrf("base equality applied to %s-sorted term %s", srt, t)
+			}
+			if err := checkBaseTermShape(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Cmp:
+		for _, t := range []Term{x.L, x.R} {
+			srt, err := termSort(t, env)
+			if err != nil {
+				return err
+			}
+			if srt != SortNum {
+				return typeErrf("comparison %s applied to %s-sorted term %s", x.Op, srt, t)
+			}
+		}
+		return nil
+	case Not:
+		return checkFormula(x.F, s, env)
+	case And:
+		if err := checkFormula(x.L, s, env); err != nil {
+			return err
+		}
+		return checkFormula(x.R, s, env)
+	case Or:
+		if err := checkFormula(x.L, s, env); err != nil {
+			return err
+		}
+		return checkFormula(x.R, s, env)
+	case Implies:
+		if err := checkFormula(x.L, s, env); err != nil {
+			return err
+		}
+		return checkFormula(x.R, s, env)
+	case Exists:
+		return checkQuantifier(x.Var, x.Sort, x.Body, s, env)
+	case Forall:
+		return checkQuantifier(x.Var, x.Sort, x.Body, s, env)
+	default:
+		return typeErrf("unknown formula node %T", f)
+	}
+}
+
+func checkQuantifier(name string, srt Sort, body Formula, s *schema.Schema, env map[string]Sort) error {
+	if _, shadow := env[name]; shadow {
+		return typeErrf("variable %s shadows an enclosing binding", name)
+	}
+	env[name] = srt
+	err := checkFormula(body, s, env)
+	delete(env, name)
+	return err
+}
+
+// checkBaseTermShape rejects arithmetic applied in base positions
+// (the sort checker catches sorts; this catches Add over two Vars that the
+// environment says are base — impossible by termSort — so the only shapes
+// allowed in base positions are Var and BaseConst).
+func checkBaseTermShape(t Term) error {
+	switch t.(type) {
+	case Var, BaseConst:
+		return nil
+	default:
+		return typeErrf("term %s cannot appear in a base-typed position", t)
+	}
+}
+
+// termSort infers the sort of a term under the environment. Arithmetic
+// nodes force the numerical sort on all operands.
+func termSort(t Term, env map[string]Sort) (Sort, error) {
+	switch x := t.(type) {
+	case Var:
+		srt, ok := env[x.Name]
+		if !ok {
+			return 0, typeErrf("unbound variable %s", x.Name)
+		}
+		return srt, nil
+	case BaseConst:
+		return SortBase, nil
+	case NumConst:
+		return SortNum, nil
+	case Add:
+		return numBinop(x.L, x.R, "+", env)
+	case Sub:
+		return numBinop(x.L, x.R, "-", env)
+	case Mul:
+		return numBinop(x.L, x.R, "*", env)
+	case Neg:
+		srt, err := termSort(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if srt != SortNum {
+			return 0, typeErrf("unary - applied to base-sorted term %s", x.X)
+		}
+		return SortNum, nil
+	default:
+		return 0, typeErrf("unknown term node %T", t)
+	}
+}
+
+func numBinop(l, r Term, op string, env map[string]Sort) (Sort, error) {
+	for _, t := range []Term{l, r} {
+		srt, err := termSort(t, env)
+		if err != nil {
+			return 0, err
+		}
+		if srt != SortNum {
+			return 0, typeErrf("operator %s applied to base-sorted term %s", op, t)
+		}
+	}
+	return SortNum, nil
+}

@@ -1,0 +1,70 @@
+package fo
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func tcSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("S",
+			schema.Column{Name: "x", Type: schema.Num}),
+	)
+}
+
+func TestTypecheckAccepts(t *testing.T) {
+	good := []string{
+		`q() := exists a:base, x:num . (R(a, x) and x > 0)`,
+		`q(a:base) := exists x:num . R(a, x)`,
+		`q() := forall x:num . (S(x) -> x * x >= 0)`,
+		`q() := exists a:base, b:base . (a == b and R(a, 1))`,
+		`q() := exists a:base . R(a, 2 + 3 * 4)`,
+	}
+	for _, src := range good {
+		if err := Typecheck(MustParseQuery(src), tcSchema()); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestTypecheckRejects(t *testing.T) {
+	bad := map[string]string{
+		`q() := T(1)`:                               "unknown relation",
+		`q() := S(1, 2)`:                            "arity",
+		`q() := exists a:base . S(a)`:               "sort of column",
+		`q() := exists a:base . R(a, a)`:            "base var in num column",
+		`q() := exists x:num . R(x, x)`:             "num var in base column",
+		`q() := exists x:num . x == x`:              "base equality on num",
+		`q() := exists a:base . a < a`:              "comparison on base",
+		`q() := exists a:base . a + a > 0`:          "arithmetic on base",
+		`q() := S(y)`:                               "unbound variable",
+		`q() := exists x:num . exists x:num . S(x)`: "shadowing",
+		`q(x:num, x:num) := S(x)`:                   "duplicate free variable",
+		`q() := exists a:base . (-a) > 0`:           "negation of base",
+	}
+	for src, why := range bad {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := Typecheck(q, tcSchema()); err == nil {
+			t.Errorf("accepted %s (%s)", src, why)
+		}
+	}
+}
+
+func TestTypecheckFreeVarSorts(t *testing.T) {
+	// Free variables carry their declared sorts into the body.
+	q := MustParseQuery(`q(x:num) := S(x)`)
+	if err := Typecheck(q, tcSchema()); err != nil {
+		t.Errorf("free num var rejected: %v", err)
+	}
+	q2 := MustParseQuery(`q(x:base) := S(x)`)
+	if err := Typecheck(q2, tcSchema()); err == nil {
+		t.Error("free base var in num column accepted")
+	}
+}

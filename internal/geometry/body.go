@@ -1,0 +1,198 @@
+// Package geometry implements the computational-geometry substrate for the
+// FPRAS of Section 7: convex bodies given as intersections of halfspaces
+// and balls (the homogenized cones of a CQ(+,<) query intersected with the
+// unit ball), membership and chord oracles, LP-seeded interior points,
+// hit-and-run sampling, a Dyer–Frieze–Kannan multiphase volume estimator,
+// and a Karp–Luby estimator for the volume of a union of bodies (the role
+// played by the Bringmann–Friedrich algorithm in the paper).
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mc"
+)
+
+// Halfspace is the constraint C·x ≤ B.
+type Halfspace struct {
+	C []float64
+	B float64
+}
+
+// Contains reports whether x satisfies the halfspace up to tol.
+func (h Halfspace) Contains(x []float64, tol float64) bool {
+	return mc.Dot(h.C, x) <= h.B+tol
+}
+
+// BallConstraint is the constraint ‖x - Center‖ ≤ R.
+type BallConstraint struct {
+	Center []float64
+	R      float64
+}
+
+// Contains reports whether x satisfies the ball constraint up to tol.
+func (b BallConstraint) Contains(x []float64, tol float64) bool {
+	s := 0.0
+	for i := range x {
+		d := x[i] - b.Center[i]
+		s += d * d
+	}
+	return math.Sqrt(s) <= b.R+tol
+}
+
+// Body is a convex body: an intersection of halfspaces and balls in ℝⁿ.
+type Body struct {
+	N     int
+	Half  []Halfspace
+	Balls []BallConstraint
+}
+
+// NewConeInBall builds the body {x : C_i·x ≤ 0 for all i} ∩ B(0, 1) — the
+// shape produced by homogenizing one disjunct of a CQ(+,<) formula
+// (Section 7).
+func NewConeInBall(n int, normals [][]float64) *Body {
+	b := &Body{N: n}
+	for _, c := range normals {
+		b.Half = append(b.Half, Halfspace{C: append([]float64(nil), c...), B: 0})
+	}
+	b.Balls = append(b.Balls, BallConstraint{Center: make([]float64, n), R: 1})
+	return b
+}
+
+// WithBall returns a copy of the body with an extra ball constraint.
+func (b *Body) WithBall(center []float64, r float64) *Body {
+	nb := &Body{N: b.N, Half: b.Half}
+	nb.Balls = append(append([]BallConstraint(nil), b.Balls...),
+		BallConstraint{Center: append([]float64(nil), center...), R: r})
+	return nb
+}
+
+// Contains reports membership of x up to tol.
+func (b *Body) Contains(x []float64, tol float64) bool {
+	for _, h := range b.Half {
+		if !h.Contains(x, tol) {
+			return false
+		}
+	}
+	for _, bl := range b.Balls {
+		if !bl.Contains(x, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Chord intersects the line {x + λ·d : λ ∈ ℝ} with the body and returns
+// the feasible interval [lo, hi]. If the line misses the body the returned
+// interval is empty (lo > hi).
+func (b *Body) Chord(x, d []float64) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	for _, h := range b.Half {
+		cd := mc.Dot(h.C, d)
+		cx := mc.Dot(h.C, x)
+		switch {
+		case math.Abs(cd) < 1e-15:
+			if cx > h.B {
+				return 1, 0 // line parallel and outside
+			}
+		case cd > 0:
+			hi = math.Min(hi, (h.B-cx)/cd)
+		default:
+			lo = math.Max(lo, (h.B-cx)/cd)
+		}
+	}
+	for _, bl := range b.Balls {
+		// ‖x + λd - c‖² ≤ R²: quadratic aλ² + 2bλ + c0 ≤ 0.
+		var a, bb, c0 float64
+		for i := range x {
+			dx := x[i] - bl.Center[i]
+			a += d[i] * d[i]
+			bb += dx * d[i]
+			c0 += dx * dx
+		}
+		c0 -= bl.R * bl.R
+		if a < 1e-30 {
+			if c0 > 0 {
+				return 1, 0
+			}
+			continue
+		}
+		disc := bb*bb - a*c0
+		if disc < 0 {
+			return 1, 0 // line misses the ball
+		}
+		s := math.Sqrt(disc)
+		lo = math.Max(lo, (-bb-s)/a)
+		hi = math.Min(hi, (-bb+s)/a)
+	}
+	return lo, hi
+}
+
+// InteriorPoint finds a point strictly inside the body together with a
+// radius rho such that B(x, rho) ⊆ body, by solving the Chebyshev-center
+// LP over the halfspaces and a box inscribed in each ball constraint
+// (|x_j - c_j| ≤ R/√n implies membership in the ball). It returns
+// ok = false when the body has empty interior under that inner
+// approximation.
+func (b *Body) InteriorPoint() (x []float64, rho float64, ok bool, err error) {
+	n := b.N
+	// Variables: x_1..x_n, t. Maximize t.
+	var A [][]float64
+	var rhs []float64
+	for _, h := range b.Half {
+		norm := mc.Norm(h.C)
+		row := make([]float64, n+1)
+		copy(row, h.C)
+		row[n] = norm
+		A = append(A, row)
+		rhs = append(rhs, h.B)
+	}
+	for _, bl := range b.Balls {
+		side := bl.R / math.Sqrt(float64(n))
+		for j := 0; j < n; j++ {
+			row := make([]float64, n+1)
+			row[j] = 1
+			row[n] = 1
+			A = append(A, row)
+			rhs = append(rhs, bl.Center[j]+side)
+
+			row2 := make([]float64, n+1)
+			row2[j] = -1
+			row2[n] = 1
+			A = append(A, row2)
+			rhs = append(rhs, -bl.Center[j]+side)
+		}
+	}
+	// Keep t bounded so the LP is never unbounded.
+	tb := make([]float64, n+1)
+	tb[n] = 1
+	A = append(A, tb)
+	rhs = append(rhs, 1e6)
+
+	c := make([]float64, n+1)
+	c[n] = 1
+	sol, err := lp.SolveFree(lp.Problem{C: c, A: A, B: rhs})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if sol.Status != lp.Optimal || sol.Value <= 1e-9 {
+		return nil, 0, false, nil
+	}
+	return sol.X[:n], sol.Value, true, nil
+}
+
+// BallVolume returns the volume of the n-dimensional ball of radius r:
+// π^{n/2}·rⁿ / Γ(n/2 + 1).
+func BallVolume(n int, r float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("geometry: BallVolume of dimension %d", n))
+	}
+	if n == 0 {
+		return 1 // Vol(ℝ⁰) = 1, the convention of the paper's Section 4.
+	}
+	lg := float64(n)/2*math.Log(math.Pi) + float64(n)*math.Log(r)
+	g, _ := math.Lgamma(float64(n)/2 + 1)
+	return math.Exp(lg - g)
+}

@@ -1,0 +1,281 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+func TestBallVolume(t *testing.T) {
+	cases := []struct {
+		n    int
+		r    float64
+		want float64
+	}{
+		{0, 1, 1},
+		{1, 1, 2},
+		{2, 1, math.Pi},
+		{3, 1, 4 * math.Pi / 3},
+		{2, 2, 4 * math.Pi},
+		{4, 1, math.Pi * math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := BallVolume(c.n, c.r); math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("BallVolume(%d, %g) = %g, want %g", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+// box builds the axis box Π[lo_i, hi_i] as a halfspace body with a huge
+// enclosing ball (so Volume's outer-radius logic works).
+func box(lo, hi []float64) *Body {
+	n := len(lo)
+	b := &Body{N: n}
+	for i := 0; i < n; i++ {
+		c := make([]float64, n)
+		c[i] = 1
+		b.Half = append(b.Half, Halfspace{C: c, B: hi[i]})
+		c2 := make([]float64, n)
+		c2[i] = -1
+		b.Half = append(b.Half, Halfspace{C: c2, B: -lo[i]})
+	}
+	center := make([]float64, n)
+	r := 0.0
+	for i := range lo {
+		center[i] = (lo[i] + hi[i]) / 2
+		r += (hi[i] - lo[i]) * (hi[i] - lo[i]) / 4
+	}
+	b.Balls = append(b.Balls, BallConstraint{Center: center, R: math.Sqrt(r) * 1.01})
+	return b
+}
+
+func TestContainsAndChord(t *testing.T) {
+	b := box([]float64{0, 0}, []float64{1, 2})
+	if !b.Contains([]float64{0.5, 1}, 0) {
+		t.Error("center not contained")
+	}
+	if b.Contains([]float64{1.5, 1}, 0) {
+		t.Error("outside point contained")
+	}
+	lo, hi := b.Chord([]float64{0.5, 1}, []float64{1, 0})
+	if math.Abs(lo+0.5) > 1e-9 || math.Abs(hi-0.5) > 1e-9 {
+		t.Errorf("chord = [%g, %g], want [-0.5, 0.5]", lo, hi)
+	}
+	// Line missing the body.
+	lo, hi = b.Chord([]float64{5, 5}, []float64{0, 1})
+	if lo <= hi {
+		t.Errorf("missing line produced chord [%g, %g]", lo, hi)
+	}
+}
+
+// TestChordEndpointsProperty: for random interior points and directions,
+// the chord endpoints lie (numerically) on the body's boundary region and
+// points slightly beyond them are outside.
+func TestChordEndpointsProperty(t *testing.T) {
+	rng := mc.NewRNG(77)
+	b := box([]float64{-1, 0, 2}, []float64{1, 3, 5})
+	x0 := []float64{0, 1.5, 3.5}
+	for trial := 0; trial < 300; trial++ {
+		d := mc.SampleSphere(rng, 3)
+		lo, hi := b.Chord(x0, d)
+		if lo > hi {
+			t.Fatalf("trial %d: interior point produced empty chord", trial)
+		}
+		at := func(lam float64) []float64 {
+			p := make([]float64, 3)
+			for i := range p {
+				p[i] = x0[i] + lam*d[i]
+			}
+			return p
+		}
+		if !b.Contains(at(lo+1e-9), 1e-6) || !b.Contains(at(hi-1e-9), 1e-6) {
+			t.Fatalf("trial %d: chord endpoints not inside", trial)
+		}
+		if b.Contains(at(lo-1e-3), 0) && b.Contains(at(hi+1e-3), 0) {
+			t.Fatalf("trial %d: both extended endpoints still inside", trial)
+		}
+		// Midpoint is inside (convexity).
+		if !b.Contains(at((lo+hi)/2), 1e-9) {
+			t.Fatalf("trial %d: chord midpoint outside", trial)
+		}
+	}
+}
+
+func TestInteriorPoint(t *testing.T) {
+	b := box([]float64{0, 0}, []float64{1, 1})
+	x, rho, ok, err := b.InteriorPoint()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !b.Contains(x, 0) {
+		t.Errorf("interior point %v outside body", x)
+	}
+	if rho < 0.2 {
+		t.Errorf("inscribed radius %g too small for the unit square", rho)
+	}
+	// Empty body: x ≤ 0 and x ≥ 1.
+	empty := &Body{N: 1, Half: []Halfspace{{C: []float64{1}, B: 0}, {C: []float64{-1}, B: -1}}}
+	if _, _, ok, _ := empty.InteriorPoint(); ok {
+		t.Error("empty body has interior point")
+	}
+	// Lower-dimensional body: x = 0 slab.
+	flat := &Body{N: 2, Half: []Halfspace{{C: []float64{1, 0}, B: 0}, {C: []float64{-1, 0}, B: 0}}}
+	flat.Balls = append(flat.Balls, BallConstraint{Center: []float64{0, 0}, R: 1})
+	if _, _, ok, _ := flat.InteriorPoint(); ok {
+		t.Error("measure-zero body has interior point")
+	}
+}
+
+func TestSamplerStaysInsideAndCoversBody(t *testing.T) {
+	rng := mc.NewRNG(42)
+	b := box([]float64{0, 0}, []float64{1, 1})
+	x0, _, ok, _ := b.InteriorPoint()
+	if !ok {
+		t.Fatal("no interior point")
+	}
+	s, err := NewSampler(b, x0, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean [2]float64
+	const N = 2000
+	quad := [2][2]int{}
+	for i := 0; i < N; i++ {
+		x := s.Next()
+		if !b.Contains(x, 1e-9) {
+			t.Fatalf("sample %v escaped the body", x)
+		}
+		mean[0] += x[0] / N
+		mean[1] += x[1] / N
+		qi, qj := 0, 0
+		if x[0] > 0.5 {
+			qi = 1
+		}
+		if x[1] > 0.5 {
+			qj = 1
+		}
+		quad[qi][qj]++
+	}
+	if math.Abs(mean[0]-0.5) > 0.05 || math.Abs(mean[1]-0.5) > 0.05 {
+		t.Errorf("sample mean %v far from box center", mean)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if f := float64(quad[i][j]) / N; f < 0.15 || f > 0.35 {
+				t.Errorf("quadrant (%d,%d) frequency %.3f, want ≈0.25", i, j, f)
+			}
+		}
+	}
+}
+
+func TestSamplerRejectsOutsideStart(t *testing.T) {
+	b := box([]float64{0, 0}, []float64{1, 1})
+	if _, err := NewSampler(b, []float64{5, 5}, mc.NewRNG(1), 10); err == nil {
+		t.Error("outside start accepted")
+	}
+}
+
+func TestVolumeOfBoxes(t *testing.T) {
+	rng := mc.NewRNG(7)
+	cases := []struct {
+		lo, hi []float64
+		want   float64
+	}{
+		{[]float64{0, 0}, []float64{1, 1}, 1},
+		{[]float64{0, 0}, []float64{2, 3}, 6},
+		{[]float64{-1, -1, -1}, []float64{1, 1, 1}, 8},
+	}
+	for _, c := range cases {
+		v, err := Volume(box(c.lo, c.hi), rng, VolumeOptions{SamplesPerPhase: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-c.want) > 0.18*c.want {
+			t.Errorf("Volume(box %v-%v) = %g, want %g ±18%%", c.lo, c.hi, v, c.want)
+		}
+	}
+}
+
+func TestVolumeOfSimplex(t *testing.T) {
+	// {x ≥ 0, Σx ≤ 1} in 3D has volume 1/6.
+	n := 3
+	b := &Body{N: n}
+	for i := 0; i < n; i++ {
+		c := make([]float64, n)
+		c[i] = -1
+		b.Half = append(b.Half, Halfspace{C: c, B: 0})
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b.Half = append(b.Half, Halfspace{C: ones, B: 1})
+	b.Balls = append(b.Balls, BallConstraint{Center: make([]float64, n), R: 1.01})
+
+	v, err := Volume(b, mc.NewRNG(3), VolumeOptions{SamplesPerPhase: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 6
+	if math.Abs(v-want) > 0.2*want {
+		t.Errorf("simplex volume = %g, want %g ±20%%", v, want)
+	}
+}
+
+func TestVolumeOfConeSector(t *testing.T) {
+	// Quarter-disk {x ≤ 0, y ≤ 0} ∩ B(0,1): area π/4.
+	b := NewConeInBall(2, [][]float64{{1, 0}, {0, 1}})
+	v, err := Volume(b, mc.NewRNG(9), VolumeOptions{SamplesPerPhase: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi / 4
+	if math.Abs(v-want) > 0.15*want {
+		t.Errorf("quarter-disk volume = %g, want %g", v, want)
+	}
+}
+
+func TestVolumeEmptyCone(t *testing.T) {
+	// {x ≤ 0, -x ≤ -1}: empty.
+	b := NewConeInBall(1, [][]float64{{1}, {-1}})
+	b.Half[1].B = -1
+	v, err := Volume(b, mc.NewRNG(1), VolumeOptions{})
+	if err != nil || v != 0 {
+		t.Errorf("empty body volume = %g, err %v", v, err)
+	}
+}
+
+func TestUnionVolumeOverlappingBoxes(t *testing.T) {
+	// [0,1]² ∪ [0.5,1.5]×[0,1]: area 1.5, with 0.5 overlap.
+	b1 := box([]float64{0, 0}, []float64{1, 1})
+	b2 := box([]float64{0.5, 0}, []float64{1.5, 1})
+	v, err := UnionVolume([]*Body{b1, b2}, mc.NewRNG(11), UnionVolumeOptions{
+		Samples: 8000, Volume: VolumeOptions{SamplesPerPhase: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.5) > 0.25 {
+		t.Errorf("union volume = %g, want 1.5", v)
+	}
+}
+
+func TestUnionVolumeDisjointAndEmpty(t *testing.T) {
+	b1 := box([]float64{0, 0}, []float64{1, 1})
+	b2 := box([]float64{3, 3}, []float64{4, 4})
+	empty := NewConeInBall(2, [][]float64{{1, 0}, {-1, 0}})
+	empty.Half[1].B = -1 // x ≤ 0 ∧ x ≥ 1
+	v, err := UnionVolume([]*Body{b1, b2, empty}, mc.NewRNG(13), UnionVolumeOptions{
+		Samples: 6000, Volume: VolumeOptions{SamplesPerPhase: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 0.3 {
+		t.Errorf("disjoint union volume = %g, want 2", v)
+	}
+	if u, _ := UnionVolume(nil, mc.NewRNG(1), UnionVolumeOptions{}); u != 0 {
+		t.Errorf("empty union = %g", u)
+	}
+}

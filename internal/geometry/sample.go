@@ -1,0 +1,64 @@
+package geometry
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mc"
+)
+
+// Sampler draws approximately uniform points from a convex body with the
+// hit-and-run Markov chain: from the current point, pick a uniformly random
+// direction, intersect the line with the body, and jump to a uniform point
+// of the chord. Hit-and-run mixes rapidly on convex bodies (the paper's
+// FPRAS citation [9] assumes exactly this kind of per-body sampling
+// oracle).
+type Sampler struct {
+	body   *Body
+	x      []float64
+	rng    *rand.Rand
+	burnin int
+}
+
+// NewSampler creates a sampler starting at the interior point start.
+// burnin is the number of chain steps taken before every reported sample.
+func NewSampler(body *Body, start []float64, rng *rand.Rand, burnin int) (*Sampler, error) {
+	if !body.Contains(start, 1e-9) {
+		return nil, fmt.Errorf("geometry: sampler start point outside the body")
+	}
+	if burnin <= 0 {
+		burnin = 8 * body.N
+	}
+	return &Sampler{
+		body:   body,
+		x:      append([]float64(nil), start...),
+		rng:    rng,
+		burnin: burnin,
+	}, nil
+}
+
+// step performs one hit-and-run move.
+func (s *Sampler) step() {
+	d := mc.SampleSphere(s.rng, s.body.N)
+	lo, hi := s.body.Chord(s.x, d)
+	if lo > hi {
+		// Numerical corner: the current point drifted onto the boundary.
+		// Stay put; the next direction will almost surely find a chord.
+		return
+	}
+	lam := lo + s.rng.Float64()*(hi-lo)
+	for i := range s.x {
+		s.x[i] += lam * d[i]
+	}
+}
+
+// Next runs the burn-in and returns a fresh (approximately uniform) sample.
+// The returned slice is a copy.
+func (s *Sampler) Next() []float64 {
+	for i := 0; i < s.burnin; i++ {
+		s.step()
+	}
+	out := make([]float64, len(s.x))
+	copy(out, s.x)
+	return out
+}

@@ -1,0 +1,195 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mc"
+)
+
+// VolumeOptions tunes the multiphase volume estimator.
+type VolumeOptions struct {
+	// SamplesPerPhase is the number of hit-and-run samples used to estimate
+	// each telescoping ratio. Default 2000.
+	SamplesPerPhase int
+	// Burnin is the number of chain steps between samples. Default 6n.
+	Burnin int
+}
+
+func (o VolumeOptions) withDefaults(n int) VolumeOptions {
+	if o.SamplesPerPhase <= 0 {
+		o.SamplesPerPhase = 2000
+	}
+	if o.Burnin <= 0 {
+		o.Burnin = 6 * n
+	}
+	return o
+}
+
+// Volume estimates the volume of a convex body by the Dyer–Frieze–Kannan
+// multiphase Monte-Carlo scheme. Writing x₀ for an interior point with
+// inscribed radius ρ (found by LP) and R_out for a radius with
+// body ⊆ B(x₀, R_out), the telescoping product over K_i = body ∩ B(x₀, ρ·2^{i/n})
+//
+//	Vol(body) = Vol(B(x₀,ρ)) · Π_i Vol(K_{i+1})/Vol(K_i)
+//
+// is estimated ratio by ratio, sampling K_{i+1} with hit-and-run and
+// counting the fraction of samples landing in K_i. Convexity guarantees
+// each ratio lies in [1, 2], which keeps the per-phase variance bounded.
+// It returns 0 for bodies with empty interior.
+func Volume(b *Body, rng *rand.Rand, opts VolumeOptions) (float64, error) {
+	n := b.N
+	if n == 0 {
+		return 1, nil
+	}
+	opts = opts.withDefaults(n)
+
+	x0, rho, ok, err := b.InteriorPoint()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // empty interior → volume 0 (lower-dimensional or empty)
+	}
+
+	// Outer radius: the body is contained in each of its ball constraints;
+	// bound the distance from x0 to any point of the body by center
+	// distance + R. Without ball constraints the cone is unbounded and the
+	// caller must have added one.
+	rOut := math.Inf(1)
+	for _, bl := range b.Balls {
+		d := 0.0
+		for i := range x0 {
+			dd := x0[i] - bl.Center[i]
+			d += dd * dd
+		}
+		rOut = math.Min(rOut, math.Sqrt(d)+bl.R)
+	}
+	if math.IsInf(rOut, 1) {
+		return 0, fmt.Errorf("geometry: Volume requires a bounded body (add a ball constraint)")
+	}
+
+	// Phase radii ρ·2^{i/n} from ρ up to rOut.
+	phases := int(math.Ceil(float64(n) * math.Log2(rOut/rho)))
+	if phases < 0 {
+		phases = 0
+	}
+	vol := BallVolume(n, rho)
+	r := rho
+	for i := 0; i < phases; i++ {
+		rNext := math.Min(r*math.Pow(2, 1/float64(n)), rOut)
+		inner := b.WithBall(x0, r)
+		outer := b.WithBall(x0, rNext)
+		s, err := NewSampler(outer, x0, rng, opts.Burnin)
+		if err != nil {
+			return 0, err
+		}
+		hits := 0
+		for j := 0; j < opts.SamplesPerPhase; j++ {
+			if inner.Contains(s.Next(), 1e-12) {
+				hits++
+			}
+		}
+		if hits == 0 {
+			return 0, fmt.Errorf("geometry: phase %d ratio estimate degenerate (0 hits)", i)
+		}
+		// Vol(K_{i+1})/Vol(K_i) = samples/hits.
+		vol *= float64(opts.SamplesPerPhase) / float64(hits)
+		r = rNext
+	}
+	return vol, nil
+}
+
+// UnionVolumeOptions tunes the union estimator.
+type UnionVolumeOptions struct {
+	// Samples is the number of Karp–Luby rounds. Default 20000.
+	Samples int
+	// Volume options for the per-body estimates.
+	Volume VolumeOptions
+	// Burnin between union-phase samples. Default 6n.
+	Burnin int
+}
+
+// UnionVolume estimates Vol(X₁ ∪ ... ∪ X_m) for convex bodies X_i by the
+// Karp–Luby importance-sampling scheme that the Bringmann–Friedrich FPRAS
+// [9] builds on: estimate each Vol(X_i), then repeatedly pick a body with
+// probability proportional to its volume, draw a uniform point from it, and
+// average 1/|{j : x ∈ X_j}|; the union volume is ΣVol(X_i) times that
+// average. Bodies with empty interior contribute nothing.
+func UnionVolume(bodies []*Body, rng *rand.Rand, opts UnionVolumeOptions) (float64, error) {
+	if len(bodies) == 0 {
+		return 0, nil
+	}
+	n := bodies[0].N
+	if opts.Samples <= 0 {
+		opts.Samples = 20000
+	}
+	if opts.Burnin <= 0 {
+		opts.Burnin = 6 * n
+	}
+
+	type prepared struct {
+		body *Body
+		vol  float64
+		x0   []float64
+	}
+	var ps []prepared
+	total := 0.0
+	for _, b := range bodies {
+		if b.N != n {
+			return 0, fmt.Errorf("geometry: UnionVolume with mixed dimensions %d and %d", n, b.N)
+		}
+		x0, _, ok, err := b.InteriorPoint()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		v, err := Volume(b, rng, opts.Volume)
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0 {
+			continue
+		}
+		ps = append(ps, prepared{body: b, vol: v, x0: x0})
+		total += v
+	}
+	if len(ps) == 0 || total == 0 {
+		return 0, nil
+	}
+
+	samplers := make([]*Sampler, len(ps))
+	for i, p := range ps {
+		s, err := NewSampler(p.body, p.x0, rng, opts.Burnin)
+		if err != nil {
+			return 0, err
+		}
+		samplers[i] = s
+	}
+
+	var mean mc.Mean
+	for t := 0; t < opts.Samples; t++ {
+		// Pick a body ∝ volume.
+		u := rng.Float64() * total
+		idx := 0
+		for acc := ps[0].vol; idx < len(ps)-1 && u > acc; {
+			idx++
+			acc += ps[idx].vol
+		}
+		x := samplers[idx].Next()
+		count := 0
+		for _, p := range ps {
+			if p.body.Contains(x, 1e-12) {
+				count++
+			}
+		}
+		if count == 0 {
+			count = 1 // the sampled body itself, up to numerical tolerance
+		}
+		mean.Add(1 / float64(count))
+	}
+	return total * mean.Value(), nil
+}

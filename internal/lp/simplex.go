@@ -1,0 +1,321 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. The FPRAS of Section 7 needs it to find strictly interior
+// points of the convex bodies (homogenized cones intersected with the unit
+// ball) that arise from conjunctive queries with linear constraints: the
+// interior point seeds the hit-and-run sampler and its inradius calibrates
+// the multiphase volume estimator.
+//
+// The solver handles max c·x subject to A·x ≤ b with either non-negative
+// or free variables, using Bland's rule to guarantee termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Problem is the LP  max C·x  subject to  A·x ≤ B.
+type Problem struct {
+	C []float64   // objective, length n
+	A [][]float64 // m × n constraint matrix
+	B []float64   // length m right-hand sides
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	X      []float64 // optimal point (valid when Status == Optimal)
+	Value  float64   // objective value at X
+}
+
+const eps = 1e-9
+
+// Solve maximizes C·x subject to A·x ≤ B and x ≥ 0.
+func Solve(p Problem) (Solution, error) {
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	return solveNonneg(p)
+}
+
+// SolveFree maximizes C·x subject to A·x ≤ B with x unrestricted in sign.
+// Each free variable is split as x = x⁺ - x⁻ with x⁺, x⁻ ≥ 0.
+func SolveFree(p Problem) (Solution, error) {
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.C)
+	m := len(p.B)
+	q := Problem{
+		C: make([]float64, 2*n),
+		A: make([][]float64, m),
+		B: append([]float64(nil), p.B...),
+	}
+	for j := 0; j < n; j++ {
+		q.C[2*j] = p.C[j]
+		q.C[2*j+1] = -p.C[j]
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			row[2*j] = p.A[i][j]
+			row[2*j+1] = -p.A[i][j]
+		}
+		q.A[i] = row
+	}
+	sol, err := solveNonneg(q)
+	if err != nil || sol.Status != Optimal {
+		return sol, err
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = sol.X[2*j] - sol.X[2*j+1]
+	}
+	return Solution{Status: Optimal, X: x, Value: sol.Value}, nil
+}
+
+func validate(p Problem) error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	for _, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: non-finite objective coefficient")
+		}
+	}
+	return nil
+}
+
+// tableau holds the dense simplex tableau: rows 0..m-1 are constraints,
+// row m is the objective row (reduced costs, maximization). Column layout:
+// 0..ncols-1 variables, last column RHS.
+type tableau struct {
+	t     [][]float64
+	basis []int // basic variable of each constraint row
+	m     int
+	ncols int
+}
+
+// pivot performs a pivot on (row, col).
+func (tb *tableau) pivot(row, col int) {
+	piv := tb.t[row][col]
+	inv := 1 / piv
+	for j := 0; j <= tb.ncols; j++ {
+		tb.t[row][j] *= inv
+	}
+	tb.t[row][col] = 1 // avoid drift
+	for i := 0; i <= tb.m; i++ {
+		if i == row {
+			continue
+		}
+		f := tb.t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= tb.ncols; j++ {
+			tb.t[i][j] -= f * tb.t[row][j]
+		}
+		tb.t[i][col] = 0
+	}
+	tb.basis[row] = col
+}
+
+// run performs simplex iterations with Bland's rule on the current
+// objective row, restricted to columns < colLimit. It returns false if the
+// problem is unbounded.
+func (tb *tableau) run(colLimit int) bool {
+	for iter := 0; ; iter++ {
+		// Entering variable: smallest index with positive reduced cost.
+		col := -1
+		for j := 0; j < colLimit; j++ {
+			if tb.t[tb.m][j] > eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return true // optimal
+		}
+		// Leaving row: minimum ratio, ties by smallest basic index (Bland).
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < tb.m; i++ {
+			a := tb.t[i][col]
+			if a <= eps {
+				continue
+			}
+			ratio := tb.t[i][tb.ncols] / a
+			if ratio < best-eps || (ratio < best+eps && (row < 0 || tb.basis[i] < tb.basis[row])) {
+				best = ratio
+				row = i
+			}
+		}
+		if row < 0 {
+			return false // unbounded
+		}
+		tb.pivot(row, col)
+	}
+}
+
+// solveNonneg solves max c·x, Ax ≤ b, x ≥ 0 by the two-phase method.
+func solveNonneg(p Problem) (Solution, error) {
+	n := len(p.C)
+	m := len(p.B)
+
+	// Column layout: [0,n) original, [n, n+m) slacks, [n+m, n+m+art) artificials.
+	nart := 0
+	for _, b := range p.B {
+		if b < 0 {
+			nart++
+		}
+	}
+	ncols := n + m + nart
+	tb := &tableau{
+		t:     make([][]float64, m+1),
+		basis: make([]int, m),
+		m:     m,
+		ncols: ncols,
+	}
+	for i := range tb.t {
+		tb.t[i] = make([]float64, ncols+1)
+	}
+	ai := 0
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			tb.t[i][j] = sign * p.A[i][j]
+		}
+		tb.t[i][n+i] = sign // slack
+		tb.t[i][ncols] = sign * p.B[i]
+		if sign < 0 {
+			tb.t[i][n+m+ai] = 1 // artificial
+			tb.basis[i] = n + m + ai
+			ai++
+		} else {
+			tb.basis[i] = n + i
+		}
+	}
+
+	if nart > 0 {
+		// Phase 1: maximize -(sum of artificials); objective row is the sum
+		// of the rows whose basic variable is artificial.
+		obj := tb.t[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for i := 0; i < m; i++ {
+			if tb.basis[i] >= n+m {
+				for j := 0; j <= ncols; j++ {
+					obj[j] += tb.t[i][j]
+				}
+			}
+		}
+		// Reduced costs exclude the artificial columns themselves.
+		for j := n + m; j < ncols; j++ {
+			obj[j] = 0
+		}
+		if !tb.run(n + m) {
+			return Solution{}, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if tb.t[m][ncols] > eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive remaining artificial basics out of the basis.
+		for i := 0; i < m; i++ {
+			if tb.basis[i] < n+m {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(tb.t[i][j]) > eps {
+					tb.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless, leave the artificial basic at 0.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: original objective. Rebuild the reduced-cost row:
+	// z_j = c_j - Σ_i c_{basis(i)} · t[i][j].
+	obj := tb.t[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	cost := func(j int) float64 {
+		if j < n {
+			return p.C[j]
+		}
+		return 0
+	}
+	for j := 0; j < ncols; j++ {
+		obj[j] = cost(j)
+	}
+	obj[ncols] = 0
+	for i := 0; i < m; i++ {
+		cb := cost(tb.basis[i])
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= ncols; j++ {
+			obj[j] -= cb * tb.t[i][j]
+		}
+	}
+	// Basic columns must have zero reduced cost.
+	for i := 0; i < m; i++ {
+		obj[tb.basis[i]] = 0
+	}
+	if !tb.run(n + m) {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if tb.basis[i] < n {
+			x[tb.basis[i]] = tb.t[i][ncols]
+		}
+	}
+	val := 0.0
+	for j := 0; j < n; j++ {
+		val += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Value: val}, nil
+}

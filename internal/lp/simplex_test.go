@@ -1,0 +1,193 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBasicMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0. Optimum at (4,0): 12.
+	sol, err := Solve(Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("status %v err %v", sol.Status, err)
+	}
+	if !approx(sol.Value, 12) {
+		t.Errorf("value = %g, want 12", sol.Value)
+	}
+}
+
+func TestDegenerateAndTightOptimum(t *testing.T) {
+	// max x + y s.t. x ≤ 1, y ≤ 1, x + y ≤ 2 (redundant). Optimum 2.
+	sol, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 2},
+	})
+	if err != nil || sol.Status != Optimal || !approx(sol.Value, 2) {
+		t.Fatalf("got %+v err %v", sol, err)
+	}
+}
+
+func TestPhase1NegativeRHS(t *testing.T) {
+	// max -x s.t. -x ≤ -3 (i.e. x ≥ 3), x ≤ 10. Optimum x=3, value -3.
+	sol, err := Solve(Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-3, 10},
+	})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("status %v err %v", sol.Status, err)
+	}
+	if !approx(sol.X[0], 3) {
+		t.Errorf("x = %g, want 3", sol.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≥ 3 and x ≤ 1.
+	sol, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-3, 1},
+	})
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("status %v err %v, want infeasible", sol.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	sol, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}},
+		B: []float64{0},
+	})
+	if err != nil || sol.Status != Unbounded {
+		t.Fatalf("status %v err %v, want unbounded", sol.Status, err)
+	}
+}
+
+func TestSolveFreeNegativeOptimum(t *testing.T) {
+	// max x s.t. x ≤ -2 with free x: optimum -2 (impossible with x ≥ 0).
+	sol, err := SolveFree(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}},
+		B: []float64{-2},
+	})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("status %v err %v", sol.Status, err)
+	}
+	if !approx(sol.X[0], -2) {
+		t.Errorf("x = %g, want -2", sol.X[0])
+	}
+}
+
+func TestChebyshevCenterOfCone(t *testing.T) {
+	// The FPRAS use case: find an interior direction of the cone
+	// {x : x0 ≤ 0, x1 ≤ 0} within the box |xi| ≤ 1:
+	// max t s.t. xi + t ≤ 0, xi ≤ 1, -xi ≤ 1, t ≤ 1 (vars x0, x1, t free).
+	sol, err := SolveFree(Problem{
+		C: []float64{0, 0, 1},
+		A: [][]float64{
+			{1, 0, 1},
+			{0, 1, 1},
+			{1, 0, 0}, {-1, 0, 0},
+			{0, 1, 0}, {0, -1, 0},
+			{0, 0, 1},
+		},
+		B: []float64{0, 0, 1, 1, 1, 1, 1},
+	})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("status %v err %v", sol.Status, err)
+	}
+	if sol.Value < 0.999 {
+		t.Errorf("inradius proxy = %g, want ≈1", sol.Value)
+	}
+	if sol.X[0] > -0.9 || sol.X[1] > -0.9 {
+		t.Errorf("interior point %v not deep inside the cone", sol.X)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Error("mismatched B accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{math.NaN()}, A: nil, B: nil}); err == nil {
+		t.Error("NaN objective accepted")
+	}
+}
+
+// TestRandomLPsAgainstVertexEnumeration cross-checks the simplex against a
+// brute-force over constraint-intersection vertices in 2D.
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(4)
+		p := Problem{C: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+		for i := 0; i < m; i++ {
+			p.A = append(p.A, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			p.B = append(p.B, rng.Float64()*3) // origin always feasible
+		}
+		// Bound the feasible region so the LP is never unbounded.
+		p.A = append(p.A, []float64{1, 0}, []float64{0, 1})
+		p.B = append(p.B, 10, 10)
+
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v (origin is feasible)", trial, sol.Status)
+		}
+		// Feasibility of the reported point.
+		for i, row := range p.A {
+			if row[0]*sol.X[0]+row[1]*sol.X[1] > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: solution violates constraint %d", trial, i)
+			}
+		}
+		if sol.X[0] < -1e-9 || sol.X[1] < -1e-9 {
+			t.Fatalf("trial %d: negative coordinate %v", trial, sol.X)
+		}
+		// Brute force: evaluate all vertices (pairwise constraint
+		// intersections plus axes) and compare objectives.
+		best := 0.0 // origin
+		consider := func(x, y float64) {
+			if x < -1e-9 || y < -1e-9 {
+				return
+			}
+			for i, row := range p.A {
+				if row[0]*x+row[1]*y > p.B[i]+1e-7 {
+					return
+				}
+			}
+			if v := p.C[0]*x + p.C[1]*y; v > best {
+				best = v
+			}
+		}
+		full := append(append([][]float64{}, p.A...), []float64{-1, 0}, []float64{0, -1})
+		fb := append(append([]float64{}, p.B...), 0, 0)
+		for i := 0; i < len(full); i++ {
+			for j := i + 1; j < len(full); j++ {
+				det := full[i][0]*full[j][1] - full[i][1]*full[j][0]
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (fb[i]*full[j][1] - full[i][1]*fb[j]) / det
+				y := (full[i][0]*fb[j] - fb[i]*full[j][0]) / det
+				consider(x, y)
+			}
+		}
+		if sol.Value < best-1e-5 {
+			t.Fatalf("trial %d: simplex %g < vertex enumeration %g", trial, sol.Value, best)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package mc provides the Monte-Carlo machinery shared by the approximation
+// schemes of Sections 7 and 8: uniform sampling from spheres and balls (the
+// Gaussian-normalization method of Blum–Hopcroft–Kannan cited by the
+// paper), Hoeffding/Chernoff sample-size calculators, and estimator
+// utilities including median-of-means confidence amplification.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRNG returns a seeded deterministic random source.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SampleSphere returns a uniformly random point on the unit (n-1)-sphere:
+// n independent standard Gaussians scaled to norm 1.
+func SampleSphere(rng *rand.Rand, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		x := make([]float64, n)
+		s := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			s += x[i] * x[i]
+		}
+		if s == 0 {
+			continue // astronomically unlikely; resample
+		}
+		inv := 1 / math.Sqrt(s)
+		for i := range x {
+			x[i] *= inv
+		}
+		return x
+	}
+}
+
+// SampleBall returns a uniformly random point in the unit n-ball:
+// a uniform sphere direction scaled by U^{1/n}.
+func SampleBall(rng *rand.Rand, n int) []float64 {
+	x := SampleSphere(rng, n)
+	r := math.Pow(rng.Float64(), 1/float64(n))
+	for i := range x {
+		x[i] *= r
+	}
+	return x
+}
+
+// HoeffdingSamples returns the number of samples of a [0,1]-valued random
+// variable needed so that the empirical mean is within eps of the true mean
+// with probability at least 1-delta:  m ≥ ln(2/δ) / (2ε²).
+// With delta = 1/4 this is the paper's m ≥ ε⁻² regime (up to the constant).
+func HoeffdingSamples(eps, delta float64) (int, error) {
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("mc: eps must be in (0,1], got %g", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("mc: delta must be in (0,1), got %g", delta)
+	}
+	m := math.Log(2/delta) / (2 * eps * eps)
+	return int(math.Ceil(m)), nil
+}
+
+// PaperSamples is the sample count the paper's AFPRAS analysis uses for
+// confidence 3/4: m ≥ ε⁻².
+func PaperSamples(eps float64) (int, error) {
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("mc: eps must be in (0,1], got %g", eps)
+	}
+	return int(math.Ceil(1 / (eps * eps))), nil
+}
+
+// Mean is a streaming mean accumulator (Welford-style, without variance
+// since only means are needed).
+type Mean struct {
+	n   int
+	sum float64
+	c   float64 // Kahan compensation
+}
+
+// Add accumulates one observation.
+func (m *Mean) Add(x float64) {
+	y := x - m.c
+	t := m.sum + y
+	m.c = (t - m.sum) - y
+	m.sum = t
+	m.n++
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int { return m.n }
+
+// Value returns the current mean (0 for no observations).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// MedianOfMeans amplifies an estimator's confidence: it runs the estimator
+// k times and returns the median of the results. If each run is within the
+// target error with probability ≥ 3/4, the median is within the error with
+// probability ≥ 1 - exp(-k/8), turning a constant-confidence scheme into a
+// (1-δ)-confidence scheme with k = O(log 1/δ) repetitions.
+func MedianOfMeans(k int, estimate func() float64) float64 {
+	if k <= 0 {
+		k = 1
+	}
+	vals := make([]float64, k)
+	for i := range vals {
+		vals[i] = estimate()
+	}
+	sort.Float64s(vals)
+	if k%2 == 1 {
+		return vals[k/2]
+	}
+	return (vals[k/2-1] + vals[k/2]) / 2
+}
+
+// RepetitionsForConfidence returns the number of median-of-means
+// repetitions needed to boost a 3/4-confidence estimator to confidence
+// 1-delta: k ≥ 8·ln(1/δ) (odd, at least 1).
+func RepetitionsForConfidence(delta float64) int {
+	if delta >= 0.25 {
+		return 1
+	}
+	k := int(math.Ceil(8 * math.Log(1/delta)))
+	if k%2 == 0 {
+		k++
+	}
+	return k
+}
+
+// Norm returns the Euclidean norm of a vector.
+func Norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mc: Dot on lengths %d and %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

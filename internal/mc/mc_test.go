@@ -1,0 +1,162 @@
+package mc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleSphereNorm(t *testing.T) {
+	rng := NewRNG(1)
+	for n := 1; n <= 6; n++ {
+		for i := 0; i < 50; i++ {
+			x := SampleSphere(rng, n)
+			if len(x) != n {
+				t.Fatalf("dim %d: got %d coords", n, len(x))
+			}
+			if math.Abs(Norm(x)-1) > 1e-12 {
+				t.Fatalf("norm %g != 1", Norm(x))
+			}
+		}
+	}
+	if SampleSphere(rng, 0) != nil {
+		t.Error("dimension 0 should give nil")
+	}
+}
+
+func TestSampleSphereIsotropy(t *testing.T) {
+	// Mean of many sphere samples should be near the origin, and each
+	// coordinate should take both signs with frequency ≈1/2.
+	rng := NewRNG(2)
+	const N = 20000
+	n := 3
+	mean := make([]float64, n)
+	pos := make([]int, n)
+	for i := 0; i < N; i++ {
+		x := SampleSphere(rng, n)
+		for j := range x {
+			mean[j] += x[j] / N
+			if x[j] > 0 {
+				pos[j]++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if math.Abs(mean[j]) > 0.02 {
+			t.Errorf("coordinate %d mean %g not near 0", j, mean[j])
+		}
+		if f := float64(pos[j]) / N; math.Abs(f-0.5) > 0.02 {
+			t.Errorf("coordinate %d positive frequency %g", j, f)
+		}
+	}
+}
+
+func TestSampleBallRadiusDistribution(t *testing.T) {
+	// P(‖x‖ ≤ r) = rⁿ for the uniform ball distribution.
+	rng := NewRNG(3)
+	const N = 20000
+	n := 2
+	within := 0
+	for i := 0; i < N; i++ {
+		x := SampleBall(rng, n)
+		r := Norm(x)
+		if r > 1+1e-12 {
+			t.Fatalf("ball sample with norm %g", r)
+		}
+		if r <= 0.5 {
+			within++
+		}
+	}
+	want := math.Pow(0.5, float64(n))
+	if got := float64(within) / N; math.Abs(got-want) > 0.015 {
+		t.Errorf("P(‖x‖≤0.5) = %g, want %g", got, want)
+	}
+}
+
+func TestHoeffdingSamples(t *testing.T) {
+	m, err := HoeffdingSamples(0.1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(math.Log(8) / 0.02))
+	if m != want {
+		t.Errorf("HoeffdingSamples = %d, want %d", m, want)
+	}
+	// Monotone: smaller eps and delta need more samples.
+	m2, _ := HoeffdingSamples(0.05, 0.25)
+	m3, _ := HoeffdingSamples(0.1, 0.01)
+	if m2 <= m || m3 <= m {
+		t.Errorf("monotonicity violated: %d %d %d", m, m2, m3)
+	}
+	for _, bad := range [][2]float64{{0, 0.1}, {1.5, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := HoeffdingSamples(bad[0], bad[1]); err == nil {
+			t.Errorf("accepted eps=%g delta=%g", bad[0], bad[1])
+		}
+	}
+}
+
+func TestPaperSamples(t *testing.T) {
+	m, err := PaperSamples(0.1)
+	if err != nil || m != 100 {
+		t.Errorf("PaperSamples(0.1) = %d, %v; want 100", m, err)
+	}
+	if _, err := PaperSamples(0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestMeanAccumulator(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("zero value broken")
+	}
+	for i := 1; i <= 100; i++ {
+		m.Add(float64(i))
+	}
+	if m.N() != 100 || math.Abs(m.Value()-50.5) > 1e-12 {
+		t.Errorf("mean = %g over %d", m.Value(), m.N())
+	}
+}
+
+func TestMedianOfMeans(t *testing.T) {
+	i := 0
+	vals := []float64{10, 1, 2, 3, 100} // outliers at both ends
+	got := MedianOfMeans(5, func() float64 { v := vals[i]; i++; return v })
+	if got != 3 {
+		t.Errorf("median = %g, want 3", got)
+	}
+	// Even count takes midpoint; k ≤ 0 coerces to one call.
+	i = 0
+	if got := MedianOfMeans(2, func() float64 { v := vals[i]; i++; return v }); got != 5.5 {
+		t.Errorf("median of two = %g, want 5.5", got)
+	}
+	calls := 0
+	MedianOfMeans(0, func() float64 { calls++; return 0 })
+	if calls != 1 {
+		t.Errorf("k=0 made %d calls", calls)
+	}
+}
+
+func TestRepetitionsForConfidence(t *testing.T) {
+	if RepetitionsForConfidence(0.5) != 1 {
+		t.Error("weak confidence should need one run")
+	}
+	k := RepetitionsForConfidence(0.01)
+	if k%2 == 0 || k < int(8*math.Log(100)) {
+		t.Errorf("k = %d", k)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+	if Norm([]float64{3, 4}) != 5 {
+		t.Error("Norm wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

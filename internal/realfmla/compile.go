@@ -1,0 +1,168 @@
+package realfmla
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compiled is a formula preprocessed for repeated evaluation: syntactically
+// identical atoms are deduplicated and evaluated once per point or
+// direction, and the Boolean structure is evaluated over the cached truth
+// values. Translated formulas share massive numbers of repeated atoms
+// (quantifier expansion reuses the same comparisons), so this is the
+// difference between the AFPRAS being practical or not.
+type Compiled struct {
+	atoms []Atom
+	root  cnode
+	// scratch truth buffer reused across evaluations.
+	truth []bool
+	// scratch "computed" flags for lazy atom evaluation.
+	done []bool
+}
+
+type cnodeKind uint8
+
+const (
+	cTrue cnodeKind = iota
+	cFalse
+	cAtom
+	cNot
+	cAnd
+	cOr
+)
+
+type cnode struct {
+	kind cnodeKind
+	atom int
+	kids []cnode
+}
+
+// Compile preprocesses a formula.
+func Compile(f Formula) *Compiled {
+	c := &Compiled{}
+	index := make(map[string]int)
+	c.root = c.build(f, index)
+	c.truth = make([]bool, len(c.atoms))
+	c.done = make([]bool, len(c.atoms))
+	return c
+}
+
+func atomKey(a Atom) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", a.Rel)
+	b.WriteString(a.P.Key())
+	return b.String()
+}
+
+func (c *Compiled) build(f Formula, index map[string]int) cnode {
+	switch g := f.(type) {
+	case FTrue:
+		return cnode{kind: cTrue}
+	case FFalse:
+		return cnode{kind: cFalse}
+	case FAtom:
+		key := atomKey(g.A)
+		i, ok := index[key]
+		if !ok {
+			i = len(c.atoms)
+			c.atoms = append(c.atoms, g.A)
+			index[key] = i
+		}
+		return cnode{kind: cAtom, atom: i}
+	case FNot:
+		return cnode{kind: cNot, kids: []cnode{c.build(g.F, index)}}
+	case FAnd:
+		kids := make([]cnode, len(g.Fs))
+		for i, h := range g.Fs {
+			kids[i] = c.build(h, index)
+		}
+		return cnode{kind: cAnd, kids: kids}
+	case FOr:
+		kids := make([]cnode, len(g.Fs))
+		for i, h := range g.Fs {
+			kids[i] = c.build(h, index)
+		}
+		return cnode{kind: cOr, kids: kids}
+	}
+	panic(fmt.Sprintf("realfmla: unknown node %T", f))
+}
+
+// NumAtoms returns the number of distinct atoms after deduplication.
+func (c *Compiled) NumAtoms() int { return len(c.atoms) }
+
+// Atoms returns the deduplicated atoms.
+func (c *Compiled) Atoms() []Atom { return c.atoms }
+
+// AsymEval reports the asymptotic truth of the formula along dir,
+// evaluating each distinct atom lazily at most once.
+func (c *Compiled) AsymEval(dir []float64, tol float64) bool {
+	for i := range c.done {
+		c.done[i] = false
+	}
+	return c.eval(c.root, func(i int) bool {
+		if !c.done[i] {
+			c.truth[i] = c.atoms[i].AsymEval(dir, tol)
+			c.done[i] = true
+		}
+		return c.truth[i]
+	})
+}
+
+// Eval reports the truth of the formula at the point x, evaluating each
+// distinct atom lazily at most once.
+func (c *Compiled) Eval(x []float64) bool {
+	for i := range c.done {
+		c.done[i] = false
+	}
+	return c.eval(c.root, func(i int) bool {
+		if !c.done[i] {
+			c.truth[i] = c.atoms[i].Eval(x)
+			c.done[i] = true
+		}
+		return c.truth[i]
+	})
+}
+
+// EvalWith evaluates the formula with a caller-supplied atom decision
+// procedure (still cached per distinct atom): used by the mixed
+// finite/asymptotic evaluation of range-constrained measures.
+func (c *Compiled) EvalWith(decide func(Atom) bool) bool {
+	for i := range c.done {
+		c.done[i] = false
+	}
+	return c.eval(c.root, func(i int) bool {
+		if !c.done[i] {
+			c.truth[i] = decide(c.atoms[i])
+			c.done[i] = true
+		}
+		return c.truth[i]
+	})
+}
+
+func (c *Compiled) eval(n cnode, atom func(int) bool) bool {
+	switch n.kind {
+	case cTrue:
+		return true
+	case cFalse:
+		return false
+	case cAtom:
+		return atom(n.atom)
+	case cNot:
+		return !c.eval(n.kids[0], atom)
+	case cAnd:
+		for _, k := range n.kids {
+			if !c.eval(k, atom) {
+				return false
+			}
+		}
+		return true
+	case cOr:
+		for _, k := range n.kids {
+			if c.eval(k, atom) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("realfmla: bad compiled node")
+}

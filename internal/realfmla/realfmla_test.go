@@ -1,0 +1,274 @@
+package realfmla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// atomLT builds the atom c·z + c0 < 0 over n variables.
+func atomLT(n int, c []float64, c0 float64) Atom {
+	p := poly.Const(n, c0)
+	for i, ci := range c {
+		p = p.Add(poly.Var(n, i).Scale(ci))
+	}
+	return Atom{P: p, Rel: LT}
+}
+
+func randFormula(r *rand.Rand, n, depth int) Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = float64(r.Intn(5) - 2)
+		}
+		rel := Rel(r.Intn(6))
+		a := atomLT(n, c, float64(r.Intn(5)-2))
+		a.Rel = rel
+		return FAtom{a}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return FNot{randFormula(r, n, depth-1)}
+	case 1:
+		return And(randFormula(r, n, depth-1), randFormula(r, n, depth-1))
+	default:
+		return Or(randFormula(r, n, depth-1), randFormula(r, n, depth-1))
+	}
+}
+
+func randPt(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(r.Intn(9) - 4)
+	}
+	return x
+}
+
+func TestRelNegateInvolution(t *testing.T) {
+	for rel := LT; rel <= GT; rel++ {
+		if rel.Negate().Negate() != rel {
+			t.Errorf("Negate not involutive on %v", rel)
+		}
+		for _, s := range []int{-1, 0, 1} {
+			if rel.holds(s) == rel.Negate().holds(s) {
+				t.Errorf("%v and its negation agree on sign %d", rel, s)
+			}
+		}
+	}
+}
+
+func TestAtomEval(t *testing.T) {
+	// z0 - z1 < 0
+	a := atomLT(2, []float64{1, -1}, 0)
+	if !a.Eval([]float64{1, 2}) || a.Eval([]float64{2, 1}) || a.Eval([]float64{1, 1}) {
+		t.Error("atom z0 - z1 < 0 misbehaves")
+	}
+	eq := Atom{P: a.P, Rel: EQ}
+	if !eq.Eval([]float64{1, 1}) || eq.Eval([]float64{1, 2}) {
+		t.Error("atom z0 - z1 = 0 misbehaves")
+	}
+}
+
+func TestConnectiveSmartConstructors(t *testing.T) {
+	a := FAtom{atomLT(1, []float64{1}, 0)}
+	if _, ok := And().(FTrue); !ok {
+		t.Error("empty And is not true")
+	}
+	if _, ok := Or().(FFalse); !ok {
+		t.Error("empty Or is not false")
+	}
+	if f := And(a, FTrue{}); f.String() != a.String() {
+		t.Errorf("And(a, true) = %s", f)
+	}
+	if _, ok := And(a, FFalse{}).(FFalse); !ok {
+		t.Error("And(a, false) not false")
+	}
+	if _, ok := Or(a, FTrue{}).(FTrue); !ok {
+		t.Error("Or(a, true) not true")
+	}
+	// Flattening.
+	g := And(And(a, a), a)
+	if len(g.(FAnd).Fs) != 3 {
+		t.Errorf("nested And not flattened: %s", g)
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(3)
+		f := randFormula(r, n, 3)
+		g := NNF(f)
+		if hasNot(g) {
+			t.Fatalf("NNF left a negation: %s", g)
+		}
+		for i := 0; i < 20; i++ {
+			x := randPt(r, n)
+			if Eval(f, x) != Eval(g, x) {
+				t.Fatalf("NNF changed semantics at %v:\n f=%s\n g=%s", x, f, g)
+			}
+		}
+	}
+}
+
+func hasNot(f Formula) bool {
+	switch g := f.(type) {
+	case FNot:
+		return true
+	case FAnd:
+		for _, h := range g.Fs {
+			if hasNot(h) {
+				return true
+			}
+		}
+	case FOr:
+		for _, h := range g.Fs {
+			if hasNot(h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestDNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(3)
+		f := randFormula(r, n, 3)
+		ds, err := ToDNF(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			x := randPt(r, n)
+			want := Eval(f, x)
+			got := false
+			for _, c := range ds {
+				if c.Eval(x) {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("DNF changed semantics at %v:\n f=%s", x, f)
+			}
+		}
+	}
+}
+
+func TestDNFSizeLimit(t *testing.T) {
+	// (a ∨ b) ∧ (a ∨ b) ∧ ... blows up to 2^m disjuncts.
+	a := FAtom{atomLT(1, []float64{1}, 0)}
+	b := FAtom{atomLT(1, []float64{-1}, 1)}
+	f := Formula(FTrue{})
+	for i := 0; i < 10; i++ {
+		f = And(f, Or(a, b))
+	}
+	if _, err := ToDNF(f, 16); err != ErrDNFTooLarge {
+		t.Errorf("expected ErrDNFTooLarge, got %v", err)
+	}
+	if ds, err := ToDNF(f, 0); err != nil || len(ds) != 1024 {
+		t.Errorf("unlimited DNF: %d disjuncts, err %v", len(ds), err)
+	}
+}
+
+func TestAsymEvalAgainstLargeK(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const bigK = 1e8
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(3)
+		f := randFormula(r, n, 3)
+		dir := make([]float64, n)
+		for i := range dir {
+			dir[i] = r.NormFloat64()
+		}
+		asym := AsymEval(f, dir, 1e-12)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = bigK * dir[i]
+		}
+		if got := Eval(f, x); got != asym {
+			t.Fatalf("asym=%v eval@K=%v: f=%s dir=%v", asym, got, f, dir)
+		}
+	}
+}
+
+func TestHomogenizeLinear(t *testing.T) {
+	// z0 + 5 < 0  →  z0 < 0
+	f := FAtom{atomLT(1, []float64{1}, 5)}
+	h, err := HomogenizeLinear(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Eval(h, []float64{-1}) || Eval(h, []float64{1}) {
+		t.Errorf("homogenized formula wrong: %s", h)
+	}
+	// Constant atom 3 < 0 collapses to false; -3 < 0 to true.
+	if g, _ := HomogenizeLinear(FAtom{atomLT(1, []float64{0}, 3)}); !isFalse(g) {
+		t.Errorf("3 < 0 homogenized to %s", g)
+	}
+	if g, _ := HomogenizeLinear(FAtom{atomLT(1, []float64{0}, -3)}); !isTrue(g) {
+		t.Errorf("-3 < 0 homogenized to %s", g)
+	}
+	// Nonlinear atoms are rejected.
+	q := poly.Var(1, 0).Mul(poly.Var(1, 0))
+	if _, err := HomogenizeLinear(FAtom{Atom{P: q, Rel: LT}}); err == nil {
+		t.Error("nonlinear atom accepted")
+	}
+}
+
+func isTrue(f Formula) bool  { _, ok := f.(FTrue); return ok }
+func isFalse(f Formula) bool { _, ok := f.(FFalse); return ok }
+
+// TestHomogenizeMatchesAsym checks the §7 fact: for linear formulas the
+// homogenized formula at a point a agrees with the asymptotic truth of the
+// original along direction a (away from boundaries).
+func TestHomogenizeMatchesAsym(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(3)
+		f := randFormula(r, n, 3)
+		h, err := HomogenizeLinear(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := make([]float64, n)
+		for i := range dir {
+			dir[i] = r.NormFloat64()
+		}
+		// Skip directions that lie on some homogenized atom boundary.
+		onBoundary := false
+		for _, a := range Atoms(h) {
+			if math.Abs(a.P.Eval(dir)) < 1e-9 {
+				onBoundary = true
+				break
+			}
+		}
+		if onBoundary {
+			continue
+		}
+		if Eval(h, dir) != AsymEval(f, dir, 1e-12) {
+			t.Fatalf("homogenized disagrees with asym: f=%s dir=%v", f, dir)
+		}
+	}
+}
+
+func TestAtomsAndNumVars(t *testing.T) {
+	a := FAtom{atomLT(2, []float64{1, 0}, 0)}
+	f := And(a, FNot{Or(a, a)})
+	if got := len(Atoms(f)); got != 3 {
+		t.Errorf("Atoms = %d", got)
+	}
+	if NumVars(f) != 2 {
+		t.Errorf("NumVars = %d", NumVars(f))
+	}
+	if NumVars(FTrue{}) != 0 {
+		t.Error("NumVars of true should be 0")
+	}
+	if !IsLinear(f) {
+		t.Error("linear formula misclassified")
+	}
+}

@@ -1,0 +1,72 @@
+package realfmla
+
+// MapAtoms rebuilds the formula with every atom transformed by fn (which
+// may also fold an atom to FTrue/FFalse).
+func MapAtoms(f Formula, fn func(Atom) Formula) Formula {
+	switch g := f.(type) {
+	case FTrue, FFalse:
+		return g
+	case FAtom:
+		return fn(g.A)
+	case FNot:
+		return FNot{MapAtoms(g.F, fn)}
+	case FAnd:
+		out := make([]Formula, len(g.Fs))
+		for i, h := range g.Fs {
+			out[i] = MapAtoms(h, fn)
+		}
+		return And(out...)
+	case FOr:
+		out := make([]Formula, len(g.Fs))
+		for i, h := range g.Fs {
+			out[i] = MapAtoms(h, fn)
+		}
+		return Or(out...)
+	}
+	panic("realfmla: unknown node")
+}
+
+// UsedVars reports which of the n ambient variables occur in some atom of
+// f. The ambient arity is taken from the first atom; formulas without
+// atoms use 0 variables.
+func UsedVars(f Formula) []bool {
+	n := NumVars(f)
+	used := make([]bool, n)
+	for _, a := range Atoms(f) {
+		for i, u := range a.P.VarsUsed() {
+			if u {
+				used[i] = true
+			}
+		}
+	}
+	return used
+}
+
+// Reduce re-embeds the formula into the smallest variable space: variables
+// not occurring in any atom are dropped. It returns the reduced formula and
+// the list of original variable indices, in order (vars[j] is the original
+// index of reduced variable j).
+//
+// This implements the partial-sampling optimization of the paper's Section
+// 9: μ only depends on the nulls that actually affect the query, because
+// the satisfying set is a cylinder over the irrelevant coordinates and the
+// direction-fraction measure ν is invariant under cylinder extension.
+func Reduce(f Formula) (Formula, []int) {
+	used := UsedVars(f)
+	var vars []int
+	mapping := make([]int, len(used))
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for i, u := range used {
+		if u {
+			mapping[i] = len(vars)
+			vars = append(vars, i)
+		}
+	}
+	newN := len(vars)
+	g := MapAtoms(f, func(a Atom) Formula {
+		return FAtom{Atom{P: a.P.RenameVars(mapping, newN), Rel: a.Rel}}
+	})
+	return g, vars
+}

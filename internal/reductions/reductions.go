@@ -1,0 +1,192 @@
+// Package reductions implements the hardness gadgets of Section 6 as
+// executable constructions:
+//
+//   - Prop 6.2: counting satisfying assignments of a 3DNF formula reduces
+//     to computing μ for a fixed CQ(<) query — each clause becomes a
+//     database tuple and each propositional variable a numerical null whose
+//     sign encodes its truth value, so μ(q, D_ψ) = #ψ / 2ⁿ.
+//   - Thm 6.3: the analogous reduction from #3CNF to a fixed FO(<) query,
+//     which shows satisfiability reduces to μ > 0 and hence rules out an
+//     FPRAS for FO(<) unless NP ⊆ BPP.
+//
+// The gadgets double as end-to-end tests: on small inputs the engine's
+// exact order-cell algorithm must return exactly #ψ/2ⁿ.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Literal is a propositional literal: variable index Var (0-based),
+// negated when Neg is true.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a 3-literal clause.
+type Clause [3]Literal
+
+// Formula3 is a propositional formula in 3DNF or 3CNF shape: a list of
+// 3-literal clauses over NumVars variables. The same structure serves both
+// readings — as a disjunction of conjunctive clauses (DNF) or a
+// conjunction of disjunctive clauses (CNF).
+type Formula3 struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks variable indices.
+func (f Formula3) Validate() error {
+	if f.NumVars <= 0 {
+		return fmt.Errorf("reductions: formula needs at least one variable")
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("reductions: literal variable %d out of range [0,%d)", l.Var, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// evalClauseConj reports whether all three literals hold.
+func (c Clause) evalConj(assign uint) bool {
+	for _, l := range c {
+		bit := assign>>(uint(l.Var))&1 == 1
+		if bit == l.Neg {
+			return false
+		}
+	}
+	return true
+}
+
+// evalClauseDisj reports whether at least one literal holds.
+func (c Clause) evalDisj(assign uint) bool {
+	for _, l := range c {
+		bit := assign>>(uint(l.Var))&1 == 1
+		if bit != l.Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// CountDNF counts assignments satisfying the formula read as a 3DNF
+// (∨ of ∧-clauses) by brute force. Feasible for NumVars ≤ 24.
+func (f Formula3) CountDNF() int {
+	count := 0
+	for a := uint(0); a < 1<<uint(f.NumVars); a++ {
+		for _, c := range f.Clauses {
+			if c.evalConj(a) {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// CountCNF counts assignments satisfying the formula read as a 3CNF
+// (∧ of ∨-clauses) by brute force.
+func (f Formula3) CountCNF() int {
+	count := 0
+	for a := uint(0); a < 1<<uint(f.NumVars); a++ {
+		ok := true
+		for _, c := range f.Clauses {
+			if !c.evalDisj(a) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// gadgetSchema is the clause relation C(p1,n1,p2,n2,p3,n3), all numerical:
+// literal j of a clause is encoded in columns (pj, nj) so that the literal
+// holds iff pj > nj. A positive literal x_i stores (⊤i, 0); a negative one
+// stores (0, ⊤i).
+func gadgetSchema() *schema.Schema {
+	cols := make([]schema.Column, 0, 6)
+	for j := 1; j <= 3; j++ {
+		cols = append(cols,
+			schema.Column{Name: fmt.Sprintf("p%d", j), Type: schema.Num},
+			schema.Column{Name: fmt.Sprintf("n%d", j), Type: schema.Num},
+		)
+	}
+	return schema.MustNew(schema.MustRelation("C", cols...))
+}
+
+// gadgetDB encodes the clauses as tuples of the clause relation.
+func gadgetDB(f Formula3) (*db.Database, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	d := db.New(gadgetSchema())
+	for _, c := range f.Clauses {
+		tup := make(value.Tuple, 0, 6)
+		for _, l := range c {
+			if l.Neg {
+				tup = append(tup, value.Num(0), value.NullNum(l.Var))
+			} else {
+				tup = append(tup, value.NullNum(l.Var), value.Num(0))
+			}
+		}
+		if err := d.Insert("C", tup); err != nil {
+			return nil, err
+		}
+	}
+	// Every variable must occur as a null so that μ's denominator is 2ⁿ
+	// over all n variables; pad unused variables with a vacuous tuple? Not
+	// needed: variables absent from every clause do not affect μ (the
+	// satisfying set is a cylinder over them), and #ψ/2ⁿ is likewise
+	// invariant — both sides ignore them consistently.
+	return d, nil
+}
+
+// DNFGadget builds the fixed CQ(<) query and clause database of Prop 6.2:
+//
+//	q = ∃p̄,n̄ . C(p1,n1,p2,n2,p3,n3) ∧ p1 > n1 ∧ p2 > n2 ∧ p3 > n3
+//
+// Then μ(q, D_ψ) = #ψ/2ⁿ where #ψ counts the satisfying assignments of ψ
+// read as a 3DNF.
+func DNFGadget(f Formula3) (*fo.Query, *db.Database, error) {
+	d, err := gadgetDB(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := fo.MustParseQuery(`
+	q() := exists p1:num, n1:num, p2:num, n2:num, p3:num, n3:num .
+	    (C(p1, n1, p2, n2, p3, n3) and p1 > n1 and p2 > n2 and p3 > n3)
+	`)
+	return q, d, nil
+}
+
+// CNFGadget builds the fixed FO(<) query and clause database of Thm 6.3:
+//
+//	q = ∀p̄,n̄ . C(p1,n1,p2,n2,p3,n3) → (p1 > n1 ∨ p2 > n2 ∨ p3 > n3)
+//
+// Then μ(q, D_ψ) = #ψ/2ⁿ for ψ read as a 3CNF; in particular ψ is
+// satisfiable iff μ > 0, which is the NP-hardness behind the
+// no-FPRAS-for-FO(<) result.
+func CNFGadget(f Formula3) (*fo.Query, *db.Database, error) {
+	d, err := gadgetDB(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := fo.MustParseQuery(`
+	q() := forall p1:num, n1:num, p2:num, n2:num, p3:num, n3:num .
+	    C(p1, n1, p2, n2, p3, n3) -> (p1 > n1 or p2 > n2 or p3 > n3)
+	`)
+	return q, d, nil
+}

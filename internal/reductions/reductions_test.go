@@ -1,0 +1,126 @@
+package reductions
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func randFormula(rng *rand.Rand, nvars, nclauses int) Formula3 {
+	f := Formula3{NumVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		var c Clause
+		for j := 0; j < 3; j++ {
+			c[j] = Literal{Var: rng.Intn(nvars), Neg: rng.Intn(2) == 1}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Formula3{NumVars: 0}).Validate(); err == nil {
+		t.Error("zero variables accepted")
+	}
+	bad := Formula3{NumVars: 2, Clauses: []Clause{{{Var: 5}, {}, {}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+}
+
+func TestBruteForceCounts(t *testing.T) {
+	// ψ = (x0 ∧ x1 ∧ x2): one DNF clause.
+	f := Formula3{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+	}}
+	if got := f.CountDNF(); got != 1 {
+		t.Errorf("CountDNF = %d, want 1", got)
+	}
+	// As CNF (x0 ∨ x1 ∨ x2): 7 of 8.
+	if got := f.CountCNF(); got != 7 {
+		t.Errorf("CountCNF = %d, want 7", got)
+	}
+	// Tautology clause x0 ∨ ¬x0 ∨ x1 as CNF: all 4 of 2 vars.
+	g := Formula3{NumVars: 2, Clauses: []Clause{
+		{{Var: 0}, {Var: 0, Neg: true}, {Var: 1}},
+	}}
+	if got := g.CountCNF(); got != 4 {
+		t.Errorf("tautology CountCNF = %d, want 4", got)
+	}
+}
+
+// TestDNFCountingGadget is Prop 6.2 made executable: μ of the fixed CQ(<)
+// query over the clause database equals #ψ/2ⁿ, computed exactly by the
+// order-cell algorithm.
+func TestDNFCountingGadget(t *testing.T) {
+	e := core.New(core.Options{})
+	rng := rand.New(rand.NewSource(21))
+	cases := []Formula3{
+		{NumVars: 3, Clauses: []Clause{{{Var: 0}, {Var: 1}, {Var: 2}}}},
+		{NumVars: 3, Clauses: []Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: true}, {Var: 1, Neg: true}, {Var: 2, Neg: true}},
+		}},
+		randFormula(rng, 4, 3),
+		randFormula(rng, 4, 5),
+	}
+	for i, f := range cases {
+		q, d, err := DNFGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Measure(q, d, nil, 0.05, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := big.NewRat(int64(f.CountDNF()), 1<<uint(f.NumVars))
+		if res.Rat == nil {
+			t.Fatalf("case %d: non-exact method %s", i, res.Method)
+		}
+		if res.Rat.Cmp(want) != 0 {
+			t.Errorf("case %d: μ = %v, want %v (#ψ=%d, n=%d)",
+				i, res.Rat, want, f.CountDNF(), f.NumVars)
+		}
+	}
+}
+
+// TestCNFGadgetMatchesModelCount is the Thm 6.3 reduction: μ = #ψ/2ⁿ for
+// the FO(<) query, so satisfiability ⇔ μ > 0.
+func TestCNFGadgetMatchesModelCount(t *testing.T) {
+	e := core.New(core.Options{})
+	rng := rand.New(rand.NewSource(22))
+	cases := []Formula3{
+		{NumVars: 3, Clauses: []Clause{{{Var: 0}, {Var: 1}, {Var: 2}}}},
+		// Unsatisfiable-ish: x0 ∧ ¬x0 forced via two clauses over 3 vars.
+		{NumVars: 3, Clauses: []Clause{
+			{{Var: 0}, {Var: 0}, {Var: 0}},
+			{{Var: 0, Neg: true}, {Var: 0, Neg: true}, {Var: 0, Neg: true}},
+		}},
+		randFormula(rng, 4, 4),
+	}
+	for i, f := range cases {
+		q, d, err := CNFGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Measure(q, d, nil, 0.05, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := big.NewRat(int64(f.CountCNF()), 1<<uint(f.NumVars))
+		if res.Rat == nil {
+			t.Fatalf("case %d: non-exact method %s", i, res.Method)
+		}
+		if res.Rat.Cmp(want) != 0 {
+			t.Errorf("case %d: μ = %v, want %v (#ψ=%d, n=%d)",
+				i, res.Rat, want, f.CountCNF(), f.NumVars)
+		}
+		// Satisfiability ⇔ μ > 0.
+		sat := f.CountCNF() > 0
+		if (res.Value > 0) != sat {
+			t.Errorf("case %d: μ>0 is %v but satisfiable is %v", i, res.Value > 0, sat)
+		}
+	}
+}

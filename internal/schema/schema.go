@@ -1,0 +1,179 @@
+// Package schema defines relation and database schemas for the two-sorted
+// data model of the paper: a relation type R(base^k num^m) declares k
+// base-type columns followed by m numerical columns. (The paper assumes,
+// purely notationally, that base columns come first; we allow arbitrary
+// interleavings and record the sort of each column.)
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ColType is the sort of a column: base or numerical.
+type ColType uint8
+
+const (
+	// Base marks a column of the uninterpreted base type.
+	Base ColType = iota
+	// Num marks a column of the numerical type.
+	Num
+)
+
+// String returns "base" or "num".
+func (c ColType) String() string {
+	if c == Num {
+		return "num"
+	}
+	return "base"
+}
+
+// Column is a named, typed relation column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Relation describes one relation: its name and typed columns.
+type Relation struct {
+	Name    string
+	Columns []Column
+}
+
+// NewRelation builds a relation schema. Column names must be unique and
+// non-empty.
+func NewRelation(name string, cols ...Column) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be non-empty")
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("schema: relation %s has duplicate column %s", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Relation{Name: name, Columns: cols}, nil
+}
+
+// MustRelation is like NewRelation but panics on error. Intended for
+// statically known schemas in tests and examples.
+func MustRelation(name string, cols ...Column) *Relation {
+	r, err := NewRelation(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Columns) }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckTuple verifies that a tuple matches the relation's arity and column
+// sorts: base columns must hold base constants or base nulls, numerical
+// columns numerical constants or numerical nulls.
+func (r *Relation) CheckTuple(t value.Tuple) error {
+	if len(t) != len(r.Columns) {
+		return fmt.Errorf("schema: relation %s expects %d columns, tuple has %d",
+			r.Name, len(r.Columns), len(t))
+	}
+	for i, v := range t {
+		switch r.Columns[i].Type {
+		case Base:
+			if !v.IsBase() {
+				return fmt.Errorf("schema: relation %s column %s is base-typed, got %v",
+					r.Name, r.Columns[i].Name, v.Kind())
+			}
+		case Num:
+			if !v.IsNumeric() {
+				return fmt.Errorf("schema: relation %s column %s is num-typed, got %v",
+					r.Name, r.Columns[i].Name, v.Kind())
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the relation in the paper's notation, e.g.
+// "Products(id:base, seg:base, rrp:num, dis:num)".
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteByte('(')
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schema is a database schema: a set of relation schemas indexed by name.
+type Schema struct {
+	rels map[string]*Relation
+}
+
+// New builds a schema from the given relations. Relation names must be
+// unique.
+func New(rels ...*Relation) (*Schema, error) {
+	s := &Schema{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if _, dup := s.rels[r.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate relation %s", r.Name)
+		}
+		s.rels[r.Name] = r
+	}
+	return s, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(rels ...*Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the named relation schema, or nil.
+func (s *Schema) Relation(name string) *Relation { return s.rels[name] }
+
+// Relations returns all relation schemas sorted by name.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, 0, len(s.rels))
+	for _, r := range s.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String lists the relations, one per line, sorted by name.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, r := range s.Relations() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

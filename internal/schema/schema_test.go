@@ -1,0 +1,97 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func products() *Relation {
+	return MustRelation("Products",
+		Column{"id", Base}, Column{"seg", Base},
+		Column{"rrp", Num}, Column{"dis", Num})
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	if _, err := NewRelation("R", Column{"", Base}); err == nil {
+		t.Error("unnamed column accepted")
+	}
+	if _, err := NewRelation("R", Column{"a", Base}, Column{"a", Num}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewRelation("R", Column{"a", Base}, Column{"b", Num}); err != nil {
+		t.Errorf("valid relation rejected: %v", err)
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	p := products()
+	if p.ColumnIndex("rrp") != 2 {
+		t.Errorf("ColumnIndex(rrp) = %d", p.ColumnIndex("rrp"))
+	}
+	if p.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if p.Arity() != 4 {
+		t.Errorf("arity = %d", p.Arity())
+	}
+}
+
+func TestCheckTuple(t *testing.T) {
+	p := products()
+	good := value.Tuple{value.Base("p1"), value.NullBase(0), value.Num(10), value.NullNum(0)}
+	if err := p.CheckTuple(good); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := p.CheckTuple(good[:3]); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := value.Tuple{value.Num(1), value.Base("s"), value.Num(10), value.Num(0.5)}
+	if err := p.CheckTuple(bad); err == nil {
+		t.Error("num value in base column accepted")
+	}
+	bad2 := value.Tuple{value.Base("p1"), value.Base("s"), value.NullBase(0), value.Num(0.5)}
+	if err := p.CheckTuple(bad2); err == nil {
+		t.Error("base null in num column accepted")
+	}
+}
+
+func TestSchemaLookupAndOrdering(t *testing.T) {
+	s := MustNew(
+		MustRelation("B", Column{"x", Num}),
+		MustRelation("A", Column{"y", Base}),
+	)
+	if s.Relation("A") == nil || s.Relation("B") == nil {
+		t.Fatal("lookup failed")
+	}
+	if s.Relation("C") != nil {
+		t.Error("phantom relation")
+	}
+	rels := s.Relations()
+	if len(rels) != 2 || rels[0].Name != "A" || rels[1].Name != "B" {
+		t.Errorf("Relations not sorted: %v", rels)
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	_, err := New(MustRelation("R", Column{"a", Base}), MustRelation("R", Column{"b", Num}))
+	if err == nil {
+		t.Error("duplicate relation accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := products()
+	want := "Products(id:base, seg:base, rrp:num, dis:num)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	s := MustNew(p, MustRelation("Excluded", Column{"id", Base}))
+	if out := s.String(); !strings.Contains(out, "Excluded(id:base)") || !strings.Contains(out, want) {
+		t.Errorf("schema String = %q", out)
+	}
+}

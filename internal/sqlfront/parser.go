@@ -1,0 +1,374 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a SELECT statement:
+//
+//	SELECT A.col, B.col FROM Rel A, Rel2 B
+//	WHERE A.x = B.y AND A.p * A.q <= 0.5 * B.r LIMIT 25
+//
+// Grammar notes: WHERE is a conjunction (AND only), matching the
+// conjunctive decision-support queries of the paper's experiments; numeric
+// expressions support + - * and division by numeric literals; string
+// literals use single quotes; keywords are case-insensitive.
+func Parse(input string) (*Query, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sqlTokKind uint8
+
+const (
+	sqlEOF sqlTokKind = iota
+	sqlIdent
+	sqlNumber
+	sqlString
+	sqlSymbol
+)
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+	num  float64
+	pos  int
+}
+
+var sqlSymbols = []string{"<=", ">=", "<>", "!=", "<", ">", "=", "+", "-", "*", "/", "(", ")", ",", "."}
+
+func lexSQL(input string) ([]sqlToken, error) {
+	var toks []sqlToken
+	i, n := 0, len(input)
+outer:
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlfront: unterminated string at offset %d", i)
+			}
+			toks = append(toks, sqlToken{kind: sqlString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			f, err := strconv.ParseFloat(input[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlfront: bad number %q at offset %d", input[i:j], i)
+			}
+			toks = append(toks, sqlToken{kind: sqlNumber, num: f, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, sqlToken{kind: sqlIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			for _, s := range sqlSymbols {
+				if strings.HasPrefix(input[i:], s) {
+					toks = append(toks, sqlToken{kind: sqlSymbol, text: s, pos: i})
+					i += len(s)
+					continue outer
+				}
+			}
+			return nil, fmt.Errorf("sqlfront: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, sqlToken{kind: sqlEOF, pos: n})
+	return toks, nil
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	i    int
+}
+
+func (p *sqlParser) peek() sqlToken { return p.toks[p.i] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.i]; p.i++; return t }
+func (p *sqlParser) atEOF() bool    { return p.peek().kind == sqlEOF }
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlfront: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == sqlIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == sqlSymbol && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return p.errf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != sqlIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *sqlParser) colRef() (ColRef, error) {
+	tbl, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return ColRef{}, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Table: tbl, Col: col}, nil
+}
+
+func (p *sqlParser) query() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, c)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, TableRef{Relation: rel, Alias: alias})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("WHERE") {
+		for {
+			c, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != sqlNumber || t.num != float64(int(t.num)) || t.num <= 0 {
+			return nil, p.errf("LIMIT expects a positive integer, found %q", t.text)
+		}
+		p.i++
+		q.Limit = int(t.num)
+	}
+	return q, nil
+}
+
+// condition parses one conjunct. The base-vs-numeric distinction is
+// resolved later against the schema; syntactically, "col = col" and
+// "col = 'lit'" are parsed as candidate base equalities and everything
+// else as numeric comparison. A "col = col" over numeric columns is
+// reinterpreted during binding.
+func (p *sqlParser) condition() (Condition, error) {
+	l, err := p.expr()
+	if err != nil {
+		return Condition{}, err
+	}
+	t := p.peek()
+	if t.kind != sqlSymbol {
+		return Condition{}, p.errf("expected comparison operator, found %q", t.text)
+	}
+	var op CmpOp
+	switch t.text {
+	case "<":
+		op = Lt
+	case "<=":
+		op = Le
+	case "=":
+		op = Eq
+	case "<>", "!=":
+		op = Ne
+	case ">=":
+		op = Ge
+	case ">":
+		op = Gt
+	default:
+		return Condition{}, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.i++
+	if op == Eq && l.Kind == ExprCol && p.peek().kind == sqlString {
+		lit := p.next().text
+		return Condition{Kind: CondBaseEqConst, LCol: l.Col, Lit: lit}, nil
+	}
+	r, err := p.expr()
+	if err != nil {
+		return Condition{}, err
+	}
+	if op == Eq && l.Kind == ExprCol && r.Kind == ExprCol {
+		// Possibly a base join condition; binding decides by column types.
+		return Condition{Kind: CondBaseEq, LCol: l.Col, RCol: r.Col, Op: op, LExp: l, RExp: r}, nil
+	}
+	return Condition{Kind: CondNumCmp, Op: op, LExp: l, RExp: r}, nil
+}
+
+func (p *sqlParser) expr() (*Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.symbol("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Expr{Kind: ExprAdd, L: l, R: r}
+		case p.symbol("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Expr{Kind: ExprSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *sqlParser) mulExpr() (*Expr, error) {
+	l, err := p.atomExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.symbol("*"):
+			r, err := p.atomExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Expr{Kind: ExprMul, L: l, R: r}
+		case p.symbol("/"):
+			r, err := p.atomExpr()
+			if err != nil {
+				return nil, err
+			}
+			if r.Kind != ExprConst || r.Const == 0 {
+				return nil, p.errf("division is only supported by nonzero numeric literals")
+			}
+			l = &Expr{Kind: ExprMul, L: l, R: &Expr{Kind: ExprConst, Const: 1 / r.Const}}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *sqlParser) atomExpr() (*Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == sqlNumber:
+		p.i++
+		return &Expr{Kind: ExprConst, Const: t.num}, nil
+	case t.kind == sqlSymbol && t.text == "-":
+		p.i++
+		x, err := p.atomExpr()
+		if err != nil {
+			return nil, err
+		}
+		if x.Kind == ExprConst {
+			return &Expr{Kind: ExprConst, Const: -x.Const}, nil
+		}
+		return &Expr{Kind: ExprNeg, L: x}, nil
+	case t.kind == sqlSymbol && t.text == "(":
+		p.i++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == sqlIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprCol, Col: c}, nil
+	default:
+		return nil, p.errf("expected expression, found %q", t.text)
+	}
+}

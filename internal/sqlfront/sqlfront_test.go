@@ -1,0 +1,284 @@
+package sqlfront
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/realfmla"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+func salesSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("Products",
+			schema.Column{Name: "id", Type: schema.Base},
+			schema.Column{Name: "seg", Type: schema.Base},
+			schema.Column{Name: "rrp", Type: schema.Num},
+			schema.Column{Name: "dis", Type: schema.Num}),
+		schema.MustRelation("Market",
+			schema.Column{Name: "seg", Type: schema.Base},
+			schema.Column{Name: "rrp", Type: schema.Num},
+			schema.Column{Name: "dis", Type: schema.Num}),
+	)
+}
+
+func TestParseExperimentQueries(t *testing.T) {
+	srcs := []string{
+		`SELECT P.seg FROM Products P, Market M WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 25`,
+		`SELECT P.id FROM Products P WHERE P.rrp / 2 > 10`,
+		`SELECT P.id FROM Products P WHERE P.seg = 'seg1'`,
+		`select p.id from Products p where p.rrp <> 3 limit 1`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		// Round-trip through String.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("not a fixpoint: %s vs %s", q, q2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT FROM Products P`,
+		`SELECT P.id Products P`,
+		`SELECT P.id FROM Products`,
+		`SELECT P.id FROM Products P WHERE`,
+		`SELECT P.id FROM Products P LIMIT 0`,
+		`SELECT P.id FROM Products P LIMIT -3`,
+		`SELECT P.id FROM Products P WHERE P.rrp / P.dis > 1`, // div by column
+		`SELECT P.id FROM Products P WHERE P.rrp / 0 > 1`,
+		`SELECT P.id FROM Products P WHERE 'x' = P.id`,
+		`SELECT P.id FROM Products P extra`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestBindingErrors(t *testing.T) {
+	d := db.New(salesSchema())
+	bad := map[string]string{
+		`SELECT P.id FROM Nope P`:                                       "unknown relation",
+		`SELECT P.id FROM Products P, Products P`:                       "duplicate alias",
+		`SELECT X.id FROM Products P`:                                   "unknown alias in select",
+		`SELECT P.nope FROM Products P`:                                 "unknown column",
+		`SELECT P.id FROM Products P WHERE P.id = P.rrp`:                "mixed-sort equality",
+		`SELECT P.id FROM Products P WHERE P.seg = 'x' AND P.rrp = 'y'`: "string vs numeric column",
+		`SELECT P.id FROM Products P WHERE P.id * 2 > 1`:                "base column in arithmetic",
+	}
+	for src, why := range bad {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Evaluate(q, d); err == nil {
+			t.Errorf("accepted %s (%s)", src, why)
+		}
+	}
+}
+
+func buildSmallSales() *db.Database {
+	d := db.New(salesSchema())
+	d.MustInsert("Products", value.Base("p1"), value.Base("s1"), value.Num(10), value.Num(0.8))
+	d.MustInsert("Products", value.Base("p2"), value.Base("s1"), value.NullNum(0), value.Num(0.7))
+	d.MustInsert("Products", value.Base("p3"), value.Base("s2"), value.Num(20), value.Num(0.9))
+	d.MustInsert("Market", value.Base("s1"), value.Num(12), value.NullNum(1))
+	d.MustInsert("Market", value.Base("s2"), value.Num(5), value.Num(0.5))
+	return d
+}
+
+func TestEvaluateConditional(t *testing.T) {
+	d := buildSmallSales()
+	q := MustParse(`SELECT P.seg FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis`)
+	res, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates: s1 (two derivations, both with constraints over ⊤0/⊤1)
+	// and s2 (constraint-free, constant false: 20·0.9=18 > 5·0.5=2.5 → no).
+	if len(res.Candidates) != 1 {
+		t.Fatalf("candidates = %d, want 1 (s2's only derivation is false): %v",
+			len(res.Candidates), res.Candidates)
+	}
+	c := res.Candidates[0]
+	if c.Tuple[0].Str() != "s1" {
+		t.Errorf("candidate = %v", c.Tuple)
+	}
+	// φ must be a disjunction of the two derivations:
+	//   p1: 10·0.8 ≤ 12·z1  and  p2: z0·0.7 ≤ 12·z1.
+	check := func(z0, z1 float64, want bool) {
+		if got := realfmla.Eval(c.Phi, []float64{z0, z1}); got != want {
+			t.Errorf("φ(%g, %g) = %v, want %v (φ = %s)", z0, z1, got, want, c.Phi)
+		}
+	}
+	check(0, 1, true)      // p1 branch: 8 ≤ 12 ✓
+	check(0, 0.5, true)    // p1: 8 ≤ 6 ✗, p2: 0 ≤ 6 ✓
+	check(100, 0.5, false) // p1 ✗; p2: 70 ≤ 6 ✗
+}
+
+func TestEvaluateLimitAndDerivations(t *testing.T) {
+	d := buildSmallSales()
+	q := MustParse(`SELECT P.id FROM Products P LIMIT 2`)
+	res, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("LIMIT ignored: %d candidates", len(res.Candidates))
+	}
+	if res.Candidates[0].Tuple[0].Str() != "p1" || res.Candidates[1].Tuple[0].Str() != "p2" {
+		t.Errorf("derivation order not preserved: %v", res.Candidates)
+	}
+	if res.Derivations != 3 {
+		t.Errorf("derivations = %d, want 3", res.Derivations)
+	}
+}
+
+func TestEvaluateBaseNullJoinSemantics(t *testing.T) {
+	// A base null joins with itself but not with a constant.
+	s := schema.MustNew(
+		schema.MustRelation("A", schema.Column{Name: "k", Type: schema.Base}),
+		schema.MustRelation("B", schema.Column{Name: "k", Type: schema.Base}),
+	)
+	d := db.New(s)
+	d.MustInsert("A", value.NullBase(0))
+	d.MustInsert("A", value.Base("c"))
+	d.MustInsert("B", value.NullBase(0))
+	d.MustInsert("B", value.NullBase(1))
+
+	q := MustParse(`SELECT A.k FROM A A, B B WHERE A.k = B.k`)
+	res, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 || res.Candidates[0].Tuple[0] != value.NullBase(0) {
+		t.Errorf("candidates = %v, want just ⊥0", res.Candidates)
+	}
+	// String-literal comparison with a null is false.
+	q2 := MustParse(`SELECT B.k FROM B B WHERE B.k = 'c'`)
+	res2, err := Evaluate(q2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Candidates) != 0 {
+		t.Errorf("null matched a string literal: %v", res2.Candidates)
+	}
+}
+
+func TestNumericEqualityJoinBecomesConstraint(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("A", schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("B", schema.Column{Name: "x", Type: schema.Num}),
+	)
+	d := db.New(s)
+	d.MustInsert("A", value.NullNum(0))
+	d.MustInsert("B", value.Num(5))
+	q := MustParse(`SELECT A.x FROM A A, B B WHERE A.x = B.x`)
+	res, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 {
+		t.Fatalf("candidates = %v", res.Candidates)
+	}
+	phi := res.Candidates[0].Phi
+	if !realfmla.Eval(phi, []float64{5}) || realfmla.Eval(phi, []float64{4}) {
+		t.Errorf("constraint wrong: %s", phi)
+	}
+}
+
+// TestAgainstFOTranslation cross-validates the conditional evaluation
+// against the general Prop 5.3 translation of the equivalent FO query:
+// per candidate tuple, the two formulas must agree on random valuations.
+func TestAgainstFOTranslation(t *testing.T) {
+	d := buildSmallSales()
+	sqlQ := MustParse(`SELECT P.seg FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis`)
+	res, err := Evaluate(sqlQ, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foQ := fo.MustParseQuery(`
+	q(s:base) := exists i:base, r:num, dd:num, mr:num, md:num .
+	    (Products(i, s, r, dd) and Market(s, mr, md) and r * dd <= mr * md)`)
+
+	rng := rand.New(rand.NewSource(31))
+	for _, cand := range res.Candidates {
+		tr, err := translate.Query(foQ, d, []value.Value{cand.Tuple[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			z := make([]float64, len(res.NullIDs))
+			for j := range z {
+				z[j] = rng.NormFloat64() * 20
+			}
+			a := realfmla.Eval(cand.Phi, z)
+			b := realfmla.Eval(tr.Phi, z)
+			if a != b {
+				t.Fatalf("tuple %v, z=%v: conditional=%v translation=%v\nφ_sql = %s\nφ_fo = %s",
+					cand.Tuple, z, a, b, cand.Phi, tr.Phi)
+			}
+		}
+		// Their measures agree too.
+		e := core.New(core.Options{Seed: 77})
+		m1, err := e.MeasureFormula(cand.Phi, 0.02, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := e.MeasureFormula(tr.Phi, 0.02, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m1.Value-m2.Value) > 0.05 {
+			t.Errorf("tuple %v: μ_sql=%.4f μ_fo=%.4f", cand.Tuple, m1.Value, m2.Value)
+		}
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	// The probe plan must not change results: compare against a query where
+	// the join condition is written in reverse order (still probed) and
+	// where no base join exists (full scan).
+	d := buildSmallSales()
+	q1 := MustParse(`SELECT P.seg FROM Products P, Market M WHERE P.seg = M.seg AND P.rrp <= M.rrp`)
+	q2 := MustParse(`SELECT P.seg FROM Products P, Market M WHERE M.seg = P.seg AND P.rrp <= M.rrp`)
+	r1, err := Evaluate(q1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(q2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Derivations != r2.Derivations || len(r1.Candidates) != len(r2.Candidates) {
+		t.Errorf("join order sensitivity: %d/%d vs %d/%d",
+			r1.Derivations, len(r1.Candidates), r2.Derivations, len(r2.Candidates))
+	}
+}
+
+func TestQueryStringContainsLimit(t *testing.T) {
+	q := MustParse(`SELECT P.id FROM Products P LIMIT 7`)
+	if !strings.Contains(q.String(), "LIMIT 7") {
+		t.Errorf("String lost LIMIT: %s", q)
+	}
+}

@@ -1,0 +1,64 @@
+package sqlfront
+
+import (
+	"repro/internal/db"
+	"repro/internal/realfmla"
+)
+
+// Evaluate3VL runs the query under SQL's three-valued logic, the baseline
+// the paper's framework improves on: a comparison involving a null
+// evaluates to UNKNOWN and WHERE keeps only rows whose condition is TRUE.
+// Answers that depend on missing values are silently dropped — exactly
+// the lost information that the measure of certainty restores (a tuple
+// absent here may still have confidence 0.99).
+//
+// Base-typed conditions follow the marked-null model (a null equals
+// itself), so the contrast with Evaluate isolates the treatment of
+// *numerical* incompleteness.
+func Evaluate3VL(q *Query, d *db.Database) (*Result, error) {
+	full, err := Evaluate(q, d)
+	if err != nil {
+		return nil, err
+	}
+	// A derivation survives 3VL iff its constraint is vacuously true —
+	// i.e. the candidate's formula has a derivation with no null-dependent
+	// atoms. Candidates whose every derivation carries constraints are
+	// dropped, as SQL would drop them.
+	out := &Result{NullIDs: full.NullIDs, Index: full.Index, Derivations: full.Derivations}
+	for _, c := range full.Candidates {
+		if hasTrueDisjunct(c.Phi) {
+			out.Candidates = append(out.Candidates, Candidate{
+				Tuple: c.Tuple,
+				Phi:   realfmla.FTrue{},
+			})
+		}
+	}
+	return out, nil
+}
+
+// hasTrueDisjunct reports whether the (DNF-shaped) constraint contains a
+// constraint-free derivation. Evaluate builds candidate formulas with the
+// smart Or/And constructors, so a constraint-free derivation collapses the
+// whole disjunction to FTrue.
+func hasTrueDisjunct(f realfmla.Formula) bool {
+	_, ok := f.(realfmla.FTrue)
+	return ok
+}
+
+// Missing compares the conditional result with the 3VL result and returns
+// the candidates SQL loses: tuples whose every derivation depends on
+// nulls. These are precisely the answers for which the paper's confidence
+// levels provide new information.
+func Missing(full, threeVL *Result) []Candidate {
+	present := make(map[string]bool, len(threeVL.Candidates))
+	for _, c := range threeVL.Candidates {
+		present[c.Tuple.Key()] = true
+	}
+	var out []Candidate
+	for _, c := range full.Candidates {
+		if !present[c.Tuple.Key()] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package sqlfront
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/realfmla"
+	"repro/internal/value"
+)
+
+func TestEvaluate3VLDropsNullDependentAnswers(t *testing.T) {
+	d := buildSmallSales()
+	q := MustParse(`SELECT P.id FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis`)
+
+	full, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := Evaluate3VL(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of s1's derivations involve ⊤0/⊤1 (Market s1's dis is null), so
+	// SQL returns nothing; the conditional evaluation keeps both p1 and p2
+	// with constraints.
+	if len(sql.Candidates) != 0 {
+		t.Errorf("3VL returned %v, want nothing (all conditions touch nulls)", sql.Candidates)
+	}
+	if len(full.Candidates) == 0 {
+		t.Fatal("conditional evaluation lost the candidates too")
+	}
+	missing := Missing(full, sql)
+	if len(missing) != len(full.Candidates) {
+		t.Errorf("Missing = %d candidates, want %d", len(missing), len(full.Candidates))
+	}
+}
+
+func TestEvaluate3VLKeepsCompleteAnswers(t *testing.T) {
+	d := db.New(salesSchema())
+	d.MustInsert("Products", value.Base("p1"), value.Base("s1"), value.Num(10), value.Num(0.5))
+	d.MustInsert("Products", value.Base("p2"), value.Base("s1"), value.NullNum(0), value.Num(0.5))
+	d.MustInsert("Market", value.Base("s1"), value.Num(100), value.Num(0.9))
+
+	q := MustParse(`SELECT P.id FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis`)
+	sql, err := Evaluate3VL(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1's condition is on complete values (5 ≤ 90): kept, with a trivial
+	// constraint. p2 depends on ⊤0: dropped.
+	if len(sql.Candidates) != 1 || sql.Candidates[0].Tuple[0].Str() != "p1" {
+		t.Fatalf("3VL candidates = %v, want just p1", sql.Candidates)
+	}
+	if _, ok := sql.Candidates[0].Phi.(realfmla.FTrue); !ok {
+		t.Errorf("kept candidate should carry a trivial constraint, got %s", sql.Candidates[0].Phi)
+	}
+
+	full, err := Evaluate(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := Missing(full, sql)
+	if len(missing) != 1 || missing[0].Tuple[0].Str() != "p2" {
+		t.Errorf("Missing = %v, want just p2", missing)
+	}
+}

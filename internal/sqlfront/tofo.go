@@ -1,0 +1,136 @@
+package sqlfront
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/schema"
+)
+
+// ToFO compiles a SELECT statement into the equivalent FO(+,·,<) query
+// (ignoring LIMIT, which is a presentation concern): the selected columns
+// become free variables and the FROM/WHERE clauses become an existential
+// conjunction. The compilation connects the two front-ends — SQL results
+// measured through the conditional pipeline and through the general
+// Prop 5.3 translation of the compiled query must agree, which the test
+// suite exploits for randomized cross-validation.
+func ToFO(q *Query, s *schema.Schema) (*fo.Query, error) {
+	b, err := bind(q, db.New(s))
+	if err != nil {
+		return nil, err
+	}
+	// One variable per (alias, column); selected columns become the free
+	// variables, everything else is existentially quantified.
+	varName := func(c ColRef) string { return c.Table + "_" + c.Col }
+
+	selected := make(map[string]bool, len(q.Select))
+	var free []fo.FreeVar
+	for _, c := range q.Select {
+		t, err := b.colType(c)
+		if err != nil {
+			return nil, err
+		}
+		srt := fo.SortBase
+		if t == schema.Num {
+			srt = fo.SortNum
+		}
+		name := varName(c)
+		if selected[name] {
+			return nil, fmt.Errorf("sqlfront: column %s selected twice", c)
+		}
+		selected[name] = true
+		free = append(free, fo.FreeVar{Name: name, Sort: srt})
+	}
+
+	var conj []fo.Formula
+	var bound []fo.FreeVar
+	for _, tr := range q.From {
+		rel := b.rels[tr.Alias]
+		args := make([]fo.Term, rel.Arity())
+		for i, col := range rel.Columns {
+			ref := ColRef{Table: tr.Alias, Col: col.Name}
+			name := varName(ref)
+			args[i] = fo.Var{Name: name}
+			if !selected[name] {
+				srt := fo.SortBase
+				if col.Type == schema.Num {
+					srt = fo.SortNum
+				}
+				bound = append(bound, fo.FreeVar{Name: name, Sort: srt})
+			}
+		}
+		conj = append(conj, fo.Atom{Rel: tr.Relation, Args: args})
+	}
+	for _, c := range q.Where {
+		f, err := condToFO(b, c, varName)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, f)
+	}
+
+	body := fo.AndAll(conj...)
+	for i := len(bound) - 1; i >= 0; i-- {
+		body = fo.Exists{Var: bound[i].Name, Sort: bound[i].Sort, Body: body}
+	}
+	return &fo.Query{Name: "q", Free: free, Body: body}, nil
+}
+
+func condToFO(b *binder, c Condition, varName func(ColRef) string) (fo.Formula, error) {
+	nc, err := b.normalize(c)
+	if err != nil {
+		return nil, err
+	}
+	switch nc.Kind {
+	case CondBaseEq:
+		return fo.BaseEq{L: fo.Var{Name: varName(nc.LCol)}, R: fo.Var{Name: varName(nc.RCol)}}, nil
+	case CondBaseEqConst:
+		return fo.BaseEq{L: fo.Var{Name: varName(nc.LCol)}, R: fo.BaseConst{Value: nc.Lit}}, nil
+	case CondNumCmp:
+		l, err := exprToFO(nc.LExp, varName)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprToFO(nc.RExp, varName)
+		if err != nil {
+			return nil, err
+		}
+		op := [...]fo.CmpOp{fo.Lt, fo.Le, fo.EqNum, fo.NeNum, fo.Ge, fo.Gt}[nc.Op]
+		return fo.Cmp{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("sqlfront: unknown condition kind")
+}
+
+func exprToFO(e *Expr, varName func(ColRef) string) (fo.Term, error) {
+	switch e.Kind {
+	case ExprCol:
+		return fo.Var{Name: varName(e.Col)}, nil
+	case ExprConst:
+		return fo.NumConst{Value: e.Const}, nil
+	case ExprNeg:
+		x, err := exprToFO(e.L, varName)
+		if err != nil {
+			return nil, err
+		}
+		return fo.Neg{X: x}, nil
+	case ExprAdd, ExprSub, ExprMul:
+		l, err := exprToFO(e.L, varName)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprToFO(e.R, varName)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Kind {
+		case ExprAdd:
+			return fo.Add{L: l, R: r}, nil
+		case ExprSub:
+			return fo.Sub{L: l, R: r}, nil
+		default:
+			return fo.Mul{L: l, R: r}, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlfront: unknown expression kind")
+}

@@ -1,0 +1,126 @@
+package sqlfront
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/realfmla"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+func TestToFOCompilesAndTypechecks(t *testing.T) {
+	s := salesSchema()
+	srcs := []string{
+		`SELECT P.seg FROM Products P, Market M WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis`,
+		`SELECT P.id FROM Products P WHERE P.rrp / 2 > 10 AND P.seg = 'seg1'`,
+		`SELECT P.id, P.rrp FROM Products P WHERE P.rrp - P.dis <> 0`,
+	}
+	for _, src := range srcs {
+		q := MustParse(src)
+		foq, err := ToFO(q, s)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if err := fo.Typecheck(foq, s); err != nil {
+			t.Fatalf("%s: compiled query ill-typed: %v\n%s", src, err, foq)
+		}
+	}
+	// Selecting the same column twice is rejected (would duplicate the
+	// free variable).
+	if _, err := ToFO(MustParse(`SELECT P.id, P.id FROM Products P`), s); err == nil {
+		t.Error("duplicate selection accepted")
+	}
+}
+
+// TestToFORandomCrossValidation is the strongest end-to-end check in the
+// suite: random small databases, random conjunctive SQL queries; for every
+// candidate tuple the conditional-evaluation constraint and the Prop 5.3
+// translation of the compiled FO query must agree on random valuations of
+// the nulls — two completely independent pipelines from SQL text to real
+// formula.
+func TestToFORandomCrossValidation(t *testing.T) {
+	s := salesSchema()
+	rng := rand.New(rand.NewSource(2024))
+	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
+
+	for trial := 0; trial < 12; trial++ {
+		// Random database: small (the FO translation expands quantifiers
+		// over the active domain, so size is exponential in arity) and
+		// null-heavy, with few distinct constants to keep the domain tight.
+		d := db.New(s)
+		nextNull := 0
+		randNum := func() value.Value {
+			if rng.Intn(3) == 0 {
+				v := value.NullNum(nextNull)
+				nextNull++
+				return v
+			}
+			return value.Num(float64(rng.Intn(4) - 2))
+		}
+		segs := []string{"s1", "s2"}
+		for i := 0; i < 3; i++ {
+			d.MustInsert("Products",
+				value.Base(fmt.Sprintf("p%d", i)),
+				value.Base(segs[rng.Intn(2)]),
+				randNum(), randNum())
+		}
+		for i := 0; i < 2; i++ {
+			d.MustInsert("Market", value.Base(segs[rng.Intn(2)]), randNum(), randNum())
+		}
+
+		// Random conjunctive condition over the joined tables.
+		numCols := []string{"P.rrp", "P.dis", "M.rrp", "M.dis"}
+		conds := []string{"P.seg = M.seg"}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			l := numCols[rng.Intn(len(numCols))]
+			r := numCols[rng.Intn(len(numCols))]
+			op := ops[rng.Intn(len(ops))]
+			switch rng.Intn(3) {
+			case 0:
+				conds = append(conds, fmt.Sprintf("%s %s %d", l, op, rng.Intn(5)))
+			case 1:
+				conds = append(conds, fmt.Sprintf("%s %s %s", l, op, r))
+			default:
+				conds = append(conds, fmt.Sprintf("%s * %s %s %d", l, r, op, rng.Intn(9)-4))
+			}
+		}
+		src := "SELECT P.id FROM Products P, Market M WHERE " + conds[0]
+		for _, c := range conds[1:] {
+			src += " AND " + c
+		}
+		sqlQ, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, src, err)
+		}
+		res, err := Evaluate(sqlQ, d)
+		if err != nil {
+			t.Fatalf("trial %d: evaluate: %v", trial, err)
+		}
+		foQ, err := ToFO(sqlQ, s)
+		if err != nil {
+			t.Fatalf("trial %d: ToFO: %v", trial, err)
+		}
+		for _, cand := range res.Candidates {
+			tr, err := translate.Query(foQ, d, []value.Value{cand.Tuple[0]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				z := make([]float64, len(res.NullIDs))
+				for j := range z {
+					z[j] = float64(rng.Intn(11) - 5)
+				}
+				a := realfmla.Eval(cand.Phi, z)
+				b := realfmla.Eval(tr.Phi, z)
+				if a != b {
+					t.Fatalf("trial %d, query %s, tuple %v, z=%v:\n conditional=%v translation=%v\n φ_sql=%s\n φ_fo=%s",
+						trial, src, cand.Tuple, z, a, b, cand.Phi, tr.Phi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package translate implements Proposition 5.3 of the paper: given a query
+// q ∈ FO(+,·,<), a database D, and a candidate answer tuple, it constructs
+// in polynomial time (data complexity) a quantifier-free formula
+// φ(z₁..z_k) over the real field — one variable per numerical null of D —
+// such that for every interpretation z of the numerical nulls,
+//
+//	φ(z)  ⇔  v_z(a,s) ∈ q(v_z(D)),
+//
+// where v_z extends a bijective valuation of the base nulls (Prop 5.2).
+// Consequently μ(q, D, (a,s)) = ν(φ) (Theorem 5.4).
+//
+// The construction replaces base-sort quantifiers by explicit disjunctions
+// (∃) or conjunctions (∀) over the active base domain, numerical
+// quantifiers by disjunctions/conjunctions over Cnum(D) ∪ Nnum(D), and
+// relational atoms by disjunctions over the stored tuples, leaving only
+// polynomial sign conditions over the null variables.
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+	"repro/internal/value"
+)
+
+// Result is the output of the translation.
+type Result struct {
+	// Phi is the quantifier-free real formula over z_0..z_{K-1}.
+	Phi realfmla.Formula
+	// NullIDs maps variable index i to the numerical null ID it stands for.
+	NullIDs []int
+	// Index maps a numerical null ID to its variable index.
+	Index map[int]int
+}
+
+// K returns the number of variables (numerical nulls of the database).
+func (r *Result) K() int { return len(r.NullIDs) }
+
+// cell is the translated value of a term: a base string or a polynomial
+// over the null variables.
+type cell struct {
+	isNum bool
+	base  string
+	num   poly.Poly
+}
+
+type translator struct {
+	k     int
+	index map[int]int
+
+	baseDomain []string
+	numDomain  []cell
+	rels       map[string][][]cell
+}
+
+// Query translates (q, D, args) into a real formula. args supplies values
+// for q's free variables, in order; they may be constants or nulls of D
+// (nulls in base positions are interpreted by the same bijective valuation
+// as the database's base nulls; numerical nulls become their variables).
+func Query(q *fo.Query, d *db.Database, args []value.Value) (*Result, error) {
+	if err := fo.Typecheck(q, d.Schema()); err != nil {
+		return nil, err
+	}
+	if len(args) != len(q.Free) {
+		return nil, fmt.Errorf("translate: query has %d free variables, got %d arguments",
+			len(q.Free), len(args))
+	}
+
+	nullIDs := d.NumNulls()
+	tr := &translator{k: len(nullIDs), index: make(map[int]int, len(nullIDs))}
+	for i, id := range nullIDs {
+		tr.index[id] = i
+	}
+
+	// Active base domain: constants of D plus the bijective-valuation images
+	// of base nulls of D.
+	tr.baseDomain = append(tr.baseDomain, d.BaseConstants()...)
+	for _, id := range d.BaseNulls() {
+		tr.baseDomain = append(tr.baseDomain, fo.FreshBaseName(id))
+	}
+	// Active numerical domain: Cnum(D) ∪ Nnum(D).
+	for _, x := range d.NumConstants() {
+		tr.numDomain = append(tr.numDomain, cell{isNum: true, num: poly.Const(tr.k, x)})
+	}
+	for _, id := range nullIDs {
+		tr.numDomain = append(tr.numDomain, cell{isNum: true, num: poly.Var(tr.k, tr.index[id])})
+	}
+	// Relation contents as cells.
+	tr.rels = make(map[string][][]cell)
+	for _, rel := range d.Schema().Relations() {
+		rows := make([][]cell, 0, len(d.Tuples(rel.Name)))
+		for _, t := range d.Tuples(rel.Name) {
+			row := make([]cell, len(t))
+			for i, v := range t {
+				c, err := tr.cellForValue(v)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = c
+			}
+			rows = append(rows, row)
+		}
+		tr.rels[rel.Name] = rows
+	}
+
+	env := make(map[string]cell, len(args))
+	for i, fv := range q.Free {
+		c, err := tr.cellForValue(args[i])
+		if err != nil {
+			return nil, err
+		}
+		if c.isNum != (fv.Sort == fo.SortNum) {
+			return nil, fmt.Errorf("translate: argument %d (%s) has wrong sort for %s",
+				i+1, args[i], fv.Name)
+		}
+		env[fv.Name] = c
+	}
+
+	phi, err := tr.formula(q.Body, env)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Phi: phi, NullIDs: nullIDs, Index: tr.index}, nil
+}
+
+func (tr *translator) cellForValue(v value.Value) (cell, error) {
+	switch v.Kind() {
+	case value.BaseConst:
+		return cell{base: v.Str()}, nil
+	case value.BaseNull:
+		return cell{base: fo.FreshBaseName(v.NullID())}, nil
+	case value.NumConst:
+		return cell{isNum: true, num: poly.Const(tr.k, v.Float())}, nil
+	case value.NumNull:
+		i, ok := tr.index[v.NullID()]
+		if !ok {
+			return cell{}, fmt.Errorf("translate: numerical null ⊤%d does not occur in the database", v.NullID())
+		}
+		return cell{isNum: true, num: poly.Var(tr.k, i)}, nil
+	}
+	return cell{}, fmt.Errorf("translate: unknown value kind")
+}
+
+func (tr *translator) formula(f fo.Formula, env map[string]cell) (realfmla.Formula, error) {
+	switch x := f.(type) {
+	case fo.True:
+		return realfmla.FTrue{}, nil
+	case fo.False:
+		return realfmla.FFalse{}, nil
+	case fo.Atom:
+		return tr.atom(x, env)
+	case fo.BaseEq:
+		l, err := tr.term(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.term(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		if l.isNum || r.isNum {
+			return nil, fmt.Errorf("translate: base equality over numerical terms")
+		}
+		if l.base == r.base {
+			return realfmla.FTrue{}, nil
+		}
+		return realfmla.FFalse{}, nil
+	case fo.Cmp:
+		l, err := tr.term(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.term(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		if !l.isNum || !r.isNum {
+			return nil, fmt.Errorf("translate: comparison over base terms")
+		}
+		diff := l.num.Sub(r.num)
+		var rel realfmla.Rel
+		switch x.Op {
+		case fo.Lt:
+			rel = realfmla.LT
+		case fo.Le:
+			rel = realfmla.LE
+		case fo.EqNum:
+			rel = realfmla.EQ
+		case fo.NeNum:
+			rel = realfmla.NE
+		case fo.Ge:
+			rel = realfmla.GE
+		case fo.Gt:
+			rel = realfmla.GT
+		}
+		// Constant atoms fold immediately.
+		if _, ok := diff.IsConst(); ok {
+			if (realfmla.Atom{P: diff, Rel: rel}).Eval(make([]float64, tr.k)) {
+				return realfmla.FTrue{}, nil
+			}
+			return realfmla.FFalse{}, nil
+		}
+		return realfmla.FAtom{A: realfmla.Atom{P: diff, Rel: rel}}, nil
+	case fo.Not:
+		g, err := tr.formula(x.F, env)
+		if err != nil {
+			return nil, err
+		}
+		return realfmla.NNF(realfmla.FNot{F: g}), nil
+	case fo.And:
+		l, err := tr.formula(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.formula(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return realfmla.And(l, r), nil
+	case fo.Or:
+		l, err := tr.formula(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.formula(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return realfmla.Or(l, r), nil
+	case fo.Implies:
+		l, err := tr.formula(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.formula(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return realfmla.Or(realfmla.NNF(realfmla.FNot{F: l}), r), nil
+	case fo.Exists:
+		return tr.quant(x.Var, x.Sort, x.Body, env, true)
+	case fo.Forall:
+		return tr.quant(x.Var, x.Sort, x.Body, env, false)
+	}
+	return nil, fmt.Errorf("translate: unknown formula node %T", f)
+}
+
+// quant expands a quantifier over the active domain: ∃ becomes a
+// disjunction, ∀ a conjunction.
+func (tr *translator) quant(name string, srt fo.Sort, body fo.Formula, env map[string]cell, existential bool) (realfmla.Formula, error) {
+	old, had := env[name]
+	defer func() {
+		if had {
+			env[name] = old
+		} else {
+			delete(env, name)
+		}
+	}()
+	var parts []realfmla.Formula
+	add := func(c cell) error {
+		env[name] = c
+		g, err := tr.formula(body, env)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, g)
+		return nil
+	}
+	if srt == fo.SortBase {
+		for _, s := range tr.baseDomain {
+			if err := add(cell{base: s}); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, c := range tr.numDomain {
+			if err := add(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if existential {
+		return realfmla.Or(parts...), nil
+	}
+	return realfmla.And(parts...), nil
+}
+
+// atom expands R(t̄) into a disjunction over the tuples stored in R: the
+// argument cells must agree with the tuple cells component-wise (base cells
+// syntactically, numerical cells as polynomial equalities).
+func (tr *translator) atom(a fo.Atom, env map[string]cell) (realfmla.Formula, error) {
+	args := make([]cell, len(a.Args))
+	for i, t := range a.Args {
+		c, err := tr.term(t, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	rows, ok := tr.rels[a.Rel]
+	if !ok {
+		return nil, fmt.Errorf("translate: unknown relation %s", a.Rel)
+	}
+	var disjuncts []realfmla.Formula
+	for _, row := range rows {
+		if len(row) != len(args) {
+			return nil, fmt.Errorf("translate: arity mismatch for %s", a.Rel)
+		}
+		var conj []realfmla.Formula
+		match := true
+		for i := range row {
+			if row[i].isNum != args[i].isNum {
+				return nil, fmt.Errorf("translate: sort mismatch in column %d of %s", i+1, a.Rel)
+			}
+			if !row[i].isNum {
+				if row[i].base != args[i].base {
+					match = false
+					break
+				}
+				continue
+			}
+			diff := row[i].num.Sub(args[i].num)
+			if c, isConst := diff.IsConst(); isConst {
+				if c != 0 {
+					match = false
+					break
+				}
+				continue
+			}
+			conj = append(conj, realfmla.FAtom{A: realfmla.Atom{P: diff, Rel: realfmla.EQ}})
+		}
+		if !match {
+			continue
+		}
+		disjuncts = append(disjuncts, realfmla.And(conj...))
+	}
+	return realfmla.Or(disjuncts...), nil
+}
+
+func (tr *translator) term(t fo.Term, env map[string]cell) (cell, error) {
+	switch x := t.(type) {
+	case fo.Var:
+		c, ok := env[x.Name]
+		if !ok {
+			return cell{}, fmt.Errorf("translate: unbound variable %s", x.Name)
+		}
+		return c, nil
+	case fo.BaseConst:
+		return cell{base: x.Value}, nil
+	case fo.NumConst:
+		return cell{isNum: true, num: poly.Const(tr.k, x.Value)}, nil
+	case fo.Add:
+		return tr.numBinop(x.L, x.R, env, poly.Poly.Add)
+	case fo.Sub:
+		return tr.numBinop(x.L, x.R, env, poly.Poly.Sub)
+	case fo.Mul:
+		return tr.numBinop(x.L, x.R, env, poly.Poly.Mul)
+	case fo.Neg:
+		c, err := tr.term(x.X, env)
+		if err != nil {
+			return cell{}, err
+		}
+		if !c.isNum {
+			return cell{}, fmt.Errorf("translate: unary - over base term")
+		}
+		return cell{isNum: true, num: c.num.Neg()}, nil
+	}
+	return cell{}, fmt.Errorf("translate: unknown term node %T", t)
+}
+
+func (tr *translator) numBinop(l, r fo.Term, env map[string]cell, op func(poly.Poly, poly.Poly) poly.Poly) (cell, error) {
+	lc, err := tr.term(l, env)
+	if err != nil {
+		return cell{}, err
+	}
+	rc, err := tr.term(r, env)
+	if err != nil {
+		return cell{}, err
+	}
+	if !lc.isNum || !rc.isNum {
+		return cell{}, fmt.Errorf("translate: arithmetic over base terms")
+	}
+	return cell{isNum: true, num: op(lc.num, rc.num)}, nil
+}

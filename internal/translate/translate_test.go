@@ -1,0 +1,232 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/fo"
+	"repro/internal/realfmla"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func trSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("S",
+			schema.Column{Name: "x", Type: schema.Num},
+			schema.Column{Name: "y", Type: schema.Num}),
+		schema.MustRelation("E",
+			schema.Column{Name: "a", Type: schema.Base}),
+	)
+}
+
+// TestSelectGreater is the running example of the paper's introduction
+// (σ_{A>B}(R) on a single all-null tuple): the translated formula must be
+// exactly the condition z0 > z1 (up to sign conventions).
+func TestSelectGreater(t *testing.T) {
+	d := db.New(trSchema())
+	d.MustInsert("S", value.NullNum(0), value.NullNum(1))
+	q := fo.MustParseQuery(`q() := exists x:num, y:num . (S(x, y) and x > y)`)
+
+	res, err := Query(q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("K = %d", res.K())
+	}
+	// φ(z) must hold exactly when z0 > z1.
+	cases := []struct {
+		z    []float64
+		want bool
+	}{
+		{[]float64{2, 1}, true},
+		{[]float64{1, 2}, false},
+		{[]float64{1, 1}, false},
+		{[]float64{-1, -2}, true},
+	}
+	for _, c := range cases {
+		if got := realfmla.Eval(res.Phi, c.z); got != c.want {
+			t.Errorf("φ(%v) = %v, want %v (φ = %s)", c.z, got, c.want, res.Phi)
+		}
+	}
+}
+
+// TestTranslationSoundness is the central property (Prop 5.3): for random
+// valuations z of the numerical nulls, φ(z) holds iff the query is true on
+// the completed database v_z(D) with the candidate answer v_z(a,s).
+func TestTranslationSoundness(t *testing.T) {
+	s := trSchema()
+	queries := []struct {
+		src  string
+		args func(d *db.Database) []value.Value
+	}{
+		{`q() := exists a:base, x:num . (R(a, x) and x > 2)`, nil},
+		{`q() := forall x:num, y:num . (S(x, y) -> x + y > 0)`, nil},
+		{`q() := exists x:num, y:num . (S(x, y) and x * y = 6)`, nil},
+		{`q() := exists a:base . (R(a, 1) and not E(a))`, nil},
+		{`q() := forall a:base . (E(a) -> exists x:num . R(a, x))`, nil},
+		{`q(v:num) := exists y:num . (S(v, y) and y < v)`,
+			func(d *db.Database) []value.Value { return []value.Value{value.NullNum(0)} }},
+		{`q(a:base) := exists x:num . (R(a, x) and x >= 0)`,
+			func(d *db.Database) []value.Value { return []value.Value{value.NullBase(0)} }},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		d := db.New(s)
+		nulls := []value.Value{value.NullNum(0), value.NullNum(1)}
+		randNum := func() value.Value {
+			if rng.Intn(2) == 0 {
+				return nulls[rng.Intn(len(nulls))]
+			}
+			return value.Num(float64(rng.Intn(7) - 3))
+		}
+		randBase := func() value.Value {
+			if rng.Intn(4) == 0 {
+				return value.NullBase(rng.Intn(2))
+			}
+			return value.Base(string(rune('a' + rng.Intn(3))))
+		}
+		for i := 0; i < 3; i++ {
+			d.MustInsert("R", randBase(), randNum())
+			d.MustInsert("S", randNum(), randNum())
+		}
+		d.MustInsert("E", randBase())
+		// Answer tuples below mention ⊥0 and ⊤0; nulls in answers must occur
+		// in the database (they are tuples over C(D) ∪ N(D)).
+		d.MustInsert("R", value.NullBase(0), value.NullNum(0))
+
+		// The translation fixes a bijective base valuation; soundness is
+		// stated w.r.t. completions that extend it.
+		_, vbase := db.ApplyBijectiveBase(d)
+
+		for _, qc := range queries {
+			q := fo.MustParseQuery(qc.src)
+			var args []value.Value
+			if qc.args != nil {
+				args = qc.args(d)
+			}
+			res, err := Query(q, d, args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				z := make([]float64, res.K())
+				for j := range z {
+					z[j] = float64(rng.Intn(9) - 4)
+				}
+				// Build the completed database under (vbase, z).
+				val := db.NewValuation()
+				for id, img := range vbase.Base {
+					val.Base[id] = img
+				}
+				for id, idx := range res.Index {
+					val.Num[id] = z[idx]
+				}
+				cd, err := val.Apply(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst, err := fo.FromComplete(cd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cargs := make([]fo.Cell[float64], len(args))
+				for j, a := range args {
+					va, err := val.Value(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c, err := fo.CellForCompleteValue(va)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cargs[j] = c
+				}
+				want, err := fo.Eval(q, inst, cargs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := realfmla.Eval(res.Phi, z)
+				if got != want {
+					t.Fatalf("trial %d, query %s, z=%v: φ=%v eval=%v\nφ = %s\nDB:\n%s",
+						trial, qc.src, z, got, want, res.Phi, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	d := db.New(trSchema())
+	d.MustInsert("S", value.NullNum(0), value.Num(1))
+
+	// Arity mismatch between free variables and args.
+	q := fo.MustParseQuery(`q(v:num) := S(v, 1)`)
+	if _, err := Query(q, d, nil); err == nil {
+		t.Error("missing argument accepted")
+	}
+	// Wrong sort.
+	if _, err := Query(q, d, []value.Value{value.Base("a")}); err == nil {
+		t.Error("base argument for num variable accepted")
+	}
+	// Unknown numerical null in the answer tuple.
+	if _, err := Query(q, d, []value.Value{value.NullNum(99)}); err == nil {
+		t.Error("foreign numerical null accepted")
+	}
+	// Ill-typed query.
+	bad := fo.MustParseQuery(`q() := S(1, 2, 3)`)
+	if _, err := Query(bad, d, nil); err == nil {
+		t.Error("ill-typed query accepted")
+	}
+}
+
+func TestTranslateNoNulls(t *testing.T) {
+	// On a complete database the translation is variable-free and decides
+	// the query outright.
+	d := db.New(trSchema())
+	d.MustInsert("S", value.Num(2), value.Num(3))
+	q := fo.MustParseQuery(`q() := exists x:num, y:num . (S(x, y) and x < y)`)
+	res, err := Query(q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 0 {
+		t.Fatalf("K = %d on complete database", res.K())
+	}
+	if !realfmla.Eval(res.Phi, nil) {
+		t.Errorf("φ should be true: %s", res.Phi)
+	}
+}
+
+// TestBaseNullSemantics checks the bijective-valuation convention: a base
+// null joins only with itself, never with a named constant.
+func TestBaseNullSemantics(t *testing.T) {
+	d := db.New(trSchema())
+	d.MustInsert("R", value.NullBase(0), value.Num(1))
+	d.MustInsert("E", value.Base("a"))
+
+	// ∃a. R(a,1) ∧ E(a): under a bijective valuation ⊥0 ≠ "a", so false.
+	q := fo.MustParseQuery(`q() := exists a:base . (R(a, 1) and E(a))`)
+	res, err := Query(q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realfmla.Eval(res.Phi, nil) {
+		t.Error("base null unified with a constant")
+	}
+
+	// But R(a,1) ∧ not E(a) is true, witnessed by the null's fresh image.
+	q2 := fo.MustParseQuery(`q() := exists a:base . (R(a, 1) and not E(a))`)
+	res2, err := Query(q2, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !realfmla.Eval(res2.Phi, nil) {
+		t.Error("fresh constant for base null not usable as witness")
+	}
+}

@@ -1,0 +1,176 @@
+// Package value defines the two-sorted value model of the paper:
+// constants and marked nulls of a base type and of a numerical type.
+//
+// Base-type values come from an uninterpreted domain Cbase (represented as
+// strings) or are marked nulls ⊥i from Nbase. Numerical values come from
+// Cnum ⊆ ℝ (represented as float64) or are marked nulls ⊤i from Nnum.
+// Marked nulls are identified by small integer IDs: two occurrences of the
+// same null denote the same unknown value.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the four kinds of database values.
+type Kind uint8
+
+const (
+	// BaseConst is a constant of the base (uninterpreted) type.
+	BaseConst Kind = iota
+	// NumConst is a constant of the numerical type (an element of ℝ).
+	NumConst
+	// BaseNull is a marked null ⊥i occurring in a base-type column.
+	BaseNull
+	// NumNull is a marked null ⊤i occurring in a numerical column.
+	NumNull
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case BaseConst:
+		return "base constant"
+	case NumConst:
+		return "numerical constant"
+	case BaseNull:
+		return "base null"
+	case NumNull:
+		return "numerical null"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single database entry. The zero value is the base constant "".
+// Values are comparable and can be used as map keys.
+type Value struct {
+	kind Kind
+	str  string  // payload for BaseConst
+	num  float64 // payload for NumConst
+	id   int     // payload for BaseNull / NumNull
+}
+
+// Base returns a base-type constant.
+func Base(s string) Value { return Value{kind: BaseConst, str: s} }
+
+// Num returns a numerical constant.
+func Num(x float64) Value { return Value{kind: NumConst, num: x} }
+
+// NullBase returns the marked base-type null ⊥id.
+func NullBase(id int) Value { return Value{kind: BaseNull, id: id} }
+
+// NullNum returns the marked numerical null ⊤id.
+func NullNum(id int) Value { return Value{kind: NumNull, id: id} }
+
+// Kind reports which of the four kinds of value v is.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is a marked null of either type.
+func (v Value) IsNull() bool { return v.kind == BaseNull || v.kind == NumNull }
+
+// IsNumeric reports whether v belongs to the numerical sort
+// (a numerical constant or a numerical null).
+func (v Value) IsNumeric() bool { return v.kind == NumConst || v.kind == NumNull }
+
+// IsBase reports whether v belongs to the base sort.
+func (v Value) IsBase() bool { return v.kind == BaseConst || v.kind == BaseNull }
+
+// Str returns the string payload of a base constant.
+// It panics if v is not a base constant.
+func (v Value) Str() string {
+	if v.kind != BaseConst {
+		panic(fmt.Sprintf("value: Str on %v", v.kind))
+	}
+	return v.str
+}
+
+// Float returns the numerical payload of a numerical constant.
+// It panics if v is not a numerical constant.
+func (v Value) Float() float64 {
+	if v.kind != NumConst {
+		panic(fmt.Sprintf("value: Float on %v", v.kind))
+	}
+	return v.num
+}
+
+// NullID returns the identifier of a marked null.
+// It panics if v is not a null.
+func (v Value) NullID() int {
+	if !v.IsNull() {
+		panic(fmt.Sprintf("value: NullID on %v", v.kind))
+	}
+	return v.id
+}
+
+// String renders the value in the notation of the paper:
+// base constants verbatim, numerical constants as decimals,
+// ⊥i for base nulls and ⊤i for numerical nulls.
+func (v Value) String() string {
+	switch v.kind {
+	case BaseConst:
+		return v.str
+	case NumConst:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case BaseNull:
+		return fmt.Sprintf("⊥%d", v.id)
+	case NumNull:
+		return fmt.Sprintf("⊤%d", v.id)
+	}
+	return "?"
+}
+
+// Tuple is a sequence of values, one per column of a relation.
+type Tuple []Value
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether two tuples are identical component-wise
+// (syntactic equality: nulls are equal only to themselves).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a string usable as a map key identifying the tuple contents.
+func (t Tuple) Key() string {
+	s := ""
+	for _, v := range t {
+		switch v.kind {
+		case BaseConst:
+			s += "b" + strconv.Itoa(len(v.str)) + ":" + v.str
+		case NumConst:
+			s += "n" + strconv.FormatFloat(v.num, 'b', -1, 64)
+		case BaseNull:
+			s += "B" + strconv.Itoa(v.id)
+		case NumNull:
+			s += "N" + strconv.Itoa(v.id)
+		}
+		s += "|"
+	}
+	return s
+}

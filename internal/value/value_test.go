@@ -1,0 +1,155 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		null bool
+		num  bool
+	}{
+		{Base("a"), BaseConst, false, false},
+		{Num(3.5), NumConst, false, true},
+		{NullBase(7), BaseNull, true, false},
+		{NullNum(2), NumNull, true, true},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.IsNull() != c.null {
+			t.Errorf("%v: IsNull = %v, want %v", c.v, c.v.IsNull(), c.null)
+		}
+		if c.v.IsNumeric() != c.num {
+			t.Errorf("%v: IsNumeric = %v, want %v", c.v, c.v.IsNumeric(), c.num)
+		}
+		if c.v.IsBase() == c.num {
+			t.Errorf("%v: IsBase and IsNumeric agree", c.v)
+		}
+	}
+}
+
+func TestPayloads(t *testing.T) {
+	if Base("xyz").Str() != "xyz" {
+		t.Error("Base payload lost")
+	}
+	if Num(2.25).Float() != 2.25 {
+		t.Error("Num payload lost")
+	}
+	if NullBase(4).NullID() != 4 || NullNum(9).NullID() != 9 {
+		t.Error("null ID lost")
+	}
+}
+
+func TestPayloadPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Str on num", func() { Num(1).Str() })
+	mustPanic("Float on base", func() { Base("x").Float() })
+	mustPanic("NullID on const", func() { Base("x").NullID() })
+}
+
+func TestValueEqualityIsSyntactic(t *testing.T) {
+	if NullBase(1) == NullBase(2) {
+		t.Error("distinct base nulls compare equal")
+	}
+	if NullBase(1) != NullBase(1) {
+		t.Error("same null compares unequal")
+	}
+	if NullBase(1) == NullNum(1) {
+		t.Error("base null equals numerical null with same ID")
+	}
+	if Base("1") == Num(1) {
+		t.Error("base constant equals numerical constant")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[Value]string{
+		Base("seg1"): "seg1",
+		Num(10):      "10",
+		Num(0.7):     "0.7",
+		NullBase(3):  "⊥3",
+		NullNum(0):   "⊤0",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+	tup := Tuple{Base("a"), Num(1), NullNum(2)}
+	if got := tup.String(); got != "(a, 1, ⊤2)" {
+		t.Errorf("tuple String = %q", got)
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	tup := Tuple{Base("a"), Num(1)}
+	c := tup.Clone()
+	c[0] = Base("b")
+	if tup[0].Str() != "a" {
+		t.Error("Clone aliases the original")
+	}
+	if !tup.Equal(Tuple{Base("a"), Num(1)}) {
+		t.Error("Equal broken")
+	}
+	if tup.Equal(c) {
+		t.Error("Equal ignores modification")
+	}
+	if tup.Equal(Tuple{Base("a")}) {
+		t.Error("Equal ignores length")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Keys must distinguish tuples that differ in kind, payload or shape.
+	distinct := []Tuple{
+		{Base("a"), Base("b")},
+		{Base("ab")},
+		{Base("a"), Base("b"), Base("")},
+		{Num(1)},
+		{Num(2)},
+		{NullBase(1)},
+		{NullNum(1)},
+		{Base("1")},
+	}
+	seen := map[string]int{}
+	for i, tup := range distinct {
+		k := tup.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("tuples %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestTupleKeyEqualityProperty(t *testing.T) {
+	// Two tuples built from the same data have the same key.
+	f := func(ss []string, fs []float64) bool {
+		mk := func() Tuple {
+			var tup Tuple
+			for _, s := range ss {
+				tup = append(tup, Base(s))
+			}
+			for _, x := range fs {
+				tup = append(tup, Num(x))
+			}
+			return tup
+		}
+		return mk().Key() == mk().Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
