@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench
+
+# check is what CI runs: static checks, build, tests, and a one-iteration
+# benchmark smoke so the Figure 1 pipeline stays runnable.
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Figure1a' -benchtime 1x -benchmem .
+
+# bench records the Figure 1 benchmark family as BENCH_<date>.json for
+# the performance trajectory across PRs.
+bench:
+	scripts/bench.sh

@@ -169,7 +169,14 @@ var (
 // Engine computes measures of certainty.
 type Engine = core.Engine
 
-// EngineOptions configures an Engine.
+// EngineOptions configures an Engine. Performance knobs of note:
+// Workers fans the additive-approximation (AFPRAS) sample loop of a
+// single constraint out over goroutines (default GOMAXPROCS; results
+// are bit-identical for a fixed Seed regardless of the setting; the
+// background/distribution samplers stay sequential), and
+// CompileCacheSize sizes the engine's compiled-formula cache, which
+// lets ε-sweeps over the same candidate constraints compile each
+// formula once instead of once per call.
 type EngineOptions = core.Options
 
 // Result is a computed or approximated measure.

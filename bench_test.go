@@ -110,6 +110,69 @@ func benchFigure(b *testing.B, query string) {
 // vs ε).
 func BenchmarkFigure1a(b *testing.B) { benchFigure(b, "CompetitiveAdvantage") }
 
+// BenchmarkFigure1aWorkers measures intra-formula sampling parallelism on
+// the Figure 1a workload: the same ε=0.02 confidence computation with the
+// m samples of each candidate fanned out over 1, 2 and 4 workers. Values
+// are bit-identical across the worker counts (see the determinism tests);
+// only the wall clock changes.
+func BenchmarkFigure1aWorkers(b *testing.B) {
+	w := figureWorkload(b)
+	cands := w.candidates["CompetitiveAdvantage"]
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engine := arithdb.NewEngine(arithdb.EngineOptions{
+				Seed:             7,
+				PaperSampleCount: true,
+				DisableExact:     true,
+				ForceSampling:    true,
+				Workers:          workers,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range cands {
+					if _, err := engine.MeasureFormula(c.Phi, 0.02, 0.25); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCache is the compiled-formula reuse ablation: an ε-sweep
+// over the Figure 1a candidates with the engine's compile cache on
+// (compile once per candidate) versus off (re-reduce and re-compile every
+// call, the pre-cache behavior).
+func BenchmarkCompileCache(b *testing.B) {
+	w := figureWorkload(b)
+	cands := w.candidates["CompetitiveAdvantage"]
+	for _, cfg := range []struct {
+		name string
+		size int
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			engine := arithdb.NewEngine(arithdb.EngineOptions{
+				Seed:             7,
+				PaperSampleCount: true,
+				DisableExact:     true,
+				ForceSampling:    true,
+				CompileCacheSize: cfg.size,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, eps := range []float64{0.1, 0.05, 0.02} {
+					for _, c := range cands {
+						if _, err := engine.MeasureFormula(c.Phi, eps, 0.25); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure1b regenerates Figure 1b (Never Knowingly Undersold).
 func BenchmarkFigure1b(b *testing.B) { benchFigure(b, "NeverKnowinglyUndersold") }
 
@@ -183,14 +246,14 @@ func BenchmarkAsymEvalSample(b *testing.B) {
 		b.Skip("no constrained candidate in this workload")
 	}
 	compiled := realfmla.Compile(reduced)
+	ev := compiled.NewEvaluator()
 	rng := mc.NewRNG(1)
 	dir := make([]float64, len(vars))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for j := range dir {
-			dir[j] = rng.NormFloat64()
-		}
-		compiled.AsymEval(dir, 1e-12)
+		mc.FillNormal(rng, dir)
+		ev.AsymEval(dir, 1e-12)
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/db"
 	"repro/internal/fo"
 	"repro/internal/mc"
@@ -30,22 +34,28 @@ func (e *Engine) sampleCount(eps, delta float64) (int, error) {
 // truth is invariant under positive scaling of the direction, unnormalized
 // Gaussian vectors sample the directional measure exactly.
 func (e *Engine) AdditiveApprox(phi realfmla.Formula, eps, delta float64) (Result, error) {
+	return e.additiveApprox(e.compiledFor(phi), eps, delta)
+}
+
+// additiveApprox is AdditiveApprox on an already-resolved compiled entry,
+// so MeasureFormula does not resolve (or, with caching disabled, compile)
+// the same formula twice per call.
+func (e *Engine) additiveApprox(ent *compiledEntry, eps, delta float64) (Result, error) {
 	m, err := e.sampleCount(eps, delta)
 	if err != nil {
 		return Result{}, err
 	}
-	reduced, vars := realfmla.Reduce(phi)
-	n := len(vars)
+	n := len(ent.vars)
 	if n == 0 {
 		if !e.opts.ForceSampling {
-			return trivialResult(realfmla.Eval(reduced, nil), realfmla.NumVars(phi)), nil
+			return trivialResult(realfmla.Eval(ent.reduced, nil), ent.ambient), nil
 		}
 		// Faithful to the reference implementation: evaluate the (constant)
 		// formula once per sample anyway.
-		compiled := realfmla.Compile(reduced)
+		ev := ent.sampler().ev
 		hits := 0
 		for i := 0; i < m; i++ {
-			if compiled.Eval(nil) {
+			if ev.Eval(nil) {
 				hits++
 			}
 		}
@@ -53,27 +63,117 @@ func (e *Engine) AdditiveApprox(phi realfmla.Formula, eps, delta float64) (Resul
 			Value:   float64(hits) / float64(m),
 			Method:  MethodAFPRAS,
 			Samples: m,
-			K:       realfmla.NumVars(phi),
+			K:       ent.ambient,
 		}, nil
 	}
-	compiled := realfmla.Compile(reduced)
-	hits := 0
-	dir := make([]float64, n)
-	for i := 0; i < m; i++ {
-		for j := range dir {
-			dir[j] = e.rng.NormFloat64()
-		}
-		if compiled.AsymEval(dir, e.opts.Tol) {
-			hits++
-		}
-	}
+	// One base-seed draw per invocation keeps repeated calls on the same
+	// engine statistically independent while making the sample loop itself
+	// a pure function of (base, chunk index) — the property the parallel
+	// scheduler needs for worker-count-independent results.
+	base := e.rng.Int63()
+	hits := e.sampleAsym(ent, m, base)
 	return Result{
 		Value:     float64(hits) / float64(m),
 		Method:    MethodAFPRAS,
 		Samples:   m,
-		K:         realfmla.NumVars(phi),
+		K:         ent.ambient,
 		RelevantK: n,
 	}, nil
+}
+
+// asymChunkSize is the fixed number of samples per scheduling chunk of the
+// parallel AFPRAS loop. Each chunk draws its directions from an RNG seeded
+// by mc.DeriveSeed(base, chunk), so the total hit count — and therefore
+// Result.Value — is bit-identical for a given base seed no matter how many
+// workers run or how chunks interleave. Small enough to load-balance a few
+// thousand samples across many cores, large enough that per-chunk
+// reseeding cost vanishes.
+const asymChunkSize = 256
+
+// asymSampler bundles the per-goroutine scratch of the AFPRAS inner loop:
+// a formula evaluator, a direction buffer, and an O(1)-reseed RNG. Once
+// constructed, sampling runs allocation-free.
+type asymSampler struct {
+	ev  *realfmla.Evaluator
+	dir []float64
+	src *mc.SplitMix64
+	rng *rand.Rand
+}
+
+func newAsymSampler(c *realfmla.Compiled, n int) *asymSampler {
+	src := mc.NewSplitMix64(0)
+	return &asymSampler{
+		ev:  c.NewEvaluator(),
+		dir: make([]float64, n),
+		src: src,
+		rng: rand.New(src),
+	}
+}
+
+// chunk reseeds the sampler's RNG and counts asymptotic hits over count
+// Gaussian directions.
+func (s *asymSampler) chunk(seed int64, count int, tol float64) int {
+	s.src.Seed(seed)
+	hits := 0
+	for i := 0; i < count; i++ {
+		mc.FillNormal(s.rng, s.dir)
+		if s.ev.AsymEval(s.dir, tol) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// chunkLen is the number of samples in chunk ch of an m-sample run.
+func chunkLen(m, ch int) int {
+	c := m - ch*asymChunkSize
+	if c > asymChunkSize {
+		c = asymChunkSize
+	}
+	return c
+}
+
+// sampleAsym counts, over m sampled Gaussian directions, how often the
+// entry's compiled formula holds asymptotically, fanning fixed-size
+// chunks of samples out over Options.Workers goroutines. Every worker
+// owns a private asymSampler, so the steady-state loop does not allocate;
+// the single-worker path reuses the entry's cached sampler across calls.
+func (e *Engine) sampleAsym(ent *compiledEntry, m int, base int64) int {
+	chunks := (m + asymChunkSize - 1) / asymChunkSize
+	workers := e.workers()
+	if workers > chunks {
+		workers = chunks
+	}
+	tol := e.opts.Tol
+	if workers <= 1 {
+		s := ent.sampler()
+		hits := 0
+		for ch := 0; ch < chunks; ch++ {
+			hits += s.chunk(mc.DeriveSeed(base, int64(ch)), chunkLen(m, ch), tol)
+		}
+		return hits
+	}
+	pool := ent.samplerPool(workers)
+	var next, total atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		s := pool[w]
+		go func() {
+			defer wg.Done()
+			hits := 0
+			for {
+				ch := int(next.Add(1)) - 1
+				if ch >= chunks {
+					break
+				}
+				hits += s.chunk(mc.DeriveSeed(base, int64(ch)), chunkLen(m, ch), tol)
+			}
+			total.Add(int64(hits))
+		}()
+	}
+	wg.Wait()
+	return int(total.Load())
 }
 
 // AdditiveApproxDirect is the same additive-error scheme evaluated without

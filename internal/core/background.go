@@ -70,10 +70,11 @@ func (e *Engine) MeasureWithBackground(phi realfmla.Formula, bg Background, eps,
 	if err != nil {
 		return Result{}, err
 	}
-	reduced, vars := realfmla.Reduce(phi)
+	ent := e.compiledFor(phi)
+	vars := ent.vars
 	n := len(vars)
 	if n == 0 {
-		return trivialResult(realfmla.Eval(reduced, nil), realfmla.NumVars(phi)), nil
+		return trivialResult(realfmla.Eval(ent.reduced, nil), ent.ambient), nil
 	}
 	// Re-index the background to the reduced variable space and classify.
 	bounded := make([]bool, n)
@@ -96,7 +97,7 @@ func (e *Engine) MeasureWithBackground(phi realfmla.Formula, bg Background, eps,
 		sign[j] = s
 	}
 
-	compiled := realfmla.Compile(reduced)
+	ev := ent.sampler().ev
 	vals := make([]float64, n)
 	hits := 0
 	for i := 0; i < m; i++ {
@@ -110,10 +111,7 @@ func (e *Engine) MeasureWithBackground(phi realfmla.Formula, bg Background, eps,
 				vals[j] = e.rng.NormFloat64()
 			}
 		}
-		ok := compiled.EvalWith(func(a realfmla.Atom) bool {
-			return a.MixedAsymEval(vals, ray, e.opts.Tol)
-		})
-		if ok {
+		if ev.MixedAsymEval(vals, ray, e.opts.Tol) {
 			hits++
 		}
 	}
@@ -121,7 +119,7 @@ func (e *Engine) MeasureWithBackground(phi realfmla.Formula, bg Background, eps,
 		Value:     float64(hits) / float64(m),
 		Method:    MethodAFPRAS,
 		Samples:   m,
-		K:         realfmla.NumVars(phi),
+		K:         ent.ambient,
 		RelevantK: n,
 	}, nil
 }
@@ -178,10 +176,11 @@ func (e *Engine) MeasureWithDistributions(phi realfmla.Formula, dists map[int]Di
 	if err != nil {
 		return Result{}, err
 	}
-	reduced, vars := realfmla.Reduce(phi)
+	ent := e.compiledFor(phi)
+	vars := ent.vars
 	n := len(vars)
 	if n == 0 {
-		return trivialResult(realfmla.Eval(reduced, nil), realfmla.NumVars(phi)), nil
+		return trivialResult(realfmla.Eval(ent.reduced, nil), ent.ambient), nil
 	}
 	ds := make([]Distribution, n)
 	for j, orig := range vars {
@@ -191,7 +190,7 @@ func (e *Engine) MeasureWithDistributions(phi realfmla.Formula, dists map[int]Di
 		}
 		ds[j] = d
 	}
-	compiled := realfmla.Compile(reduced)
+	ev := ent.sampler().ev
 	uniform := e.rng.Float64
 	normal := e.rng.NormFloat64
 	vals := make([]float64, n)
@@ -200,7 +199,7 @@ func (e *Engine) MeasureWithDistributions(phi realfmla.Formula, dists map[int]Di
 		for j := 0; j < n; j++ {
 			vals[j] = ds[j].Sample(uniform, normal)
 		}
-		if compiled.Eval(vals) {
+		if ev.Eval(vals) {
 			hits++
 		}
 	}
@@ -208,7 +207,7 @@ func (e *Engine) MeasureWithDistributions(phi realfmla.Formula, dists map[int]Di
 		Value:     float64(hits) / float64(m),
 		Method:    MethodAFPRAS,
 		Samples:   m,
-		K:         realfmla.NumVars(phi),
+		K:         ent.ambient,
 		RelevantK: n,
 	}, nil
 }

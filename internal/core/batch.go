@@ -35,6 +35,13 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 			for i := range next {
 				iopts := o
 				iopts.Seed = o.Seed + int64(i)*1_000_003
+				if iopts.Workers == 0 {
+					// The batch pool is already GOMAXPROCS wide; don't nest
+					// a full sampling fan-out inside every engine. Values
+					// are Workers-independent, so this only affects
+					// scheduling. An explicit Workers setting is honored.
+					iopts.Workers = 1
+				}
 				results[i], errs[i] = New(iopts).MeasureFormula(phis[i], eps, delta)
 			}
 		}()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/db"
 	"repro/internal/fo"
@@ -84,6 +85,21 @@ type Options struct {
 	// guarantee) instead of the additive AFPRAS. Nonlinear formulas still
 	// fall back to the AFPRAS.
 	PreferFPRAS bool
+	// Workers is the number of goroutines used for intra-formula sampling
+	// in the additive asymptotic sampler (AdditiveApprox and the AFPRAS
+	// path of Measure/MeasureFormula; the Section 10 background and
+	// distribution samplers are sequential): the m samples are split into
+	// fixed-size chunks with deterministically derived per-chunk seeds,
+	// so for a given Seed the result is bit-identical regardless of
+	// Workers (the same contract MeasureBatch documents across items).
+	// 0 uses GOMAXPROCS; 1 samples on the calling goroutine.
+	Workers int
+	// CompileCacheSize bounds the engine's compiled-formula cache: the
+	// variable-reduced, kernel-compiled form of each measured formula is
+	// kept keyed by formula identity, so ε-sweeps over the same candidate
+	// constraints compile each formula once instead of once per call.
+	// 0 uses the default of 1024 entries; negative disables caching.
+	CompileCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,20 +115,108 @@ func (o Options) withDefaults() Options {
 	if o.DNFLimit <= 0 {
 		o.DNFLimit = 4096
 	}
+	if o.CompileCacheSize == 0 {
+		o.CompileCacheSize = 1024
+	}
 	return o
 }
 
 // Engine computes measures of certainty. It is not safe for concurrent use;
-// create one engine per goroutine (they are cheap).
+// create one engine per goroutine (they are cheap). An engine may still
+// fan its own sampling work out across Options.Workers goroutines
+// internally.
 type Engine struct {
-	opts Options
-	rng  *rand.Rand
+	opts  Options
+	rng   *rand.Rand
+	cache map[realfmla.FormulaID]*compiledEntry
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
 	o := opts.withDefaults()
 	return &Engine{opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// workers resolves Options.Workers to a concrete worker count.
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// compiledEntry is the cached, preprocessed form of a measured formula:
+// reduced to its relevant variables (Section 9) and kernel-compiled for
+// repeated evaluation. The seq sampler is per-entry scratch for the
+// engine's own goroutine; parallel workers bring their own.
+type compiledEntry struct {
+	source   realfmla.Formula // the formula this entry was built from
+	reduced  realfmla.Formula
+	vars     []int // original indices of the reduced variables
+	ambient  int   // variable count of the un-reduced formula
+	compiled *realfmla.Compiled
+	// seq is the single-threaded sampling/evaluation scratch; pool holds
+	// per-worker scratch for the parallel sampler. Both are lazily built
+	// and reused across calls (the engine is single-goroutine, and within
+	// one parallel run each pool slot is owned by exactly one worker).
+	seq  *asymSampler
+	pool []*asymSampler
+}
+
+func newCompiledEntry(phi realfmla.Formula) *compiledEntry {
+	reduced, vars := realfmla.Reduce(phi)
+	return &compiledEntry{
+		source:   phi,
+		reduced:  reduced,
+		vars:     vars,
+		ambient:  realfmla.NumVars(phi),
+		compiled: realfmla.Compile(reduced),
+	}
+}
+
+// sampler returns the entry's single-threaded sampling scratch, creating
+// it on first use.
+func (ent *compiledEntry) sampler() *asymSampler {
+	if ent.seq == nil {
+		ent.seq = newAsymSampler(ent.compiled, len(ent.vars))
+	}
+	return ent.seq
+}
+
+// samplerPool returns at least `workers` reusable sampler slots. Called
+// from the coordinating goroutine before workers start, so the grown
+// slice is visible to every worker.
+func (ent *compiledEntry) samplerPool(workers int) []*asymSampler {
+	for len(ent.pool) < workers {
+		ent.pool = append(ent.pool, newAsymSampler(ent.compiled, len(ent.vars)))
+	}
+	return ent.pool
+}
+
+// compiledFor returns the preprocessed form of phi, from the engine's
+// cache when enabled. The cached Compiled is immutable and shared; all
+// evaluation goes through per-goroutine Evaluators.
+func (e *Engine) compiledFor(phi realfmla.Formula) *compiledEntry {
+	if e.opts.CompileCacheSize < 0 {
+		return newCompiledEntry(phi)
+	}
+	key := realfmla.Fingerprint(phi)
+	// The fingerprint is not cryptographic: confirm the hit syntactically,
+	// so a collision costs a recompile instead of a wrong measure.
+	if ent, ok := e.cache[key]; ok && realfmla.Equal(phi, ent.source) {
+		return ent
+	}
+	ent := newCompiledEntry(phi)
+	if e.cache == nil {
+		e.cache = make(map[realfmla.FormulaID]*compiledEntry)
+	} else if len(e.cache) >= e.opts.CompileCacheSize {
+		for k := range e.cache { // full: evict one arbitrary entry
+			delete(e.cache, k)
+			break
+		}
+	}
+	e.cache[key] = ent
+	return ent
 }
 
 // Result reports a computed or approximated measure.
@@ -157,34 +261,34 @@ func (e *Engine) Measure(q *fo.Query, d *db.Database, args []value.Value, eps, d
 // MeasureFormula computes ν(φ) for a quantifier-free real formula φ,
 // dispatching as Measure does.
 func (e *Engine) MeasureFormula(phi realfmla.Formula, eps, delta float64) (Result, error) {
-	reduced, vars := realfmla.Reduce(phi)
-	n := len(vars)
+	ent := e.compiledFor(phi)
+	n := len(ent.vars)
 
-	if n == 0 {
-		return trivialResult(realfmla.Eval(reduced, nil), realfmla.NumVars(phi)), nil
+	if n == 0 && !e.opts.ForceSampling {
+		return trivialResult(realfmla.Eval(ent.reduced, nil), ent.ambient), nil
 	}
 	if !e.opts.DisableExact {
-		if r, ok, err := e.exactOrder(reduced); err != nil {
+		if r, ok, err := e.exactOrder(ent); err != nil {
 			return Result{}, err
 		} else if ok {
-			r.K = realfmla.NumVars(phi)
+			r.K = ent.ambient
 			r.RelevantK = n
 			return r, nil
 		}
-		if r, ok := e.exactSector(reduced); ok {
-			r.K = realfmla.NumVars(phi)
+		if r, ok := e.exactSector(ent.reduced); ok {
+			r.K = ent.ambient
 			r.RelevantK = n
 			return r, nil
 		}
 	}
-	if e.opts.PreferFPRAS && realfmla.IsLinear(reduced) {
+	if e.opts.PreferFPRAS && realfmla.IsLinear(ent.reduced) {
 		r, err := e.FPRAS(phi, eps)
 		if err == nil {
 			return r, nil
 		}
 		// DNF blowup or degenerate geometry: fall through to the AFPRAS.
 	}
-	r, err := e.AdditiveApprox(phi, eps, delta)
+	r, err := e.additiveApprox(ent, eps, delta)
 	if err != nil {
 		return Result{}, err
 	}

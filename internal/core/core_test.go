@@ -211,7 +211,7 @@ func TestExactOrderAgainstSampling(t *testing.T) {
 	}
 	exactEngine := New(Options{Seed: 5})
 	for i, phi := range formulas {
-		ex, ok, err := exactEngine.exactOrder(phiReduce(phi))
+		ex, ok, err := exactEngine.exactOrder(newCompiledEntry(phi))
 		if err != nil || !ok {
 			t.Fatalf("formula %d: exact order failed: ok=%v err=%v", i, ok, err)
 		}
@@ -254,7 +254,7 @@ func TestExactOrderKnownValues(t *testing.T) {
 		{linAtom(2, []float64{1, -1}, 0, realfmla.NE), big.NewRat(1, 1)},
 	}
 	for i, c := range cases {
-		res, ok, err := e.exactOrder(phiReduce(c.phi))
+		res, ok, err := e.exactOrder(newCompiledEntry(c.phi))
 		if err != nil || !ok {
 			t.Fatalf("case %d: ok=%v err=%v", i, ok, err)
 		}
@@ -267,12 +267,12 @@ func TestExactOrderKnownValues(t *testing.T) {
 func TestExactOrderRejectsNonOrder(t *testing.T) {
 	e := New(Options{})
 	// z0 + z1 < 0 is linear but not an order atom.
-	if _, ok, _ := e.exactOrder(linAtom(2, []float64{1, 1}, 0, realfmla.LT)); ok {
+	if _, ok, _ := e.exactOrder(newCompiledEntry(linAtom(2, []float64{1, 1}, 0, realfmla.LT))); ok {
 		t.Error("sum atom accepted by order algorithm")
 	}
 	// Quadratic atom.
 	q := realfmla.FAtom{A: realfmla.Atom{P: poly.Var(1, 0).Mul(poly.Var(1, 0)), Rel: realfmla.LT}}
-	if _, ok, _ := e.exactOrder(q); ok {
+	if _, ok, _ := e.exactOrder(newCompiledEntry(q)); ok {
 		t.Error("quadratic atom accepted")
 	}
 	// Cell budget: a genuine 3-variable order formula has 48 cells.
@@ -280,7 +280,7 @@ func TestExactOrderRejectsNonOrder(t *testing.T) {
 	chain := realfmla.And(
 		linAtom(3, []float64{1, -1, 0}, 0, realfmla.LT),
 		linAtom(3, []float64{0, 1, -1}, 0, realfmla.LT))
-	if _, ok, _ := tiny.exactOrder(phiReduce(chain)); ok {
+	if _, ok, _ := tiny.exactOrder(newCompiledEntry(chain)); ok {
 		t.Error("cell budget ignored")
 	}
 }

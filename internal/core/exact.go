@@ -47,11 +47,13 @@ func orderAtomsOnly(f realfmla.Formula) bool {
 // partitioned, up to measure zero, into equal-volume cells indexed by a
 // sign pattern s ∈ {±1}ⁿ and an ordering of the coordinate magnitudes. The
 // asymptotic truth of φ is constant on each cell and is evaluated at the
-// integer representative a_i = s_i · rank_i. Returns ok=false when φ is
-// not an order formula or the cell count exceeds Options.MaxExactCells.
-func (e *Engine) exactOrder(f realfmla.Formula) (Result, bool, error) {
-	n := realfmla.NumVars(f)
-	if n == 0 || !orderAtomsOnly(f) {
+// integer representative a_i = s_i · rank_i. It evaluates through the
+// entry's cached compiled form, so repeated calls (ε-sweeps) compile
+// nothing. Returns ok=false when φ is not an order formula or the cell
+// count exceeds Options.MaxExactCells.
+func (e *Engine) exactOrder(ent *compiledEntry) (Result, bool, error) {
+	n := len(ent.vars)
+	if n == 0 || !orderAtomsOnly(ent.reduced) {
 		return Result{}, false, nil
 	}
 	// cells = 2^n · n!
@@ -63,7 +65,7 @@ func (e *Engine) exactOrder(f realfmla.Formula) (Result, bool, error) {
 		}
 	}
 
-	compiled := realfmla.Compile(f)
+	ev := ent.sampler().ev
 	sat := 0
 	perm := make([]int, n)
 	for i := range perm {
@@ -81,7 +83,7 @@ func (e *Engine) exactOrder(f realfmla.Formula) (Result, bool, error) {
 					a[i] = float64(perm[i])
 				}
 			}
-			if compiled.AsymEval(a, 0) {
+			if ev.AsymEval(a, 0) {
 				sat++
 			}
 		}

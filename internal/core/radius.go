@@ -20,10 +20,10 @@ func (e *Engine) MuAtRadius(phi realfmla.Formula, r float64, samples int) (float
 	if samples <= 0 {
 		return 0, fmt.Errorf("core: samples must be positive, got %d", samples)
 	}
-	reduced, vars := realfmla.Reduce(phi)
-	n := len(vars)
+	ent := e.compiledFor(phi)
+	n := len(ent.vars)
 	if n == 0 {
-		if realfmla.Eval(reduced, nil) {
+		if realfmla.Eval(ent.reduced, nil) {
 			return 1, nil
 		}
 		return 0, nil
@@ -35,14 +35,14 @@ func (e *Engine) MuAtRadius(phi realfmla.Formula, r float64, samples int) (float
 	// fraction is a radially reweighted version. For the convergence
 	// demonstrations we therefore sample in the reduced space, which has
 	// the same r → ∞ limit.
-	compiled := realfmla.Compile(reduced)
+	ev := ent.sampler().ev
 	hits := 0
 	for i := 0; i < samples; i++ {
 		x := mc.SampleBall(e.rng, n)
 		for j := range x {
 			x[j] *= r
 		}
-		if compiled.Eval(x) {
+		if ev.Eval(x) {
 			hits++
 		}
 	}
@@ -60,10 +60,10 @@ func (e *Engine) MuAtRadiusLattice(phi realfmla.Formula, r int) (float64, error)
 	if r <= 0 {
 		return 0, fmt.Errorf("core: radius must be positive, got %d", r)
 	}
-	reduced, vars := realfmla.Reduce(phi)
-	n := len(vars)
+	ent := e.compiledFor(phi)
+	n := len(ent.vars)
 	if n == 0 {
-		if realfmla.Eval(reduced, nil) {
+		if realfmla.Eval(ent.reduced, nil) {
 			return 1, nil
 		}
 		return 0, nil
@@ -71,7 +71,7 @@ func (e *Engine) MuAtRadiusLattice(phi realfmla.Formula, r int) (float64, error)
 	if pts := math.Pow(float64(2*r+1), float64(n)); pts > 5e8 {
 		return 0, fmt.Errorf("core: lattice enumeration too large (%g points)", pts)
 	}
-	compiled := realfmla.Compile(reduced)
+	ev := ent.sampler().ev
 	x := make([]float64, n)
 	r2 := float64(r) * float64(r)
 	total, hits := 0, 0
@@ -79,7 +79,7 @@ func (e *Engine) MuAtRadiusLattice(phi realfmla.Formula, r int) (float64, error)
 	rec = func(i int, norm2 float64) {
 		if i == n {
 			total++
-			if compiled.Eval(x) {
+			if ev.Eval(x) {
 				hits++
 			}
 			return

@@ -21,22 +21,87 @@ func SampleSphere(rng *rand.Rand, n int) []float64 {
 	if n <= 0 {
 		return nil
 	}
+	x := make([]float64, n)
+	SampleSphereInto(rng, x)
+	return x
+}
+
+// SampleSphereInto fills buf with a uniformly random point on the unit
+// (len(buf)-1)-sphere without allocating — the reusable-buffer variant of
+// SampleSphere for sampling hot loops.
+func SampleSphereInto(rng *rand.Rand, buf []float64) {
+	if len(buf) == 0 {
+		return
+	}
 	for {
-		x := make([]float64, n)
+		FillNormal(rng, buf)
 		s := 0.0
-		for i := range x {
-			x[i] = rng.NormFloat64()
-			s += x[i] * x[i]
+		for _, v := range buf {
+			s += v * v
 		}
 		if s == 0 {
 			continue // astronomically unlikely; resample
 		}
 		inv := 1 / math.Sqrt(s)
-		for i := range x {
-			x[i] *= inv
+		for i := range buf {
+			buf[i] *= inv
 		}
-		return x
+		return
 	}
+}
+
+// FillNormal fills buf with independent standard Gaussian draws from rng:
+// an unnormalized direction sample (asymptotic truth along a ray is
+// invariant under positive scaling, so the AFPRAS can skip the
+// normalization of SampleSphereInto).
+func FillNormal(rng *rand.Rand, buf []float64) {
+	for i := range buf {
+		buf[i] = rng.NormFloat64()
+	}
+}
+
+// SplitMix64 is a tiny rand.Source64 (Vigna's SplitMix64 generator) with
+// O(1) seeding. math/rand's default source re-initializes a ~600-word
+// state table on every Seed, which dominates samplers that reseed once
+// per work chunk; SplitMix64 reseeds by assigning one word.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 source seeded with seed.
+func NewSplitMix64(seed int64) *SplitMix64 {
+	return &SplitMix64{state: uint64(seed)}
+}
+
+// Seed resets the stream. Identical seeds give identical streams.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 returns the next value of the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Int63 returns a non-negative 63-bit value, as rand.Source requires.
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// DeriveSeed derives the seed of an independent substream from a base seed
+// and a stream index, mixing both through the SplitMix64 finalizer. Chunked
+// samplers hand every fixed-size chunk of work its own derived seed, making
+// results bit-identical for a given base seed no matter how chunks are
+// scheduled across workers — and unlike additive offsets, the mixing keeps
+// nearby stream indices statistically independent.
+func DeriveSeed(seed int64, stream int64) int64 {
+	z := uint64(seed) ^ (uint64(stream)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // SampleBall returns a uniformly random point in the unit n-ball:
@@ -74,8 +139,10 @@ func PaperSamples(eps float64) (int, error) {
 	return int(math.Ceil(1 / (eps * eps))), nil
 }
 
-// Mean is a streaming mean accumulator (Welford-style, without variance
-// since only means are needed).
+// Mean is a streaming mean accumulator using Kahan-compensated summation:
+// the running compensation term recovers the low-order bits lost when
+// adding each observation to the sum, so long streams of small values do
+// not drift.
 type Mean struct {
 	n   int
 	sum float64

@@ -256,24 +256,42 @@ func (p Poly) LinearForm() (c []float64, c0 float64, ok bool) {
 // c·∏ a_i^{e_i} to the coefficient of k^{total degree}. This is the
 // computation behind Lemma 8.4 of the paper.
 func (p Poly) SubstituteRay(a []float64) Uni {
+	return p.SubstituteRayInto(nil, a)
+}
+
+// SubstituteRayInto is SubstituteRay writing into dst, growing it only when
+// its capacity is insufficient. It returns the (trimmed) result, which
+// aliases dst's backing array whenever possible: callers that keep the
+// returned slice as their next dst evaluate rays allocation-free. This is
+// the inner loop of the AFPRAS sampling kernel.
+func (p Poly) SubstituteRayInto(dst Uni, a []float64) Uni {
 	if len(a) != p.N {
-		panic(fmt.Sprintf("poly: SubstituteRay with %d values on %d variables", len(a), p.N))
+		panic(fmt.Sprintf("poly: SubstituteRayInto with %d values on %d variables", len(a), p.N))
 	}
 	deg := p.Degree()
 	if deg < 0 {
-		return Uni{}
+		return dst[:0]
 	}
-	u := make(Uni, deg+1)
+	if cap(dst) < deg+1 {
+		dst = make(Uni, deg+1)
+	} else {
+		dst = dst[:deg+1]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for _, t := range p.Terms {
 		m := t.Coef
+		d := 0
 		for _, v := range t.Vars {
 			for j := 0; j < v.Pow; j++ {
 				m *= a[v.Var]
 			}
+			d += v.Pow
 		}
-		u[t.totalDegree()] += m
+		dst[d] += m
 	}
-	return u.trim()
+	return dst.trim()
 }
 
 // SubstituteMixed substitutes z_i := vals[i] for variables with ray[i] ==
@@ -283,15 +301,29 @@ func (p Poly) SubstituteRay(a []float64) Uni {
 // bounded ranges take finite values while unconstrained nulls still go to
 // infinity along a direction.
 func (p Poly) SubstituteMixed(vals []float64, ray []bool) Uni {
+	return p.SubstituteMixedInto(nil, vals, ray)
+}
+
+// SubstituteMixedInto is SubstituteMixed writing into dst, growing it only
+// when its capacity is insufficient (see SubstituteRayInto for the reuse
+// contract).
+func (p Poly) SubstituteMixedInto(dst Uni, vals []float64, ray []bool) Uni {
 	if len(vals) != p.N || len(ray) != p.N {
-		panic(fmt.Sprintf("poly: SubstituteMixed with %d/%d values on %d variables",
+		panic(fmt.Sprintf("poly: SubstituteMixedInto with %d/%d values on %d variables",
 			len(vals), len(ray), p.N))
 	}
 	deg := p.Degree()
 	if deg < 0 {
-		return Uni{}
+		return dst[:0]
 	}
-	u := make(Uni, deg+1)
+	if cap(dst) < deg+1 {
+		dst = make(Uni, deg+1)
+	} else {
+		dst = dst[:deg+1]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for _, t := range p.Terms {
 		m := t.Coef
 		kdeg := 0
@@ -303,9 +335,9 @@ func (p Poly) SubstituteMixed(vals []float64, ray []bool) Uni {
 				kdeg += v.Pow
 			}
 		}
-		u[kdeg] += m
+		dst[kdeg] += m
 	}
-	return u.trim()
+	return dst.trim()
 }
 
 // Homogenize drops all terms of total degree strictly below the top degree

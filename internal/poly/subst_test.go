@@ -1,0 +1,51 @@
+package poly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSubstituteRayIntoMatchesAlloc: the buffer-reusing variants agree
+// with the allocating originals, including when one scratch buffer is
+// threaded through polynomials of different degrees (the evaluator's
+// usage pattern).
+func TestSubstituteRayIntoMatchesAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var buf Uni
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(4)
+		p := randPoly(r, n)
+		a := make([]float64, n)
+		vals := make([]float64, n)
+		ray := make([]bool, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			vals[i] = r.NormFloat64()
+			ray[i] = r.Intn(2) == 0
+		}
+		want := p.SubstituteRay(a)
+		buf = p.SubstituteRayInto(buf, a)
+		if !reflect.DeepEqual([]float64(want), []float64(buf)) && (len(want) > 0 || len(buf) > 0) {
+			t.Fatalf("trial %d: into %v, want %v (p = %s)", trial, buf, want, p)
+		}
+		wantMixed := p.SubstituteMixed(vals, ray)
+		buf = p.SubstituteMixedInto(buf, vals, ray)
+		if !reflect.DeepEqual([]float64(wantMixed), []float64(buf)) && (len(wantMixed) > 0 || len(buf) > 0) {
+			t.Fatalf("trial %d: mixed into %v, want %v (p = %s)", trial, buf, wantMixed, p)
+		}
+	}
+}
+
+// TestSubstituteRayIntoNoAlloc: steady-state reuse does not allocate.
+func TestSubstituteRayIntoNoAlloc(t *testing.T) {
+	p := Var(3, 0).Mul(Var(3, 1)).Add(Var(3, 2)).Add(Const(3, 2))
+	a := []float64{0.3, -1.2, 0.7}
+	buf := p.SubstituteRayInto(nil, a)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.SubstituteRayInto(buf, a)
+	})
+	if allocs != 0 {
+		t.Errorf("SubstituteRayInto allocates %.1f per run with a warm buffer", allocs)
+	}
+}

@@ -10,6 +10,7 @@ package realfmla
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/poly"
@@ -302,6 +303,109 @@ func Atoms(f Formula) []Atom {
 	}
 	walk(f)
 	return out
+}
+
+// FormulaID is a 128-bit structural fingerprint of a formula's syntax
+// tree. Syntactically equal formulas always have equal IDs; distinct
+// formulas are overwhelmingly unlikely to collide, but the hash is not
+// cryptographic, so callers using it as a cache key should confirm a hit
+// with Equal (a collision then costs a recompute, never a wrong result).
+type FormulaID [2]uint64
+
+// Equal reports syntactic equality of two formulas.
+func Equal(a, b Formula) bool {
+	switch x := a.(type) {
+	case FTrue:
+		_, ok := b.(FTrue)
+		return ok
+	case FFalse:
+		_, ok := b.(FFalse)
+		return ok
+	case FAtom:
+		y, ok := b.(FAtom)
+		return ok && x.A.Rel == y.A.Rel && x.A.P.Equal(y.A.P)
+	case FNot:
+		y, ok := b.(FNot)
+		return ok && Equal(x.F, y.F)
+	case FAnd:
+		y, ok := b.(FAnd)
+		if !ok || len(x.Fs) != len(y.Fs) {
+			return false
+		}
+		for i := range x.Fs {
+			if !Equal(x.Fs[i], y.Fs[i]) {
+				return false
+			}
+		}
+		return true
+	case FOr:
+		y, ok := b.(FOr)
+		if !ok || len(x.Fs) != len(y.Fs) {
+			return false
+		}
+		for i := range x.Fs {
+			if !Equal(x.Fs[i], y.Fs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("realfmla: unknown node %T", a))
+}
+
+// Fingerprint computes the FormulaID of f without allocating — unlike a
+// canonical string key, it can run once per measure call on hot paths.
+func Fingerprint(f Formula) FormulaID {
+	h := fpHash{a: 1469598103934665603, b: 0x9ae16a3b2f90404f}
+	h.formula(f)
+	return FormulaID{h.a, h.b}
+}
+
+// fpHash runs two independent word-wise FNV-style streams.
+type fpHash struct{ a, b uint64 }
+
+func (h *fpHash) word(w uint64) {
+	h.a = (h.a ^ w) * 1099511628211
+	h.b = (h.b ^ (w<<31 | w>>33)) * 0x9e3779b97f4a7c15
+}
+
+func (h *fpHash) formula(f Formula) {
+	switch g := f.(type) {
+	case FTrue:
+		h.word(1)
+	case FFalse:
+		h.word(2)
+	case FAtom:
+		h.word(3)
+		h.word(uint64(g.A.Rel))
+		h.word(uint64(g.A.P.N))
+		h.word(uint64(len(g.A.P.Terms)))
+		for _, t := range g.A.P.Terms {
+			h.word(math.Float64bits(t.Coef))
+			h.word(uint64(len(t.Vars)))
+			for _, v := range t.Vars {
+				h.word(uint64(v.Var))
+				h.word(uint64(v.Pow))
+			}
+		}
+	case FNot:
+		h.word(4)
+		h.formula(g.F)
+	case FAnd:
+		h.word(5)
+		h.word(uint64(len(g.Fs)))
+		for _, k := range g.Fs {
+			h.formula(k)
+		}
+	case FOr:
+		h.word(6)
+		h.word(uint64(len(g.Fs)))
+		for _, k := range g.Fs {
+			h.formula(k)
+		}
+	default:
+		panic(fmt.Sprintf("realfmla: unknown node %T", f))
+	}
 }
 
 // NumVars returns the number of variables of the ambient polynomial ring

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the Figure 1 benchmark family and records the results as
+# BENCH_<date>.json in the repository root, so the performance trajectory
+# across PRs stays machine-readable.
+#
+# Usage: scripts/bench.sh [bench-regexp] [benchtime]
+#   scripts/bench.sh                 # -bench Figure1 -benchtime 1s
+#   scripts/bench.sh Figure1a 5x     # quicker, single series
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-Figure1}"
+benchtime="${2:-1s}"
+out="BENCH_$(date +%Y-%m-%d).json"
+
+raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" .)"
+printf '%s\n' "$raw"
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+  printf '  "bench": "%s",\n' "$bench"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "results": [\n'
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      bytes = ""; allocs = ""
+      for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      if (printed) printf ",\n"
+      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+      if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+      printf "}"
+      printed = 1
+    }
+    END { printf "\n" }'
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out"
