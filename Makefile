@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check vet build test race bench-smoke bench
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -14,6 +14,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the suite under the race detector (CI runs it as its own job;
+# the fused SQL pipeline and MeasureBatch are the concurrent paths).
+race:
+	$(GO) test -race ./...
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Figure1a' -benchtime 1x -benchmem .

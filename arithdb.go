@@ -24,9 +24,13 @@
 // The engine picks exact algorithms (rational cell enumeration for order
 // constraints, closed-form sectors in low dimension) when they apply and
 // falls back to the paper's randomized approximation schemes otherwise.
-// For SQL workloads, EvaluateSQL produces candidate tuples with compact
-// per-tuple constraints that feed MeasureFormula — the pipeline of the
-// paper's experiments.
+// For SQL workloads, Session.MeasureSQL runs the fused pipeline of the
+// paper's experiments — queries are lowered to a logical plan
+// (internal/plan), executed by a streaming hash-join executor
+// (internal/exec) over the database's persistent equality indexes, and
+// candidates are measured concurrently as their constraints finalize.
+// EvaluateSQL remains the evaluate-only entry point, producing candidate
+// tuples with compact per-tuple constraints that feed MeasureFormula.
 package arithdb
 
 import (

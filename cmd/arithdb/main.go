@@ -51,18 +51,36 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   arithdb sql     -data DIR -query "SELECT ..." [-eps E] [-delta D] [-seed S]
-  arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S] [args...]
+                  [-workers N] [-compile-cache N]
+                  [-no-join-reorder] [-no-db-indexes] [-no-hash-join]
+  arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S]
+                  [-workers N] [-compile-cache N] [args...]
   arithdb info    -data DIR`)
 	os.Exit(2)
 }
 
-func commonFlags(fs *flag.FlagSet) (data, query *string, eps, delta *float64, seed *int64) {
+func commonFlags(fs *flag.FlagSet) (data, query *string, eps, delta *float64, opts *arithdb.EngineOptions) {
 	data = fs.String("data", "", "database directory (written by datagen or SaveDatabase)")
 	query = fs.String("query", "", "query text")
 	eps = fs.Float64("eps", 0.01, "additive error of the approximation")
 	delta = fs.Float64("delta", 0.05, "failure probability")
-	seed = fs.Int64("seed", 1, "random seed")
+	opts = &arithdb.EngineOptions{}
+	fs.Int64Var(&opts.Seed, "seed", 1, "random seed")
+	fs.IntVar(&opts.Workers, "workers", 0,
+		"goroutines for intra-formula sampling (0 = GOMAXPROCS; results are seed-deterministic regardless)")
+	fs.IntVar(&opts.CompileCacheSize, "compile-cache", 0,
+		"compiled-formula cache entries (0 = default 1024, negative disables)")
 	return
+}
+
+// plannerFlags adds the SQL pipeline planner/executor toggles.
+func plannerFlags(fs *flag.FlagSet, opts *arithdb.EngineOptions) {
+	fs.BoolVar(&opts.DisableJoinReorder, "no-join-reorder", false,
+		"keep the FROM-clause join order even when reordering joins earlier")
+	fs.BoolVar(&opts.DisableDBIndexes, "no-db-indexes", false,
+		"build transient per-query hash tables instead of persistent database indexes")
+	fs.BoolVar(&opts.DisableHashJoin, "no-hash-join", false,
+		"force nested-loop joins (the naive baseline)")
 }
 
 // rangeFlags collects repeated -range Relation.column=lo:hi declarations
@@ -101,7 +119,8 @@ func (r rangeFlags) Set(s string) error {
 
 func runSQL(args []string) {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
-	data, query, eps, delta, seed := commonFlags(fs)
+	data, query, eps, delta, opts := commonFlags(fs)
+	plannerFlags(fs, opts)
 	ranges := rangeFlags{}
 	fs.Var(ranges, "range", "column range constraint Relation.column=lo:hi (repeatable; empty bound = ±inf)")
 	_ = fs.Parse(args)
@@ -112,41 +131,47 @@ func runSQL(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := arithdb.ParseSQL(*query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := arithdb.EvaluateSQL(q, d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var bg arithdb.Background
-	if len(ranges) > 0 {
-		bg = arithdb.BackgroundFromColumnRanges(d, ranges, res.Index)
-	}
-	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: *seed})
-	fmt.Printf("%d candidate tuples (%d derivations)\n", len(res.Candidates), res.Derivations)
-	for _, c := range res.Candidates {
-		var m arithdb.Result
-		if bg != nil {
-			m, err = engine.MeasureWithBackground(c.Phi, bg, *eps, *delta)
-		} else {
-			m, err = engine.MeasureFormula(c.Phi, *eps, *delta)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+	sess := arithdb.NewSession(d, *opts)
+	printMeasure := func(tuple arithdb.Tuple, m arithdb.Result) {
 		kind := "approx"
 		if m.Exact {
 			kind = "exact"
 		}
-		fmt.Printf("%-24s μ = %.4f  [%s, %s]\n", c.Tuple, m.Value, kind, m.Method)
+		fmt.Printf("%-24s μ = %.4f  [%s, %s]\n", tuple, m.Value, kind, m.Method)
+	}
+	if len(ranges) > 0 {
+		// Range-constrained measurement (Section 10) stays on the
+		// evaluate-then-measure path: background sampling is sequential.
+		res, err := sess.SQL(*query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bg := arithdb.BackgroundFromColumnRanges(d, ranges, res.Index)
+		fmt.Printf("%d candidate tuples (%d derivations)\n", len(res.Candidates), res.Derivations)
+		for _, c := range res.Candidates {
+			m, err := sess.Engine().MeasureWithBackground(c.Phi, bg, *eps, *delta)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printMeasure(c.Tuple, m)
+		}
+		return
+	}
+	// The fused pipeline: streaming candidate enumeration overlapped with
+	// concurrent measurement.
+	res, err := sess.MeasureSQL(*query, *eps, *delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d candidate tuples (%d derivations)\n", len(res.Candidates), res.Derivations)
+	for _, c := range res.Candidates {
+		printMeasure(c.Tuple, c.Measure)
 	}
 }
 
 func runMeasure(args []string) {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
-	data, query, eps, delta, seed := commonFlags(fs)
+	data, query, eps, delta, opts := commonFlags(fs)
 	_ = fs.Parse(args)
 	if *data == "" || *query == "" {
 		log.Fatal("measure: -data and -query are required")
@@ -177,7 +202,7 @@ func runMeasure(args []string) {
 	for i, a := range fs.Args() {
 		vals[i] = parseValue(a)
 	}
-	engine := arithdb.NewEngine(arithdb.EngineOptions{Seed: *seed})
+	engine := arithdb.NewEngine(*opts)
 	m, err := engine.Measure(q, d, vals, *eps, *delta)
 	if err != nil {
 		log.Fatal(err)

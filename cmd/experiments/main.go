@@ -94,12 +94,17 @@ func runFigures(which string, cfg arithdb.SalesConfig) {
 
 func runFigure(f figure, d *arithdb.Database) {
 	fmt.Printf("== Figure %s: %s ==\n", f.id, f.name)
-	q, err := arithdb.ParseSQL(f.sql)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One session per figure: the conditional evaluation runs through the
+	// planner/executor, and the per-ε sweep reuses the session engine's
+	// compiled-formula cache.
+	sess := arithdb.NewSession(d, arithdb.EngineOptions{
+		Seed:             7,
+		PaperSampleCount: true,
+		DisableExact:     true,
+		ForceSampling:    true,
+	})
 	joinStart := time.Now()
-	res, err := arithdb.EvaluateSQL(q, d)
+	res, err := sess.SQL(f.sql)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,12 +116,7 @@ func runFigure(f figure, d *arithdb.Database) {
 	// the paper's m = ⌈ε⁻²⌉ sample count (confidence 3/4 per the Chernoff
 	// analysis of Section 8). Exact shortcuts are disabled so the timing
 	// reflects the Monte-Carlo phase being measured.
-	engine := arithdb.NewEngine(arithdb.EngineOptions{
-		Seed:             7,
-		PaperSampleCount: true,
-		DisableExact:     true,
-		ForceSampling:    true,
-	})
+	engine := sess.Engine()
 	fmt.Printf("%8s %10s %14s\n", "ε·10³", "samples", "time")
 	for e := 100; e >= 10; e -= 5 {
 		eps := float64(e) / 1000
@@ -132,7 +132,16 @@ func runFigure(f figure, d *arithdb.Database) {
 		dt := time.Since(t0)
 		fmt.Printf("%8d %10d %14s\n", e, samples, dt.Round(10*time.Microsecond))
 	}
-	fmt.Println()
+
+	// End-to-end fused pipeline at ε = 0.05: enumeration streamed into
+	// concurrent measurement (same seeds as MeasureBatch).
+	t0 := time.Now()
+	fused, err := sess.MeasureSQL(f.sql, 0.05, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fused join+measure (ε=0.05): %d candidates in %v\n\n",
+		len(fused.Candidates), time.Since(t0).Round(time.Millisecond))
 }
 
 func runChecks(which string) {

@@ -7,6 +7,21 @@ import (
 	"repro/internal/realfmla"
 )
 
+// itemOptions derives the per-item engine options of a concurrent
+// measurement pool (MeasureBatch, Engine.MeasureSQL): a deterministic
+// per-index seed, and no nested sampling fan-out unless explicitly
+// requested — the pool is already GOMAXPROCS wide, and values are
+// Workers-independent, so this only affects scheduling. Both pools MUST
+// share this function; it is the determinism contract tying MeasureSQL
+// to MeasureBatch.
+func itemOptions(o Options, idx int) Options {
+	o.Seed += int64(idx) * 1_000_003
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
 // MeasureBatch computes measures for many formulas concurrently — the
 // shape of the experiment pipeline, where every candidate tuple of a SQL
 // result needs its own confidence level. Engines are not safe for
@@ -33,16 +48,7 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				iopts := o
-				iopts.Seed = o.Seed + int64(i)*1_000_003
-				if iopts.Workers == 0 {
-					// The batch pool is already GOMAXPROCS wide; don't nest
-					// a full sampling fan-out inside every engine. Values
-					// are Workers-independent, so this only affects
-					// scheduling. An explicit Workers setting is honored.
-					iopts.Workers = 1
-				}
-				results[i], errs[i] = New(iopts).MeasureFormula(phis[i], eps, delta)
+				results[i], errs[i] = New(itemOptions(o, i)).MeasureFormula(phis[i], eps, delta)
 			}
 		}()
 	}

@@ -100,6 +100,21 @@ type Options struct {
 	// constraints compile each formula once instead of once per call.
 	// 0 uses the default of 1024 entries; negative disables caching.
 	CompileCacheSize int
+
+	// SQL pipeline planner/executor toggles (EvaluateSQL / MeasureSQL).
+	// None of them change results — the executor restores derivation
+	// order and the constraint layout is canonical — only how the join
+	// runs.
+
+	// DisableJoinReorder keeps the FROM-clause join order even when the
+	// planner finds an equality-connected order that joins earlier.
+	DisableJoinReorder bool
+	// DisableDBIndexes makes the executor build transient per-query hash
+	// tables instead of using the database's persistent equality indexes.
+	DisableDBIndexes bool
+	// DisableHashJoin forces nested-loop joins with residual checks — the
+	// naive fully-materializing baseline of the paper's pipeline.
+	DisableHashJoin bool
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/realfmla"
+	"repro/internal/sqlast"
+	"repro/internal/value"
+)
+
+// planOptions and execOptions derive the SQL pipeline configuration from
+// the engine options.
+func (e *Engine) planOptions() plan.Options {
+	return plan.Options{Reorder: !e.opts.DisableJoinReorder}
+}
+
+func (e *Engine) execOptions() exec.Options {
+	return exec.Options{NoDBIndexes: e.opts.DisableDBIndexes, NoHashJoin: e.opts.DisableHashJoin}
+}
+
+// EvaluateSQL runs a SQL query under conditional semantics through the
+// engine's planner/executor configuration, returning candidate tuples
+// with their constraints. Results are identical to sqlfront.Evaluate for
+// every toggle combination.
+func (e *Engine) EvaluateSQL(q *sqlast.Query, d *db.Database) (*exec.Result, error) {
+	p, err := plan.Build(q, d, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(p, d, e.execOptions())
+}
+
+// MeasuredCandidate is one candidate answer of MeasureSQL: the tuple, its
+// constraint, and the measure of certainty μ = ν(Phi).
+type MeasuredCandidate struct {
+	Tuple   value.Tuple
+	Phi     realfmla.Formula
+	Measure Result
+}
+
+// SQLMeasured is the output of MeasureSQL: the conditional evaluation's
+// candidates in derivation order, each with its confidence level.
+type SQLMeasured struct {
+	Candidates []MeasuredCandidate
+	// NullIDs / Index / Derivations as in exec.Result.
+	NullIDs     []int
+	Index       map[int]int
+	Derivations int
+}
+
+// MeasureSQL is the fused pipeline of the paper's experiments: the query
+// is lowered to a plan, the streaming executor's derivations feed
+// per-candidate constraint aggregation, and candidates are measured
+// concurrently as soon as their constraint is final — candidates whose
+// constraint collapses to true (an unconditional derivation) are
+// dispatched while enumeration is still running, the rest when the join
+// completes, so measurement overlaps enumeration and consumption. With a
+// LIMIT, only the first n distinct tuples hold constraint state, so
+// top-k workloads never materialize the full candidate list (when the
+// planner reorders joins the executor does buffer the surviving
+// derivations to restore derivation order — see exec.Run).
+//
+// Measurement matches MeasureBatch exactly: each candidate is measured by
+// its own engine seeded deterministically from this engine's options and
+// the candidate index, so results are bit-identical to a sequential
+// MeasureBatch run regardless of scheduling or the planner toggles.
+func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q, d, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		idx  int
+		cand exec.Candidate
+	}
+	workers := runtime.GOMAXPROCS(0)
+	jobs := make(chan job, workers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		measures = make(map[int]Result)
+		firstErr error
+	)
+	o := e.opts // seeds/toggles snapshot; per-candidate engines derive from it
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := New(itemOptions(o, j.idx)).MeasureFormula(j.cand.Phi, eps, delta)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					measures[j.idx] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	out := &SQLMeasured{NullIDs: p.NullIDs, Index: p.Index}
+	ag := exec.NewAggregator(p.Limit, func(idx int, c exec.Candidate) {
+		jobs <- job{idx: idx, cand: c}
+	})
+	runErr := exec.Run(p, d, e.execOptions(), func(dv *exec.Deriv) error {
+		out.Derivations++
+		ag.Add(dv)
+		return nil
+	})
+	cands := ag.Finish()
+	if runErr == nil {
+		for i, c := range cands {
+			if !ag.Saturated(i) { // saturated candidates were dispatched mid-enumeration
+				jobs <- job{idx: i, cand: c}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(cands) > 0 {
+		out.Candidates = make([]MeasuredCandidate, len(cands))
+		for i, c := range cands {
+			out.Candidates[i] = MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: measures[i]}
+		}
+	}
+	return out, nil
+}

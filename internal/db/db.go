@@ -6,7 +6,9 @@ package db
 
 import (
 	"fmt"
+	"iter"
 	"sort"
+	"sync"
 
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -21,6 +23,12 @@ type Database struct {
 
 	nextBaseNull int
 	nextNumNull  int
+
+	// Lazily built per-(relation, column) equality indexes, invalidated on
+	// Insert; see index.go. mu guards only the index map so that concurrent
+	// read-only query sessions can share one database.
+	mu      sync.Mutex
+	indexes map[indexKey]EqIndex
 }
 
 // New returns an empty database over the given schema.
@@ -55,6 +63,7 @@ func (d *Database) Insert(rel string, t value.Tuple) error {
 		}
 	}
 	d.tables[rel] = append(d.tables[rel], t.Clone())
+	d.invalidateIndexes(rel)
 	return nil
 }
 
@@ -79,9 +88,48 @@ func (d *Database) FreshNumNull() value.Value {
 	return v
 }
 
-// Tuples returns the tuples of the named relation. The returned slice is
-// owned by the database and must not be modified.
-func (d *Database) Tuples(rel string) []value.Tuple { return d.tables[rel] }
+// Tuples returns a defensive deep copy of the tuples of the named
+// relation: the caller owns the result and may modify it freely without
+// corrupting the database. Read-only consumers that want to avoid the
+// copy should use All, Len and Row instead.
+func (d *Database) Tuples(rel string) []value.Tuple {
+	ts := d.tables[rel]
+	if ts == nil {
+		return nil
+	}
+	out := make([]value.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// All returns an iterator over the tuples of the named relation in
+// insertion order. The yielded tuples are owned by the database and must
+// not be modified; this is the zero-copy path for read-only scans.
+func (d *Database) All(rel string) iter.Seq[value.Tuple] {
+	return func(yield func(value.Tuple) bool) {
+		for _, t := range d.tables[rel] {
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of tuples in the named relation.
+func (d *Database) Len(rel string) int { return len(d.tables[rel]) }
+
+// Rows returns the live tuple slice of the named relation for read-only
+// random access (the batch companion of Row, used by the executor's join
+// loops). Neither the slice nor the tuples may be modified; mutating
+// callers must use Tuples, which copies.
+func (d *Database) Rows(rel string) []value.Tuple { return d.tables[rel] }
+
+// Row returns the i-th tuple (in insertion order) of the named relation.
+// The tuple is owned by the database and must not be modified; it is the
+// random-access companion of All for index probes.
+func (d *Database) Row(rel string, i int) value.Tuple { return d.tables[rel][i] }
 
 // Size returns the total number of tuples across all relations.
 func (d *Database) Size() int {

@@ -1,0 +1,50 @@
+package db
+
+import "repro/internal/value"
+
+// EqIndex is a per-column equality index: for each distinct column value,
+// the ordinals (insertion positions) of the tuples carrying it, ascending.
+// Because value.Value is compared structurally, a marked null indexes —
+// and therefore equi-joins — only with itself, the bijective-valuation
+// regime of Prop 5.2. The index is owned by the database and must not be
+// modified.
+type EqIndex map[value.Value][]int
+
+type indexKey struct {
+	rel string
+	col int
+}
+
+// Index returns the equality index of the given relation column, building
+// it on first use and caching it until the relation is next modified.
+// Concurrent callers are safe; each (relation, column) pair is built at
+// most once per version of the relation.
+func (d *Database) Index(rel string, col int) EqIndex {
+	k := indexKey{rel, col}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ix, ok := d.indexes[k]; ok {
+		return ix
+	}
+	ix := make(EqIndex)
+	for i, t := range d.tables[rel] {
+		ix[t[col]] = append(ix[t[col]], i)
+	}
+	if d.indexes == nil {
+		d.indexes = make(map[indexKey]EqIndex)
+	}
+	d.indexes[k] = ix
+	return ix
+}
+
+// invalidateIndexes drops the cached indexes of a relation after a
+// mutation.
+func (d *Database) invalidateIndexes(rel string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.indexes {
+		if k.rel == rel {
+			delete(d.indexes, k)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func indexTestDB(t *testing.T) *Database {
+	t.Helper()
+	s := schema.MustNew(schema.MustRelation("R",
+		schema.Column{Name: "k", Type: schema.Base},
+		schema.Column{Name: "x", Type: schema.Num}))
+	d := New(s)
+	d.MustInsert("R", value.Base("a"), value.Num(1))
+	d.MustInsert("R", value.Base("b"), value.Num(2))
+	d.MustInsert("R", value.Base("a"), value.Num(3))
+	d.MustInsert("R", value.NullBase(0), value.Num(4))
+	return d
+}
+
+func TestIndexGroupsAndNullIdentity(t *testing.T) {
+	d := indexTestDB(t)
+	ix := d.Index("R", 0)
+	if got := ix[value.Base("a")]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("a → %v, want [0 2] in insertion order", got)
+	}
+	if got := ix[value.Base("b")]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("b → %v", got)
+	}
+	// A marked null indexes only with itself (Prop 5.2's regime).
+	if got := ix[value.NullBase(0)]; len(got) != 1 || got[0] != 3 {
+		t.Errorf("⊥0 → %v", got)
+	}
+	if got := ix[value.NullBase(1)]; got != nil {
+		t.Errorf("⊥1 → %v, want no entry", got)
+	}
+	// Cached on second call.
+	if &d.Index("R", 0)[value.Base("a")][0] != &ix[value.Base("a")][0] {
+		t.Error("index rebuilt on second call")
+	}
+}
+
+func TestIndexInvalidatedOnInsert(t *testing.T) {
+	d := indexTestDB(t)
+	_ = d.Index("R", 0)
+	d.MustInsert("R", value.Base("a"), value.Num(5))
+	ix := d.Index("R", 0)
+	if got := ix[value.Base("a")]; len(got) != 3 || got[2] != 4 {
+		t.Errorf("after insert: a → %v, want [0 2 4]", got)
+	}
+}
+
+func TestTuplesDefensiveCopy(t *testing.T) {
+	d := indexTestDB(t)
+	ts := d.Tuples("R")
+	ts[0][0] = value.Base("corrupted")
+	ts[1] = nil
+	if d.Row("R", 0)[0] != value.Base("a") {
+		t.Error("mutating Tuples result corrupted the database")
+	}
+	if d.Len("R") != 4 {
+		t.Errorf("Len = %d", d.Len("R"))
+	}
+	n := 0
+	for tup := range d.All("R") {
+		if len(tup) != 2 {
+			t.Errorf("row %d = %v", n, tup)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("All yielded %d rows", n)
+	}
+	if d.Tuples("Nope") != nil {
+		t.Error("unknown relation should yield nil")
+	}
+}

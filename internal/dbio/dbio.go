@@ -58,7 +58,7 @@ func saveRelation(d *db.Database, rel *schema.Relation, dir string) error {
 		return fmt.Errorf("dbio: %w", err)
 	}
 	row := make([]string, len(rel.Columns))
-	for _, t := range d.Tuples(rel.Name) {
+	for t := range d.All(rel.Name) {
 		for i, v := range t {
 			row[i] = encode(v)
 		}

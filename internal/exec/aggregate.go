@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"repro/internal/db"
+	"repro/internal/plan"
+	"repro/internal/realfmla"
+	"repro/internal/value"
+)
+
+// Candidate is one answer tuple of the conditional evaluation together
+// with its constraint: the tuple is an answer under a valuation of the
+// numerical nulls z exactly when Phi(z) holds. Phi is a DNF — one
+// disjunct per derivation (join combination) producing the tuple, in
+// derivation order. Candidates whose Phi is constantly true are ordinary
+// (almost-certain) answers.
+type Candidate struct {
+	Tuple value.Tuple
+	Phi   realfmla.Formula
+}
+
+// Result is the aggregated output of a conditional evaluation.
+type Result struct {
+	Candidates []Candidate
+	// NullIDs maps formula variable index to numerical null ID (the same
+	// convention as package translate).
+	NullIDs []int
+	// Index is the inverse of NullIDs.
+	Index map[int]int
+	// Derivations counts join combinations that survived the base
+	// conditions (the size of the naive join result).
+	Derivations int
+}
+
+// Aggregator folds a stream of derivations into distinct candidate
+// tuples: per distinct projected tuple (in first-derivation order) the
+// disjunction of its derivations' constraint conjunctions. With a
+// positive limit, only the first `limit` distinct tuples keep their
+// constraint disjuncts — later tuples are tracked (they can never enter
+// the limit window) but cost no memory beyond their key, which is what
+// makes top-k workloads cheap to stream.
+type Aggregator struct {
+	limit int
+	byKey map[string]*agg
+	kept  []*agg
+	// onSaturated, when set, fires as soon as a kept candidate's
+	// constraint collapses to true (a derivation with no constraint
+	// atoms): its Phi can no longer change, so a fused pipeline may start
+	// measuring it while enumeration continues.
+	onSaturated func(idx int, c Candidate)
+}
+
+type agg struct {
+	idx       int
+	tuple     value.Tuple
+	disjuncts []realfmla.Formula
+	keep      bool
+	saturated bool
+}
+
+// NewAggregator returns an aggregator for the given LIMIT (0 = none).
+// onSaturated may be nil.
+func NewAggregator(limit int, onSaturated func(idx int, c Candidate)) *Aggregator {
+	return &Aggregator{limit: limit, byKey: make(map[string]*agg), onSaturated: onSaturated}
+}
+
+// Add folds one derivation in.
+func (a *Aggregator) Add(d *Deriv) {
+	key := d.Tuple.Key()
+	g, ok := a.byKey[key]
+	if !ok {
+		g = &agg{tuple: d.Tuple, keep: a.limit <= 0 || len(a.kept) < a.limit}
+		a.byKey[key] = g
+		if g.keep {
+			g.idx = len(a.kept)
+			a.kept = append(a.kept, g)
+		}
+	}
+	if !g.keep || g.saturated {
+		return
+	}
+	if len(d.Conj) == 0 {
+		// An unconditional derivation: Or(..., true, ...) collapses, so
+		// the candidate's Phi is final and the disjunct list can go.
+		g.saturated = true
+		g.disjuncts = nil
+		if a.onSaturated != nil {
+			a.onSaturated(g.idx, Candidate{Tuple: g.tuple, Phi: realfmla.FTrue{}})
+		}
+		return
+	}
+	g.disjuncts = append(g.disjuncts, realfmla.And(d.Conj...))
+}
+
+// Finish returns the candidates in first-derivation order with the LIMIT
+// applied (nil when there are none), including any already reported
+// through onSaturated.
+func (a *Aggregator) Finish() []Candidate {
+	if len(a.kept) == 0 {
+		return nil
+	}
+	out := make([]Candidate, len(a.kept))
+	for i, g := range a.kept {
+		phi := realfmla.Formula(realfmla.FTrue{})
+		if !g.saturated {
+			phi = realfmla.Or(g.disjuncts...)
+		}
+		out[i] = Candidate{Tuple: g.tuple, Phi: phi}
+	}
+	return out
+}
+
+// Saturated reports whether candidate idx was finalized early.
+func (a *Aggregator) Saturated(idx int) bool { return a.kept[idx].saturated }
+
+// Collect runs the plan and aggregates its derivation stream into the
+// distinct candidate tuples with their constraints — the materializing
+// convenience over Run for callers that want the whole Result.
+func Collect(p *plan.Plan, d *db.Database, opts Options) (*Result, error) {
+	res := &Result{NullIDs: p.NullIDs, Index: p.Index}
+	ag := NewAggregator(p.Limit, nil)
+	err := Run(p, d, opts, func(dv *Deriv) error {
+		res.Derivations++
+		ag.Add(dv)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Candidates = ag.Finish()
+	return res, nil
+}

@@ -1,0 +1,348 @@
+// Package exec is the streaming executor of the SQL pipeline: it runs a
+// logical plan (package plan) over a database with an iterator model and
+// emits (tuple, constraint-disjunct) pairs — one per surviving join
+// combination — incrementally, instead of materializing the naive join.
+//
+// Joins on decidable base-column equalities run as hash joins against the
+// database's lazily built equality indexes (marked base nulls join only
+// with themselves, per Prop 5.2); numeric/θ conditions fall back to
+// nested-loop filtering and contribute polynomial constraint atoms. Each
+// derivation's conjunction is laid out in the plan's canonical order, so
+// the constraint formulas are byte-identical to those of the pre-planner
+// evaluator regardless of the join order executed; when the planner
+// reordered joins, Run restores the original derivation order before
+// emitting.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/plan"
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+	"repro/internal/sqlast"
+	"repro/internal/value"
+)
+
+// Options configures execution.
+type Options struct {
+	// NoDBIndexes makes the executor build transient per-query hash
+	// tables instead of using (and lazily building) the database's
+	// persistent equality indexes.
+	NoDBIndexes bool
+	// NoHashJoin disables index/hash access paths entirely: every step
+	// becomes a full scan with residual condition checks — the naive
+	// nested-loop baseline.
+	NoHashJoin bool
+}
+
+// Deriv is one derivation: a surviving join combination. Tuple is the
+// projected answer tuple, Conj the constraint atoms it is conditioned on
+// (in the plan's canonical order; empty means unconditional), and Rows
+// the bound row ordinals per original FROM position (the derivation's
+// rank in the naive nested-loop enumeration). Rows is populated only for
+// reordered (non-Identity) plans, where Run needs it to restore
+// derivation order; on streaming plans the emission order already is the
+// derivation order.
+type Deriv struct {
+	Tuple value.Tuple
+	Conj  []realfmla.Formula
+	Rows  []int
+}
+
+// Cursor is a pull-based iterator over the derivations of a plan, in
+// executor order (the plan's join order). Use Run to consume derivations
+// in the original derivation order regardless of reordering.
+type Cursor struct {
+	p    *plan.Plan
+	d    *db.Database
+	opts Options
+
+	tables [][]value.Tuple // per-step relation contents (db-owned, read-only)
+	rows   []value.Tuple   // bound row per step
+	ords   []int           // bound row ordinal per step
+	cand   [][]int         // candidate ordinals per step (nil → positional scan)
+	n      []int           // candidate count per step
+	pos    []int           // next candidate index per step
+	probe  []bool          // step currently served by its access path
+	tidx   []db.EqIndex    // per-step index handle (persistent or transient)
+	atoms  []realfmla.Formula
+	zeros  []float64
+
+	depth   int
+	started bool
+	done    bool
+}
+
+// NewCursor opens a cursor over the plan.
+func NewCursor(p *plan.Plan, d *db.Database, opts Options) *Cursor {
+	ns := len(p.Steps)
+	c := &Cursor{
+		p: p, d: d, opts: opts,
+		tables: make([][]value.Tuple, ns),
+		rows:   make([]value.Tuple, ns),
+		ords:   make([]int, ns),
+		cand:   make([][]int, ns),
+		n:      make([]int, ns),
+		pos:    make([]int, ns),
+		probe:  make([]bool, ns),
+		tidx:   make([]db.EqIndex, ns),
+		atoms:  make([]realfmla.Formula, len(p.Conds)),
+		zeros:  make([]float64, p.K),
+	}
+	for s := range p.Steps {
+		c.tables[s] = d.Rows(p.Steps[s].Relation)
+	}
+	return c
+}
+
+// Next returns the next derivation, or nil when the cursor is exhausted.
+// The returned Deriv is freshly allocated and owned by the caller.
+func (c *Cursor) Next() (*Deriv, error) {
+	if c.done {
+		return nil, nil
+	}
+	s := c.depth
+	if !c.started {
+		c.started = true
+		s = 0
+		c.enter(0)
+	}
+	last := len(c.p.Steps) - 1
+	for s >= 0 {
+		if c.pos[s] >= c.n[s] {
+			s--
+			continue
+		}
+		i := c.pos[s]
+		c.pos[s]++
+		ord := i
+		if c.cand[s] != nil {
+			ord = c.cand[s][i]
+		}
+		c.ords[s] = ord
+		c.rows[s] = c.tables[s][ord]
+		ok, err := c.applyConds(s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if s == last {
+			c.depth = s
+			return c.emit(), nil
+		}
+		s++
+		c.enter(s)
+	}
+	c.done = true
+	return nil, nil
+}
+
+// enter prepares step s's candidate rows for the current outer binding:
+// an index probe when the plan chose one (and hashing is enabled), a full
+// scan otherwise.
+func (c *Cursor) enter(s int) {
+	st := &c.p.Steps[s]
+	c.pos[s] = 0
+	c.probe[s] = false
+	if !c.opts.NoHashJoin && st.Access != plan.FullScan {
+		var key value.Value
+		if st.Access == plan.IndexEq {
+			key = c.rows[st.Outer.Step][st.Outer.Col]
+		} else {
+			key = st.Lit
+		}
+		c.cand[s] = c.index(s)[key]
+		c.n[s] = len(c.cand[s])
+		c.probe[s] = true
+		return
+	}
+	c.cand[s] = nil
+	c.n[s] = len(c.tables[s])
+}
+
+// index returns the equality index serving step s's access path, caching
+// the handle on the cursor (and building a transient one in NoDBIndexes
+// mode).
+func (c *Cursor) index(s int) db.EqIndex {
+	if c.tidx[s] != nil {
+		return c.tidx[s]
+	}
+	st := &c.p.Steps[s]
+	if !c.opts.NoDBIndexes {
+		c.tidx[s] = c.d.Index(st.Relation, st.LocalCol)
+		return c.tidx[s]
+	}
+	ix := make(db.EqIndex)
+	for i, t := range c.tables[s] {
+		ix[t[st.LocalCol]] = append(ix[t[st.LocalCol]], i)
+	}
+	c.tidx[s] = ix
+	return ix
+}
+
+// relOf maps sqlast comparison operators to sign relations, matching the
+// pre-planner evaluator's table.
+var relOf = [...]realfmla.Rel{realfmla.LT, realfmla.LE, realfmla.EQ, realfmla.NE, realfmla.GE, realfmla.GT}
+
+// applyConds evaluates every condition placed at step s for the current
+// binding: base conditions decide immediately, numeric conditions either
+// decide (constant polynomial) or record a constraint atom. The access
+// condition is skipped when the index probe already guarantees it.
+func (c *Cursor) applyConds(s int) (bool, error) {
+	st := &c.p.Steps[s]
+	for _, ci := range st.Conds {
+		if c.probe[s] && ci == st.AccessCond {
+			continue
+		}
+		cond := &c.p.Conds[ci]
+		switch cond.Kind {
+		case plan.CondBaseEq:
+			if c.rows[cond.L.Step][cond.L.Col] != c.rows[cond.R.Step][cond.R.Col] {
+				return false, nil
+			}
+		case plan.CondBaseEqConst:
+			if c.rows[cond.L.Step][cond.L.Col] != cond.Lit {
+				return false, nil
+			}
+		case plan.CondNumCmp:
+			c.atoms[ci] = nil
+			lp, err := c.exprPoly(cond.LExp)
+			if err != nil {
+				return false, err
+			}
+			rp, err := c.exprPoly(cond.RExp)
+			if err != nil {
+				return false, err
+			}
+			diff := lp.Sub(rp)
+			atom := realfmla.Atom{P: diff, Rel: relOf[cond.Op]}
+			if _, isConst := diff.IsConst(); isConst {
+				if !atom.Eval(c.zeros) {
+					return false, nil
+				}
+				continue
+			}
+			c.atoms[ci] = realfmla.FAtom{A: atom}
+		}
+	}
+	return true, nil
+}
+
+func (c *Cursor) exprPoly(e *plan.NumExpr) (poly.Poly, error) {
+	switch e.Kind {
+	case sqlast.ExprConst:
+		return poly.Const(c.p.K, e.Const), nil
+	case sqlast.ExprCol:
+		v := c.rows[e.Cell.Step][e.Cell.Col]
+		switch v.Kind() {
+		case value.NumConst:
+			return poly.Const(c.p.K, v.Float()), nil
+		case value.NumNull:
+			return poly.Var(c.p.K, c.p.Index[v.NullID()]), nil
+		default:
+			return poly.Poly{}, fmt.Errorf("exec: base value %s in arithmetic", v)
+		}
+	case sqlast.ExprNeg:
+		p, err := c.exprPoly(e.L)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		return p.Neg(), nil
+	case sqlast.ExprAdd, sqlast.ExprSub, sqlast.ExprMul:
+		l, err := c.exprPoly(e.L)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		r, err := c.exprPoly(e.R)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		switch e.Kind {
+		case sqlast.ExprAdd:
+			return l.Add(r), nil
+		case sqlast.ExprSub:
+			return l.Sub(r), nil
+		default:
+			return l.Mul(r), nil
+		}
+	}
+	return poly.Poly{}, fmt.Errorf("exec: unknown expression kind")
+}
+
+// emit snapshots the current full binding as a derivation.
+func (c *Cursor) emit() *Deriv {
+	p := c.p
+	tup := make(value.Tuple, len(p.Project))
+	for i, cell := range p.Project {
+		tup[i] = c.rows[cell.Step][cell.Col]
+	}
+	var conj []realfmla.Formula
+	for ci := range p.Conds {
+		if a := c.atoms[ci]; a != nil {
+			conj = append(conj, a)
+		}
+	}
+	var rows []int
+	if !p.Identity { // only Run's reorder sort reads Rows
+		rows = make([]int, len(p.Steps))
+		for s, o := range p.Order {
+			rows[o] = c.ords[s]
+		}
+	}
+	return &Deriv{Tuple: tup, Conj: conj, Rows: rows}
+}
+
+// Run streams every derivation of the plan to emit in the original
+// derivation order — the FROM-clause nested-loop enumeration order. When
+// the plan's join order is the FROM order this is fully streaming; when
+// the planner reordered joins, the (already filtered) derivations are
+// buffered and sorted back into derivation order first, so reordering
+// never changes observable results.
+func Run(p *plan.Plan, d *db.Database, opts Options, emit func(*Deriv) error) error {
+	cur := NewCursor(p, d, opts)
+	if p.Identity {
+		for {
+			dv, err := cur.Next()
+			if err != nil {
+				return err
+			}
+			if dv == nil {
+				return nil
+			}
+			if err := emit(dv); err != nil {
+				return err
+			}
+		}
+	}
+	var buf []*Deriv
+	for {
+		dv, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if dv == nil {
+			break
+		}
+		buf = append(buf, dv)
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := buf[i].Rows, buf[j].Rows
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for _, dv := range buf {
+		if err := emit(dv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

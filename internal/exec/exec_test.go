@@ -1,0 +1,175 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/realfmla"
+	"repro/internal/schema"
+	"repro/internal/sqlfront"
+	"repro/internal/value"
+)
+
+func testDB(t *testing.T) *db.Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "g", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("S",
+			schema.Column{Name: "g", Type: schema.Base},
+			schema.Column{Name: "y", Type: schema.Num}),
+	)
+	d := db.New(s)
+	d.MustInsert("R", value.Base("a"), value.NullNum(0))
+	d.MustInsert("R", value.Base("b"), value.Num(1))
+	d.MustInsert("R", value.Base("a"), value.Num(2))
+	d.MustInsert("S", value.Base("a"), value.Num(3))
+	d.MustInsert("S", value.Base("b"), value.NullNum(1))
+	return d
+}
+
+func mustPlan(t *testing.T, d *db.Database, src string, opts plan.Options) *plan.Plan {
+	t.Helper()
+	p, err := plan.Build(sqlfront.MustParse(src), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCursorStreamsDerivations: the pull iterator yields each surviving
+// join combination exactly once, with canonical-order constraint atoms.
+func TestCursorStreamsDerivations(t *testing.T) {
+	d := testDB(t)
+	p := mustPlan(t, d, `SELECT R.g FROM R R, S S WHERE R.g = S.g AND R.x <= S.y`, plan.Options{})
+	cur := exec.NewCursor(p, d, exec.Options{})
+	var derivs []*exec.Deriv
+	for {
+		dv, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dv == nil {
+			break
+		}
+		derivs = append(derivs, dv)
+	}
+	// Survivors: (r0,s0) with z0<=3, (r1,s1) with 1<=z1, (r2,s0) decided
+	// true (2<=3, no atom).
+	if len(derivs) != 3 {
+		t.Fatalf("%d derivations: %v", len(derivs), derivs)
+	}
+	if len(derivs[0].Conj) != 1 || len(derivs[1].Conj) != 1 || len(derivs[2].Conj) != 0 {
+		t.Errorf("constraint shapes wrong: %v", derivs)
+	}
+	// On a streaming (Identity) plan the ordinal vector is not needed —
+	// emission order is derivation order — and stays nil.
+	if derivs[2].Rows != nil {
+		t.Errorf("identity plan populated Rows: %v", derivs[2].Rows)
+	}
+}
+
+// TestRunRestoresOrderAfterReorder: a reordered plan still emits in the
+// original FROM-clause derivation order.
+func TestRunRestoresOrderAfterReorder(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("A", schema.Column{Name: "k", Type: schema.Base}),
+		schema.MustRelation("B", schema.Column{Name: "k", Type: schema.Base}),
+		schema.MustRelation("C", schema.Column{Name: "k", Type: schema.Base}),
+	)
+	d := db.New(s)
+	for _, v := range []string{"x", "y"} {
+		d.MustInsert("A", value.Base(v))
+		d.MustInsert("B", value.Base(v))
+		d.MustInsert("C", value.Base(v))
+	}
+	// FROM order has the A×C cartesian first; B joins both.
+	p := mustPlan(t, d, `SELECT A.k FROM A A, C C, B B WHERE B.k = A.k AND B.k = C.k`, plan.Options{Reorder: true})
+	if p.Identity {
+		t.Fatal("expected a reordered plan")
+	}
+	var got [][]int
+	if err := exec.Run(p, d, exec.Options{}, func(dv *exec.Deriv) error {
+		got = append(got, dv.Rows)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 0, 0}, {1, 1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("derivations = %v, want %v", got, want)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("derivations = %v, want %v (derivation order not restored)", got, want)
+			}
+		}
+	}
+}
+
+// TestAggregatorLimitAndSaturation: beyond-limit tuples hold no
+// constraint state, and an unconditional derivation finalizes a
+// candidate early through the hook.
+func TestAggregatorLimitAndSaturation(t *testing.T) {
+	var early []int
+	ag := exec.NewAggregator(1, func(idx int, c exec.Candidate) {
+		early = append(early, idx)
+		if _, ok := c.Phi.(realfmla.FTrue); !ok {
+			t.Errorf("saturated Phi = %s", c.Phi)
+		}
+	})
+	atom := realfmla.FAtom{}
+	tupA := value.Tuple{value.Base("a")}
+	tupB := value.Tuple{value.Base("b")}
+	ag.Add(&exec.Deriv{Tuple: tupA, Conj: []realfmla.Formula{atom}})
+	ag.Add(&exec.Deriv{Tuple: tupB, Conj: nil}) // beyond limit: ignored
+	ag.Add(&exec.Deriv{Tuple: tupA, Conj: nil}) // saturates candidate 0
+	ag.Add(&exec.Deriv{Tuple: tupA, Conj: []realfmla.Formula{atom}})
+	cands := ag.Finish()
+	if len(cands) != 1 || !cands[0].Tuple.Equal(tupA) {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if _, ok := cands[0].Phi.(realfmla.FTrue); !ok {
+		t.Errorf("Phi = %s, want true", cands[0].Phi)
+	}
+	if len(early) != 1 || early[0] != 0 || !ag.Saturated(0) {
+		t.Errorf("early dispatch = %v", early)
+	}
+}
+
+// TestCollectOptionCombos: every executor configuration computes the same
+// result on a probe-and-filter query.
+func TestCollectOptionCombos(t *testing.T) {
+	d := testDB(t)
+	p := mustPlan(t, d, `SELECT R.g FROM R R, S S WHERE R.g = S.g AND R.x <= S.y LIMIT 2`, plan.Options{})
+	base, err := exec.Collect(p, d, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Derivations != 3 || len(base.Candidates) != 2 {
+		t.Fatalf("base = %d derivs, %d candidates", base.Derivations, len(base.Candidates))
+	}
+	for _, opts := range []exec.Options{
+		{NoDBIndexes: true},
+		{NoHashJoin: true},
+		{NoDBIndexes: true, NoHashJoin: true},
+	} {
+		got, err := exec.Collect(p, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Derivations != base.Derivations || len(got.Candidates) != len(base.Candidates) {
+			t.Fatalf("%+v: %d derivs %d cands", opts, got.Derivations, len(got.Candidates))
+		}
+		for i := range base.Candidates {
+			if !got.Candidates[i].Tuple.Equal(base.Candidates[i].Tuple) ||
+				!realfmla.Equal(got.Candidates[i].Phi, base.Candidates[i].Phi) {
+				t.Fatalf("%+v: candidate %d differs", opts, i)
+			}
+		}
+	}
+}

@@ -90,8 +90,8 @@ func FromDirection(d *db.Database, dir Direction, tol float64) (*Instance[poly.U
 		}
 	}
 	for _, rel := range d.Schema().Relations() {
-		rows := make([][]Cell[poly.Uni], 0, len(d.Tuples(rel.Name)))
-		for _, t := range d.Tuples(rel.Name) {
+		rows := make([][]Cell[poly.Uni], 0, d.Len(rel.Name))
+		for t := range d.All(rel.Name) {
 			row := make([]Cell[poly.Uni], len(t))
 			for i, v := range t {
 				c, err := cellForValue(v, dir)
@@ -166,8 +166,8 @@ func NewDirTemplate(d *db.Database, tol float64) (*DirTemplate, error) {
 		zero[id] = 0
 	}
 	for _, rel := range d.Schema().Relations() {
-		rows := make([][]Cell[poly.Uni], 0, len(d.Tuples(rel.Name)))
-		for _, tup := range d.Tuples(rel.Name) {
+		rows := make([][]Cell[poly.Uni], 0, d.Len(rel.Name))
+		for tup := range d.All(rel.Name) {
 			row := make([]Cell[poly.Uni], len(tup))
 			for i, v := range tup {
 				c, err := cellForValue(v, zero)

@@ -333,8 +333,8 @@ func evalNumBinop[N any](l, r Term, inst *Instance[N], env map[string]Cell[N], o
 func FromComplete(d *db.Database) (*Instance[float64], error) {
 	inst := &Instance[float64]{dom: Real{}, rels: make(map[string][][]Cell[float64])}
 	for _, rel := range d.Schema().Relations() {
-		rows := make([][]Cell[float64], 0, len(d.Tuples(rel.Name)))
-		for _, t := range d.Tuples(rel.Name) {
+		rows := make([][]Cell[float64], 0, d.Len(rel.Name))
+		for t := range d.All(rel.Name) {
 			row := make([]Cell[float64], len(t))
 			for i, v := range t {
 				switch v.Kind() {

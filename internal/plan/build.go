@@ -1,0 +1,405 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/sqlast"
+	"repro/internal/value"
+)
+
+// Options configures planning.
+type Options struct {
+	// Reorder permits join reordering along base-equality edges. The
+	// executor restores the original derivation order when the planner
+	// deviates from the FROM-clause order, so results are unchanged;
+	// reordering only changes how much work the join does.
+	Reorder bool
+}
+
+// Build lowers a query into a Plan over the given database, validating
+// aliases, column references and condition sorts exactly as the
+// pre-planner evaluator did.
+func Build(q *sqlast.Query, d *db.Database, opts Options) (*Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("plan: query needs at least one table")
+	}
+	r, err := NewResolver(q, d.Schema())
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{q: q, d: d, Resolver: r}
+	for _, c := range q.Select {
+		if _, err := b.ColType(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Normalize conditions and compute their canonical order: original
+	// join position (the earliest FROM position binding every referenced
+	// alias), then WHERE-clause order. This is the order the pre-planner
+	// evaluator appended constraint atoms in, and the executor reproduces
+	// it per derivation whatever join order runs.
+	type normCond struct {
+		c       sqlast.Condition
+		origPos int
+	}
+	norm := make([]normCond, 0, len(q.Where))
+	for _, c := range q.Where {
+		nc, err := b.Normalize(c)
+		if err != nil {
+			return nil, err
+		}
+		pos, err := b.earliestPosition(nc, b.origPos)
+		if err != nil {
+			return nil, err
+		}
+		norm = append(norm, normCond{c: nc, origPos: pos})
+	}
+	sort.SliceStable(norm, func(i, j int) bool { return norm[i].origPos < norm[j].origPos })
+
+	// Base-equality adjacency between FROM positions, for join ordering.
+	edges := make([][]bool, len(q.From))
+	for i := range edges {
+		edges[i] = make([]bool, len(q.From))
+	}
+	for _, nc := range norm {
+		if nc.c.Kind != sqlast.CondBaseEq {
+			continue
+		}
+		l, r := b.origPos[nc.c.LCol.Table], b.origPos[nc.c.RCol.Table]
+		if l != r {
+			edges[l][r], edges[r][l] = true, true
+		}
+	}
+
+	order := identityOrder(len(q.From))
+	if opts.Reorder && len(q.From) > 1 {
+		if g := b.greedyOrder(edges); betterPattern(connPattern(g, edges), connPattern(order, edges)) {
+			order = g
+		}
+	}
+
+	p := &Plan{
+		Schema:  d.Schema(),
+		From:    q.From,
+		Order:   order,
+		Limit:   q.Limit,
+		NullIDs: d.NumNulls(),
+		Index:   make(map[int]int),
+	}
+	p.K = len(p.NullIDs)
+	for i, id := range p.NullIDs {
+		p.Index[id] = i
+	}
+	p.Identity = true
+	stepOf := make(map[string]int, len(q.From)) // alias → step
+	for s, o := range order {
+		if s != o {
+			p.Identity = false
+		}
+		t := q.From[o]
+		stepOf[t.Alias] = s
+		p.Steps = append(p.Steps, Step{
+			Relation:   t.Relation,
+			Alias:      t.Alias,
+			Rel:        b.rels[t.Alias],
+			Access:     FullScan,
+			AccessCond: -1,
+		})
+	}
+
+	// Resolve conditions against the chosen order and push each down to
+	// the earliest step at which it is checkable.
+	for ci, nc := range norm {
+		pc, err := b.lowerCond(nc.c, stepOf)
+		if err != nil {
+			return nil, err
+		}
+		p.Conds = append(p.Conds, pc)
+		p.Steps[pc.Step].Conds = append(p.Steps[pc.Step].Conds, ci)
+	}
+
+	// Access-path selection: prefer an index probe on a base equality
+	// linking the step to an earlier one, then an index lookup on a
+	// base-constant filter, then a full scan.
+	for s := range p.Steps {
+		st := &p.Steps[s]
+		for _, ci := range st.Conds {
+			c := &p.Conds[ci]
+			if c.Kind != CondBaseEq {
+				continue
+			}
+			local, outer := c.L, c.R
+			if local.Step != s {
+				local, outer = outer, local
+			}
+			if local.Step == s && outer.Step < s {
+				st.Access = IndexEq
+				st.LocalCol = local.Col
+				st.Outer = outer
+				st.AccessCond = ci
+				break
+			}
+		}
+		if st.Access != FullScan {
+			continue
+		}
+		for _, ci := range st.Conds {
+			c := &p.Conds[ci]
+			if c.Kind == CondBaseEqConst && c.L.Step == s {
+				st.Access = IndexConst
+				st.LocalCol = c.L.Col
+				st.Lit = c.Lit
+				st.AccessCond = ci
+				break
+			}
+		}
+	}
+
+	// Projection.
+	p.Project = make([]CellRef, len(q.Select))
+	for i, c := range q.Select {
+		cell, err := b.cellRef(c, stepOf)
+		if err != nil {
+			return nil, err
+		}
+		p.Project[i] = cell
+	}
+	return p, nil
+}
+
+type builder struct {
+	q *sqlast.Query
+	d *db.Database
+	*Resolver
+}
+
+func (b *builder) cellRef(c sqlast.ColRef, stepOf map[string]int) (CellRef, error) {
+	rel, ok := b.rels[c.Table]
+	if !ok {
+		return CellRef{}, fmt.Errorf("plan: unknown alias %s", c.Table)
+	}
+	i := rel.ColumnIndex(c.Col)
+	if i < 0 {
+		return CellRef{}, fmt.Errorf("plan: relation %s has no column %s", rel.Name, c.Col)
+	}
+	return CellRef{Step: stepOf[c.Table], Col: i}, nil
+}
+
+// earliestPosition is the position (under the given alias→position map)
+// after which every alias referenced by the condition is bound.
+func (b *builder) earliestPosition(c sqlast.Condition, posOf map[string]int) (int, error) {
+	pos := 0
+	visit := func(alias string) error {
+		p, ok := posOf[alias]
+		if !ok {
+			return fmt.Errorf("plan: unknown alias %s", alias)
+		}
+		if p > pos {
+			pos = p
+		}
+		return nil
+	}
+	switch c.Kind {
+	case sqlast.CondBaseEq:
+		if err := visit(c.LCol.Table); err != nil {
+			return 0, err
+		}
+		if err := visit(c.RCol.Table); err != nil {
+			return 0, err
+		}
+	case sqlast.CondBaseEqConst:
+		if err := visit(c.LCol.Table); err != nil {
+			return 0, err
+		}
+	case sqlast.CondNumCmp:
+		var walk func(e *sqlast.Expr) error
+		walk = func(e *sqlast.Expr) error {
+			switch e.Kind {
+			case sqlast.ExprCol:
+				return visit(e.Col.Table)
+			case sqlast.ExprConst:
+				return nil
+			case sqlast.ExprNeg:
+				return walk(e.L)
+			default:
+				if err := walk(e.L); err != nil {
+					return err
+				}
+				return walk(e.R)
+			}
+		}
+		if err := walk(c.LExp); err != nil {
+			return 0, err
+		}
+		if err := walk(c.RExp); err != nil {
+			return 0, err
+		}
+	}
+	return pos, nil
+}
+
+// lowerCond resolves a normalized condition's column references into cell
+// references under the chosen join order and computes its pipeline step.
+func (b *builder) lowerCond(c sqlast.Condition, stepOf map[string]int) (Cond, error) {
+	step := 0
+	bind := func(cr sqlast.ColRef) (CellRef, error) {
+		cell, err := b.cellRef(cr, stepOf)
+		if err != nil {
+			return cell, err
+		}
+		if cell.Step > step {
+			step = cell.Step
+		}
+		return cell, nil
+	}
+	switch c.Kind {
+	case sqlast.CondBaseEq:
+		l, err := bind(c.LCol)
+		if err != nil {
+			return Cond{}, err
+		}
+		r, err := bind(c.RCol)
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondBaseEq, L: l, R: r, Step: step}, nil
+	case sqlast.CondBaseEqConst:
+		l, err := bind(c.LCol)
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondBaseEqConst, L: l, Lit: value.Base(c.Lit), Step: step}, nil
+	case sqlast.CondNumCmp:
+		var lower func(e *sqlast.Expr) (*NumExpr, error)
+		lower = func(e *sqlast.Expr) (*NumExpr, error) {
+			switch e.Kind {
+			case sqlast.ExprCol:
+				cell, err := bind(e.Col)
+				if err != nil {
+					return nil, err
+				}
+				return &NumExpr{Kind: sqlast.ExprCol, Cell: cell}, nil
+			case sqlast.ExprConst:
+				return &NumExpr{Kind: sqlast.ExprConst, Const: e.Const}, nil
+			case sqlast.ExprNeg:
+				l, err := lower(e.L)
+				if err != nil {
+					return nil, err
+				}
+				return &NumExpr{Kind: sqlast.ExprNeg, L: l}, nil
+			default:
+				l, err := lower(e.L)
+				if err != nil {
+					return nil, err
+				}
+				r, err := lower(e.R)
+				if err != nil {
+					return nil, err
+				}
+				return &NumExpr{Kind: e.Kind, L: l, R: r}, nil
+			}
+		}
+		le, err := lower(c.LExp)
+		if err != nil {
+			return Cond{}, err
+		}
+		re, err := lower(c.RExp)
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondNumCmp, Op: c.Op, LExp: le, RExp: re, Step: step}, nil
+	}
+	return Cond{}, fmt.Errorf("plan: unknown condition kind")
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// connPattern reports, for each step after the first, whether the table
+// joined there is linked by a base equality to an earlier step — i.e.
+// whether the step is a hash-joinable join rather than a cartesian
+// product.
+func connPattern(order []int, edges [][]bool) []bool {
+	pat := make([]bool, 0, len(order)-1)
+	for i := 1; i < len(order); i++ {
+		conn := false
+		for j := 0; j < i && !conn; j++ {
+			conn = edges[order[i]][order[j]]
+		}
+		pat = append(pat, conn)
+	}
+	return pat
+}
+
+// betterPattern reports whether pattern a joins strictly earlier than b:
+// at the first step where they differ, a is equality-connected and b is
+// not. Ties keep the FROM-clause order (and its streaming guarantee).
+func betterPattern(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i]
+		}
+	}
+	return false
+}
+
+// greedyOrder builds a join order that pulls equality-connected tables as
+// early as possible: start from the smaller endpoint of an equality edge
+// (or the smallest table when there are no edges), then repeatedly take
+// the smallest table connected to the bound set, falling back to the
+// smallest remaining table when none is. Deterministic: ties break by
+// original FROM position.
+func (b *builder) greedyOrder(edges [][]bool) []int {
+	n := len(b.q.From)
+	size := make([]int, n)
+	hasEdge := make([]bool, n)
+	for i, t := range b.q.From {
+		size[i] = b.d.Len(t.Relation)
+		for j := 0; j < n; j++ {
+			hasEdge[i] = hasEdge[i] || edges[i][j]
+		}
+	}
+	used := make([]bool, n)
+	pick := func(allowed func(i int) bool) int {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] || !allowed(i) {
+				continue
+			}
+			if best < 0 || size[i] < size[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	start := pick(func(i int) bool { return hasEdge[i] })
+	if start < 0 {
+		start = pick(func(i int) bool { return true })
+	}
+	order := []int{start}
+	used[start] = true
+	for len(order) < n {
+		next := pick(func(i int) bool {
+			for _, j := range order {
+				if edges[i][j] {
+					return true
+				}
+			}
+			return false
+		})
+		if next < 0 {
+			next = pick(func(i int) bool { return true })
+		}
+		order = append(order, next)
+		used[next] = true
+	}
+	return order
+}

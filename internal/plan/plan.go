@@ -1,0 +1,144 @@
+// Package plan lowers parsed SQL (package sqlast) into an explicit
+// logical plan for the streaming executor (package exec). A plan is a
+// left-deep join pipeline — scan, select, join, project, limit — with the
+// planning decisions made explicit:
+//
+//   - selection pushdown: every WHERE conjunct is attached to the
+//     earliest pipeline step at which all of its column references are
+//     bound, so rows are filtered (and constraint atoms are collected) as
+//     soon as possible;
+//   - access-path selection: a step whose table is linked to an earlier
+//     step by a decidable base-column equality becomes an index probe
+//     (hash join) instead of a full scan, and a step filtered by a
+//     base-column/literal equality becomes an index lookup;
+//   - join reordering: when the FROM-clause order forces a cartesian
+//     product before an available equality join, the tables are reordered
+//     greedily along base-equality edges (the executor restores the
+//     original derivation order, so results are unchanged).
+//
+// Base-typed (in)equalities are decided outright during execution —
+// marked base nulls join only with themselves, the bijective-valuation
+// regime of Prop 5.2 — while numeric conditions involving nulls become
+// polynomial constraint atoms. The plan records the canonical
+// (derivation-order) layout of those atoms so that the executor produces
+// byte-identical constraint formulas regardless of the join order it
+// runs.
+package plan
+
+import (
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/value"
+)
+
+// CellRef names one column of a bound row: the pipeline step that binds
+// the row and the column index within that step's relation.
+type CellRef struct {
+	Step int
+	Col  int
+}
+
+// NumExpr is a numeric expression with resolved column references. The
+// tree mirrors the sqlast.Expr it was lowered from node for node, so the
+// polynomials the executor builds are identical to those of the
+// pre-planner evaluator.
+type NumExpr struct {
+	Kind  sqlast.ExprKind
+	Cell  CellRef // ExprCol
+	Const float64 // ExprConst
+	L, R  *NumExpr
+}
+
+// CondKind discriminates planned conditions.
+type CondKind uint8
+
+// Planned condition kinds.
+const (
+	// CondBaseEq equates two base-typed columns; decidable at execution.
+	CondBaseEq CondKind = iota
+	// CondBaseEqConst equates a base-typed column with a literal.
+	CondBaseEqConst
+	// CondNumCmp compares two numeric expressions; generates a constraint
+	// atom when the polynomial difference involves nulls.
+	CondNumCmp
+)
+
+// Cond is one planned WHERE conjunct. Conds are stored on the Plan in
+// canonical order — original join position, then WHERE-clause order —
+// which is the order their atoms appear in each derivation's constraint
+// conjunction.
+type Cond struct {
+	Kind CondKind
+
+	// CondBaseEq: L = R. CondBaseEqConst: L = Lit.
+	L, R CellRef
+	Lit  value.Value
+
+	// CondNumCmp.
+	Op         sqlast.CmpOp
+	LExp, RExp *NumExpr
+
+	// Step is the earliest pipeline step at which the condition is
+	// checkable under the plan's join order.
+	Step int
+}
+
+// AccessKind is how a step obtains its candidate rows.
+type AccessKind uint8
+
+// Access paths.
+const (
+	// FullScan enumerates every tuple of the relation.
+	FullScan AccessKind = iota
+	// IndexEq probes the equality index of LocalCol with the value bound
+	// at Outer — a hash join on a decidable base equality.
+	IndexEq
+	// IndexConst probes the equality index of LocalCol with the literal
+	// Lit — an indexed selection.
+	IndexConst
+)
+
+// Step is one stage of the left-deep pipeline: it binds one more relation
+// row and checks every condition that becomes decidable.
+type Step struct {
+	Relation string
+	Alias    string
+	Rel      *schema.Relation
+
+	Access   AccessKind
+	LocalCol int     // IndexEq / IndexConst: indexed column of this step
+	Outer    CellRef // IndexEq: earlier-bound cell to probe with
+	Lit      value.Value
+
+	// AccessCond is the index (into Plan.Conds) of the condition backing
+	// the access path, or -1 for FullScan. Conds lists every condition
+	// checked at this step, ascending in canonical order, including
+	// AccessCond (the executor skips it when the index guarantees it).
+	AccessCond int
+	Conds      []int
+}
+
+// Plan is a lowered query.
+type Plan struct {
+	Schema *schema.Schema
+	// From is the original FROM clause; Steps[i] scans From[Order[i]].
+	From  []sqlast.TableRef
+	Order []int
+	// Identity reports that Order is the identity permutation, i.e. the
+	// executor's emission order is already the derivation order and no
+	// reorder buffering is needed.
+	Identity bool
+
+	Steps   []Step
+	Project []CellRef
+	Limit   int
+
+	// Conds in canonical (derivation) order; see Cond.
+	Conds []Cond
+
+	// Numerical-null bookkeeping: NullIDs maps formula variable index to
+	// null ID, Index is its inverse, K = len(NullIDs).
+	NullIDs []int
+	Index   map[int]int
+	K       int
+}

@@ -1,0 +1,130 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sqlfront"
+	"repro/internal/value"
+)
+
+func testDB(t *testing.T) *db.Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("A",
+			schema.Column{Name: "k", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}),
+		schema.MustRelation("B",
+			schema.Column{Name: "k", Type: schema.Base},
+			schema.Column{Name: "y", Type: schema.Num}),
+		schema.MustRelation("C",
+			schema.Column{Name: "k", Type: schema.Base},
+			schema.Column{Name: "z", Type: schema.Num}),
+	)
+	d := db.New(s)
+	for i := 0; i < 4; i++ {
+		d.MustInsert("A", value.Base("a"), value.Num(float64(i)))
+		d.MustInsert("B", value.Base("a"), value.Num(float64(i)))
+	}
+	d.MustInsert("C", value.Base("a"), value.NullNum(0))
+	return d
+}
+
+func build(t *testing.T, src string, opts plan.Options) *plan.Plan {
+	t.Helper()
+	q := sqlfront.MustParse(src)
+	p, err := plan.Build(q, testDB(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPushdownPlacesConditionsEarliest(t *testing.T) {
+	p := build(t, `SELECT A.k FROM A A, B B WHERE A.k = B.k AND A.x > 1 AND B.y < A.x`, plan.Options{})
+	if len(p.Conds) != 3 {
+		t.Fatalf("%d conds", len(p.Conds))
+	}
+	// Canonical order sorts by (original join position, WHERE index):
+	// A.x>1 is pushed down to step 0 and comes first, then the join and
+	// the two-sided numeric condition at step 1.
+	if p.Conds[0].Kind != plan.CondNumCmp || p.Conds[0].Step != 0 {
+		t.Errorf("cond 0 = %+v, want the pushed-down A.x>1 at step 0", p.Conds[0])
+	}
+	if p.Conds[1].Kind != plan.CondBaseEq || p.Conds[1].Step != 1 {
+		t.Errorf("cond 1 = %+v, want the join at step 1", p.Conds[1])
+	}
+	if p.Conds[2].Kind != plan.CondNumCmp || p.Conds[2].Step != 1 {
+		t.Errorf("cond 2 = %+v, want B.y<A.x at step 1", p.Conds[2])
+	}
+}
+
+func TestAccessPathSelection(t *testing.T) {
+	p := build(t, `SELECT A.k FROM A A, B B WHERE A.k = B.k`, plan.Options{})
+	if p.Steps[0].Access != plan.FullScan {
+		t.Errorf("step 0 access = %v, want full scan", p.Steps[0].Access)
+	}
+	if p.Steps[1].Access != plan.IndexEq {
+		t.Fatalf("step 1 access = %v, want index probe", p.Steps[1].Access)
+	}
+	if p.Steps[1].LocalCol != 0 || p.Steps[1].Outer != (plan.CellRef{Step: 0, Col: 0}) {
+		t.Errorf("probe = col %d from %+v", p.Steps[1].LocalCol, p.Steps[1].Outer)
+	}
+
+	p = build(t, `SELECT A.x FROM A A WHERE A.k = 'a'`, plan.Options{})
+	if p.Steps[0].Access != plan.IndexConst || p.Steps[0].Lit != value.Base("a") {
+		t.Errorf("constant filter not indexed: %+v", p.Steps[0])
+	}
+}
+
+func TestReorderPullsJoinBeforeCartesian(t *testing.T) {
+	src := `SELECT B.k FROM A A, C C, B B WHERE B.k = A.k`
+	p := build(t, src, plan.Options{Reorder: true})
+	if p.Identity {
+		t.Fatalf("cartesian-first order kept: %v", p.Order)
+	}
+	// The unrelated C must come after the A⋈B join.
+	pos := map[string]int{}
+	for s, st := range p.Steps {
+		pos[st.Alias] = s
+	}
+	if pos["C"] != 2 {
+		t.Errorf("order %v: C at step %d, want last", p.Order, pos["C"])
+	}
+	if p.Steps[pos["B"]].Access != plan.IndexEq && p.Steps[pos["A"]].Access != plan.IndexEq {
+		t.Errorf("reordered plan lost the index probe: %+v", p.Steps)
+	}
+
+	// Without the toggle the FROM order stands.
+	p = build(t, src, plan.Options{})
+	if !p.Identity {
+		t.Errorf("Reorder=false changed the order: %v", p.Order)
+	}
+}
+
+func TestConnectedFromOrderKept(t *testing.T) {
+	p := build(t, `SELECT A.k FROM A A, B B, C C WHERE A.k = B.k AND B.k = C.k`, plan.Options{Reorder: true})
+	if !p.Identity {
+		t.Errorf("fully connected FROM order was reordered: %v", p.Order)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := testDB(t)
+	for _, src := range []string{
+		`SELECT A.k FROM Nope A`,
+		`SELECT A.k FROM A A, A A`,
+		`SELECT X.k FROM A A`,
+		`SELECT A.nope FROM A A`,
+		`SELECT A.k FROM A A WHERE A.k = A.x`,
+		`SELECT A.k FROM A A WHERE A.x = 'lit'`,
+		`SELECT A.k FROM A A WHERE A.k * 2 > 1`,
+	} {
+		q := sqlfront.MustParse(src)
+		if _, err := plan.Build(q, d, plan.Options{}); err == nil {
+			t.Errorf("accepted %s", src)
+		}
+	}
+}

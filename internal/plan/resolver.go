@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Resolver resolves a query's FROM aliases and column references against
+// a schema and normalizes conditions. It is the name-resolution half of
+// planning, shared with the SQL→FO compiler.
+type Resolver struct {
+	rels    map[string]*schema.Relation
+	origPos map[string]int // alias → FROM-clause position
+}
+
+// NewResolver validates the FROM clause (known relations, distinct
+// aliases) and returns a resolver for the query.
+func NewResolver(q *sqlast.Query, s *schema.Schema) (*Resolver, error) {
+	r := &Resolver{rels: make(map[string]*schema.Relation), origPos: make(map[string]int)}
+	for i, t := range q.From {
+		rel := s.Relation(t.Relation)
+		if rel == nil {
+			return nil, fmt.Errorf("plan: unknown relation %s", t.Relation)
+		}
+		if _, dup := r.rels[t.Alias]; dup {
+			return nil, fmt.Errorf("plan: duplicate alias %s", t.Alias)
+		}
+		r.rels[t.Alias] = rel
+		r.origPos[t.Alias] = i
+	}
+	return r, nil
+}
+
+// Relation returns the relation schema bound to a FROM alias (nil when
+// the alias is unknown).
+func (r *Resolver) Relation(alias string) *schema.Relation { return r.rels[alias] }
+
+// ColType resolves a column reference to its sort.
+func (r *Resolver) ColType(c sqlast.ColRef) (schema.ColType, error) {
+	rel, ok := r.rels[c.Table]
+	if !ok {
+		return 0, fmt.Errorf("plan: unknown alias %s", c.Table)
+	}
+	i := rel.ColumnIndex(c.Col)
+	if i < 0 {
+		return 0, fmt.Errorf("plan: relation %s has no column %s", rel.Name, c.Col)
+	}
+	return rel.Columns[i].Type, nil
+}
+
+// Normalize resolves the base-vs-numeric ambiguity of "col = col"
+// conditions against the schema and validates column references and
+// sorts: an equality over numeric columns becomes a numeric comparison,
+// mixed-sort equalities and base columns in arithmetic are rejected.
+func (r *Resolver) Normalize(c sqlast.Condition) (sqlast.Condition, error) {
+	switch c.Kind {
+	case sqlast.CondBaseEq:
+		lt, err := r.ColType(c.LCol)
+		if err != nil {
+			return c, err
+		}
+		rt, err := r.ColType(c.RCol)
+		if err != nil {
+			return c, err
+		}
+		if lt != rt {
+			return c, fmt.Errorf("plan: equality between %s (%s) and %s (%s)", c.LCol, lt, c.RCol, rt)
+		}
+		if lt == schema.Num {
+			return sqlast.Condition{Kind: sqlast.CondNumCmp, Op: sqlast.Eq, LExp: c.LExp, RExp: c.RExp}, nil
+		}
+		return c, nil
+	case sqlast.CondBaseEqConst:
+		t, err := r.ColType(c.LCol)
+		if err != nil {
+			return c, err
+		}
+		if t != schema.Base {
+			return c, fmt.Errorf("plan: string literal compared with numeric column %s", c.LCol)
+		}
+		return c, nil
+	case sqlast.CondNumCmp:
+		for _, e := range []*sqlast.Expr{c.LExp, c.RExp} {
+			if err := r.checkNumExpr(e); err != nil {
+				return c, err
+			}
+		}
+		return c, nil
+	}
+	return c, fmt.Errorf("plan: unknown condition kind")
+}
+
+func (r *Resolver) checkNumExpr(e *sqlast.Expr) error {
+	switch e.Kind {
+	case sqlast.ExprCol:
+		t, err := r.ColType(e.Col)
+		if err != nil {
+			return err
+		}
+		if t != schema.Num {
+			return fmt.Errorf("plan: base column %s used in arithmetic", e.Col)
+		}
+		return nil
+	case sqlast.ExprConst:
+		return nil
+	case sqlast.ExprNeg:
+		return r.checkNumExpr(e.L)
+	default:
+		if err := r.checkNumExpr(e.L); err != nil {
+			return err
+		}
+		return r.checkNumExpr(e.R)
+	}
+}

@@ -1,0 +1,169 @@
+// Package sqlast defines the abstract syntax of the SQL dialect of the
+// Section 9 experiment pipeline: SELECT–FROM–WHERE–LIMIT over joins with
+// arithmetic conditions. It is a leaf package shared by the parser
+// (package sqlfront), the logical planner (package plan) and the SQL→FO
+// compiler, so that each layer can depend on the syntax without depending
+// on the others.
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColRef is a qualified column reference "Alias.col".
+type ColRef struct {
+	Table string // the FROM alias
+	Col   string
+}
+
+// String renders "T.col".
+func (c ColRef) String() string { return c.Table + "." + c.Col }
+
+// TableRef is one FROM entry: a relation name with an alias.
+type TableRef struct {
+	Relation string
+	Alias    string
+}
+
+// ExprKind discriminates numeric expression nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	ExprCol ExprKind = iota
+	ExprConst
+	ExprAdd
+	ExprSub
+	ExprMul
+	ExprNeg
+)
+
+// Expr is a numeric expression over column references and literals.
+// Division is folded into multiplication by the reciprocal at parse time
+// (literal divisors only).
+type Expr struct {
+	Kind  ExprKind
+	Col   ColRef  // ExprCol
+	Const float64 // ExprConst
+	L, R  *Expr   // binary nodes; Neg uses L
+}
+
+// String renders the expression.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprCol:
+		return e.Col.String()
+	case ExprConst:
+		return fmt.Sprintf("%g", e.Const)
+	case ExprAdd:
+		return fmt.Sprintf("(%s + %s)", e.L, e.R)
+	case ExprSub:
+		return fmt.Sprintf("(%s - %s)", e.L, e.R)
+	case ExprMul:
+		return fmt.Sprintf("(%s * %s)", e.L, e.R)
+	case ExprNeg:
+		return fmt.Sprintf("(-%s)", e.L)
+	}
+	return "?"
+}
+
+// CondKind discriminates WHERE conditions.
+type CondKind uint8
+
+// Condition kinds.
+const (
+	// CondBaseEq equates two base-typed columns (a join condition).
+	CondBaseEq CondKind = iota
+	// CondBaseEqConst equates a base-typed column with a string literal.
+	CondBaseEqConst
+	// CondNumCmp compares two numeric expressions.
+	CondNumCmp
+)
+
+// CmpOp is a comparison operator of a numeric condition.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// String renders the SQL operator.
+func (op CmpOp) String() string {
+	return [...]string{"<", "<=", "=", "<>", ">=", ">"}[op]
+}
+
+// Condition is one WHERE conjunct.
+type Condition struct {
+	Kind CondKind
+
+	// CondBaseEq / CondBaseEqConst
+	LCol ColRef
+	RCol ColRef // CondBaseEq
+	Lit  string // CondBaseEqConst
+
+	// CondNumCmp
+	Op   CmpOp
+	LExp *Expr
+	RExp *Expr
+}
+
+// String renders the condition.
+func (c Condition) String() string {
+	switch c.Kind {
+	case CondBaseEq:
+		return fmt.Sprintf("%s = %s", c.LCol, c.RCol)
+	case CondBaseEqConst:
+		return fmt.Sprintf("%s = '%s'", c.LCol, c.Lit)
+	case CondNumCmp:
+		return fmt.Sprintf("%s %s %s", c.LExp, c.Op, c.RExp)
+	}
+	return "?"
+}
+
+// Query is a parsed SELECT statement: projection, joined tables, a
+// conjunction of conditions, and an optional LIMIT.
+type Query struct {
+	Select []ColRef
+	From   []TableRef
+	Where  []Condition
+	Limit  int // 0 = no limit
+}
+
+// String renders the query back as SQL.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Relation + " " + t.Alias)
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,457 @@
+package sqlfront
+
+// This file preserves the pre-planner one-shot evaluator verbatim as a
+// test-only reference implementation. The parity suite (parity_test.go)
+// checks that the planner/executor pipeline reproduces its output —
+// candidates, Phi DNFs in derivation order, null indexing and derivation
+// counts — byte for byte, on hand-written and randomized queries.
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/poly"
+	"repro/internal/realfmla"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// referenceEvaluate is the original sqlfront.Evaluate: a fully
+// materializing nested-loop join with a single transient hash probe.
+func referenceEvaluate(q *Query, d *db.Database) (*Result, error) {
+	b, err := refBind(q, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{NullIDs: b.nullIDs, Index: b.index}
+
+	type agg struct {
+		tuple     value.Tuple
+		disjuncts []realfmla.Formula
+		order     int
+	}
+	byKey := make(map[string]*agg)
+	var orderCount int
+
+	rows := make(map[string]value.Tuple, len(q.From))
+	var conj []realfmla.Formula
+
+	var join func(pos int) error
+	emit := func() error {
+		res.Derivations++
+		tup := make(value.Tuple, len(q.Select))
+		for i, c := range q.Select {
+			v, err := b.cellValue(rows, c)
+			if err != nil {
+				return err
+			}
+			tup[i] = v
+		}
+		key := tup.Key()
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{tuple: tup, order: orderCount}
+			orderCount++
+			byKey[key] = a
+		}
+		a.disjuncts = append(a.disjuncts, realfmla.And(append([]realfmla.Formula(nil), conj...)...))
+		return nil
+	}
+	join = func(pos int) error {
+		if pos == len(q.From) {
+			return emit()
+		}
+		tr := q.From[pos]
+		candidates := b.candidateRows(rows, pos)
+		savedConj := len(conj)
+		for _, row := range candidates {
+			rows[tr.Alias] = row
+			ok, err := b.applyConditions(rows, pos, &conj)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := join(pos + 1); err != nil {
+					return err
+				}
+			}
+			conj = conj[:savedConj]
+		}
+		delete(rows, tr.Alias)
+		return nil
+	}
+	if err := join(0); err != nil {
+		return nil, err
+	}
+
+	// Collect candidates in derivation order, applying LIMIT.
+	ordered := make([]*agg, 0, len(byKey))
+	for _, a := range byKey {
+		ordered = append(ordered, a)
+	}
+	// Insertion order sort (orderCount is dense).
+	byOrder := make([]*agg, orderCount)
+	for _, a := range ordered {
+		byOrder[a.order] = a
+	}
+	limit := q.Limit
+	for _, a := range byOrder {
+		if a == nil {
+			continue
+		}
+		if limit > 0 && len(res.Candidates) >= limit {
+			break
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Tuple: a.tuple,
+			Phi:   realfmla.Or(a.disjuncts...),
+		})
+	}
+	return res, nil
+}
+
+// refBinder holds the resolved query: alias → relation schema, null
+// variable indexing, per-position condition lists and join indexes.
+type refBinder struct {
+	d        *db.Database
+	q        *Query
+	rels     map[string]*schema.Relation
+	position map[string]int
+	nullIDs  []int
+	index    map[int]int
+	k        int
+
+	// conds[i] lists the conditions whose referenced aliases are all bound
+	// once position i has been joined.
+	conds [][]Condition
+	// probe[i], when non-nil, is the hash-join plan for position i.
+	probe []*refProbePlan
+}
+
+type refProbePlan struct {
+	// local column of the table at this position, and the earlier-bound
+	// column it must equal.
+	localCol string
+	outer    ColRef
+	idx      map[value.Value][]value.Tuple
+}
+
+func refBind(q *Query, d *db.Database) (*refBinder, error) {
+	b := &refBinder{
+		d:        d,
+		q:        q,
+		rels:     make(map[string]*schema.Relation),
+		position: make(map[string]int),
+		index:    make(map[int]int),
+	}
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("sqlfront: query needs at least one table")
+	}
+	for i, t := range q.From {
+		rel := d.Schema().Relation(t.Relation)
+		if rel == nil {
+			return nil, fmt.Errorf("sqlfront: unknown relation %s", t.Relation)
+		}
+		if _, dup := b.rels[t.Alias]; dup {
+			return nil, fmt.Errorf("sqlfront: duplicate alias %s", t.Alias)
+		}
+		b.rels[t.Alias] = rel
+		b.position[t.Alias] = i
+	}
+	b.nullIDs = d.NumNulls()
+	b.k = len(b.nullIDs)
+	for i, id := range b.nullIDs {
+		b.index[id] = i
+	}
+	for _, c := range q.Select {
+		if _, err := b.colType(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Normalize and place conditions.
+	b.conds = make([][]Condition, len(q.From))
+	b.probe = make([]*refProbePlan, len(q.From))
+	for _, c := range q.Where {
+		nc, err := b.normalize(c)
+		if err != nil {
+			return nil, err
+		}
+		pos, err := b.earliestPosition(nc)
+		if err != nil {
+			return nil, err
+		}
+		// Hash-join opportunity: a base equality whose later side is
+		// exactly the table joined at pos and whose other side is earlier.
+		if nc.Kind == CondBaseEq && b.probe[pos] == nil && pos > 0 {
+			l, r := nc.LCol, nc.RCol
+			if b.position[l.Table] < pos {
+				l, r = r, l
+			}
+			if b.position[l.Table] == pos && b.position[r.Table] < pos {
+				b.probe[pos] = &refProbePlan{localCol: l.Col, outer: r}
+			}
+		}
+		b.conds[pos] = append(b.conds[pos], nc)
+	}
+	return b, nil
+}
+
+// normalize resolves the base-vs-numeric ambiguity of "col = col"
+// conditions against the schema and validates column references and sorts.
+func (b *refBinder) normalize(c Condition) (Condition, error) {
+	switch c.Kind {
+	case CondBaseEq:
+		lt, err := b.colType(c.LCol)
+		if err != nil {
+			return c, err
+		}
+		rt, err := b.colType(c.RCol)
+		if err != nil {
+			return c, err
+		}
+		if lt != rt {
+			return c, fmt.Errorf("sqlfront: equality between %s (%s) and %s (%s)", c.LCol, lt, c.RCol, rt)
+		}
+		if lt == schema.Num {
+			return Condition{Kind: CondNumCmp, Op: Eq, LExp: c.LExp, RExp: c.RExp}, nil
+		}
+		return c, nil
+	case CondBaseEqConst:
+		t, err := b.colType(c.LCol)
+		if err != nil {
+			return c, err
+		}
+		if t != schema.Base {
+			return c, fmt.Errorf("sqlfront: string literal compared with numeric column %s", c.LCol)
+		}
+		return c, nil
+	case CondNumCmp:
+		for _, e := range []*Expr{c.LExp, c.RExp} {
+			if err := b.checkNumExpr(e); err != nil {
+				return c, err
+			}
+		}
+		return c, nil
+	}
+	return c, fmt.Errorf("sqlfront: unknown condition kind")
+}
+
+func (b *refBinder) checkNumExpr(e *Expr) error {
+	switch e.Kind {
+	case ExprCol:
+		t, err := b.colType(e.Col)
+		if err != nil {
+			return err
+		}
+		if t != schema.Num {
+			return fmt.Errorf("sqlfront: base column %s used in arithmetic", e.Col)
+		}
+		return nil
+	case ExprConst:
+		return nil
+	case ExprNeg:
+		return b.checkNumExpr(e.L)
+	default:
+		if err := b.checkNumExpr(e.L); err != nil {
+			return err
+		}
+		return b.checkNumExpr(e.R)
+	}
+}
+
+func (b *refBinder) colType(c ColRef) (schema.ColType, error) {
+	rel, ok := b.rels[c.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqlfront: unknown alias %s", c.Table)
+	}
+	i := rel.ColumnIndex(c.Col)
+	if i < 0 {
+		return 0, fmt.Errorf("sqlfront: relation %s has no column %s", rel.Name, c.Col)
+	}
+	return rel.Columns[i].Type, nil
+}
+
+// earliestPosition is the join position after which every alias referenced
+// by the condition is bound.
+func (b *refBinder) earliestPosition(c Condition) (int, error) {
+	pos := 0
+	visit := func(alias string) error {
+		p, ok := b.position[alias]
+		if !ok {
+			return fmt.Errorf("sqlfront: unknown alias %s", alias)
+		}
+		if p > pos {
+			pos = p
+		}
+		return nil
+	}
+	switch c.Kind {
+	case CondBaseEq:
+		if err := visit(c.LCol.Table); err != nil {
+			return 0, err
+		}
+		if err := visit(c.RCol.Table); err != nil {
+			return 0, err
+		}
+	case CondBaseEqConst:
+		if err := visit(c.LCol.Table); err != nil {
+			return 0, err
+		}
+	case CondNumCmp:
+		var walk func(e *Expr) error
+		walk = func(e *Expr) error {
+			switch e.Kind {
+			case ExprCol:
+				return visit(e.Col.Table)
+			case ExprConst:
+				return nil
+			case ExprNeg:
+				return walk(e.L)
+			default:
+				if err := walk(e.L); err != nil {
+					return err
+				}
+				return walk(e.R)
+			}
+		}
+		if err := walk(c.LExp); err != nil {
+			return 0, err
+		}
+		if err := walk(c.RExp); err != nil {
+			return 0, err
+		}
+	}
+	return pos, nil
+}
+
+// candidateRows returns the rows to try at a join position: a hash probe
+// when a base-equality join condition links this table to an earlier one,
+// otherwise a full scan.
+func (b *refBinder) candidateRows(rows map[string]value.Tuple, pos int) []value.Tuple {
+	tr := b.q.From[pos]
+	if p := b.probe[pos]; p != nil {
+		if p.idx == nil {
+			p.idx = make(map[value.Value][]value.Tuple)
+			rel := b.rels[tr.Alias]
+			ci := rel.ColumnIndex(p.localCol)
+			// db.Rows instead of the original db.Tuples call: Tuples
+			// became a deep copy in this refactor, and the reference
+			// evaluator only reads.
+			for _, row := range b.d.Rows(tr.Relation) {
+				p.idx[row[ci]] = append(p.idx[row[ci]], row)
+			}
+		}
+		outerRow := rows[p.outer.Table]
+		ci := b.rels[p.outer.Table].ColumnIndex(p.outer.Col)
+		return p.idx[outerRow[ci]]
+	}
+	return b.d.Rows(tr.Relation)
+}
+
+// applyConditions evaluates every condition that becomes checkable at this
+// position: base conditions decide immediately, numeric conditions either
+// decide (constant) or append a constraint atom to conj. It reports
+// whether the current assignment survives.
+func (b *refBinder) applyConditions(rows map[string]value.Tuple, pos int, conj *[]realfmla.Formula) (bool, error) {
+	for _, c := range b.conds[pos] {
+		switch c.Kind {
+		case CondBaseEq:
+			l, err := b.cellValue(rows, c.LCol)
+			if err != nil {
+				return false, err
+			}
+			r, err := b.cellValue(rows, c.RCol)
+			if err != nil {
+				return false, err
+			}
+			if l != r {
+				return false, nil
+			}
+		case CondBaseEqConst:
+			l, err := b.cellValue(rows, c.LCol)
+			if err != nil {
+				return false, err
+			}
+			if l.Kind() != value.BaseConst || l.Str() != c.Lit {
+				return false, nil
+			}
+		case CondNumCmp:
+			lp, err := b.exprPoly(rows, c.LExp)
+			if err != nil {
+				return false, err
+			}
+			rp, err := b.exprPoly(rows, c.RExp)
+			if err != nil {
+				return false, err
+			}
+			diff := lp.Sub(rp)
+			rel := [...]realfmla.Rel{realfmla.LT, realfmla.LE, realfmla.EQ, realfmla.NE, realfmla.GE, realfmla.GT}[c.Op]
+			atom := realfmla.Atom{P: diff, Rel: rel}
+			if _, isConst := diff.IsConst(); isConst {
+				if !atom.Eval(make([]float64, b.k)) {
+					return false, nil
+				}
+				continue
+			}
+			*conj = append(*conj, realfmla.FAtom{A: atom})
+		}
+	}
+	return true, nil
+}
+
+func (b *refBinder) cellValue(rows map[string]value.Tuple, c ColRef) (value.Value, error) {
+	rel, ok := b.rels[c.Table]
+	if !ok {
+		return value.Value{}, fmt.Errorf("sqlfront: unknown alias %s", c.Table)
+	}
+	row, ok := rows[c.Table]
+	if !ok {
+		return value.Value{}, fmt.Errorf("sqlfront: alias %s not bound yet", c.Table)
+	}
+	return row[rel.ColumnIndex(c.Col)], nil
+}
+
+func (b *refBinder) exprPoly(rows map[string]value.Tuple, e *Expr) (poly.Poly, error) {
+	switch e.Kind {
+	case ExprConst:
+		return poly.Const(b.k, e.Const), nil
+	case ExprCol:
+		v, err := b.cellValue(rows, e.Col)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		switch v.Kind() {
+		case value.NumConst:
+			return poly.Const(b.k, v.Float()), nil
+		case value.NumNull:
+			return poly.Var(b.k, b.index[v.NullID()]), nil
+		default:
+			return poly.Poly{}, fmt.Errorf("sqlfront: base value %s in arithmetic", v)
+		}
+	case ExprNeg:
+		p, err := b.exprPoly(rows, e.L)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		return p.Neg(), nil
+	case ExprAdd, ExprSub, ExprMul:
+		l, err := b.exprPoly(rows, e.L)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		r, err := b.exprPoly(rows, e.R)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		switch e.Kind {
+		case ExprAdd:
+			return l.Add(r), nil
+		case ExprSub:
+			return l.Sub(r), nil
+		default:
+			return l.Mul(r), nil
+		}
+	}
+	return poly.Poly{}, fmt.Errorf("sqlfront: unknown expression kind")
+}

@@ -3,8 +3,8 @@ package sqlfront
 import (
 	"fmt"
 
-	"repro/internal/db"
 	"repro/internal/fo"
+	"repro/internal/plan"
 	"repro/internal/schema"
 )
 
@@ -16,7 +16,10 @@ import (
 // Prop 5.3 translation of the compiled query must agree, which the test
 // suite exploits for randomized cross-validation.
 func ToFO(q *Query, s *schema.Schema) (*fo.Query, error) {
-	b, err := bind(q, db.New(s))
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("sqlfront: query needs at least one table")
+	}
+	b, err := plan.NewResolver(q, s)
 	if err != nil {
 		return nil, err
 	}
@@ -27,7 +30,7 @@ func ToFO(q *Query, s *schema.Schema) (*fo.Query, error) {
 	selected := make(map[string]bool, len(q.Select))
 	var free []fo.FreeVar
 	for _, c := range q.Select {
-		t, err := b.colType(c)
+		t, err := b.ColType(c)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +49,7 @@ func ToFO(q *Query, s *schema.Schema) (*fo.Query, error) {
 	var conj []fo.Formula
 	var bound []fo.FreeVar
 	for _, tr := range q.From {
-		rel := b.rels[tr.Alias]
+		rel := b.Relation(tr.Alias)
 		args := make([]fo.Term, rel.Arity())
 		for i, col := range rel.Columns {
 			ref := ColRef{Table: tr.Alias, Col: col.Name}
@@ -77,8 +80,8 @@ func ToFO(q *Query, s *schema.Schema) (*fo.Query, error) {
 	return &fo.Query{Name: "q", Free: free, Body: body}, nil
 }
 
-func condToFO(b *binder, c Condition, varName func(ColRef) string) (fo.Formula, error) {
-	nc, err := b.normalize(c)
+func condToFO(b *plan.Resolver, c Condition, varName func(ColRef) string) (fo.Formula, error) {
+	nc, err := b.Normalize(c)
 	if err != nil {
 		return nil, err
 	}

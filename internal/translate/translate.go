@@ -91,8 +91,8 @@ func Query(q *fo.Query, d *db.Database, args []value.Value) (*Result, error) {
 	// Relation contents as cells.
 	tr.rels = make(map[string][][]cell)
 	for _, rel := range d.Schema().Relations() {
-		rows := make([][]cell, 0, len(d.Tuples(rel.Name)))
-		for _, t := range d.Tuples(rel.Name) {
+		rows := make([][]cell, 0, d.Len(rel.Name))
+		for t := range d.All(rel.Name) {
 			row := make([]cell, len(t))
 			for i, v := range t {
 				c, err := tr.cellForValue(v)

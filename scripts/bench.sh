@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Runs the Figure 1 benchmark family and records the results as
-# BENCH_<date>.json in the repository root, so the performance trajectory
-# across PRs stays machine-readable.
+# Runs the Figure 1 benchmark family plus the end-to-end SQL pipeline
+# benchmark and records the results as BENCH_<date>.json in the
+# repository root, so the performance trajectory across PRs stays
+# machine-readable.
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
-#   scripts/bench.sh                 # -bench Figure1 -benchtime 1s
+#   scripts/bench.sh                 # -bench 'Figure1|SQLPipeline' -benchtime 1s
 #   scripts/bench.sh Figure1a 5x     # quicker, single series
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1}"
+bench="${1:-Figure1|SQLPipeline}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 

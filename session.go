@@ -1,0 +1,71 @@
+package arithdb
+
+import (
+	"repro/internal/core"
+)
+
+// MeasuredSQLCandidate is one candidate answer of a fused SQL
+// measurement: the tuple, its constraint, and its confidence level.
+type MeasuredSQLCandidate = core.MeasuredCandidate
+
+// SQLMeasured is the output of Session.MeasureSQL / Engine.MeasureSQL.
+type SQLMeasured = core.SQLMeasured
+
+// Session ties a database to an engine configuration and runs the fused
+// SQL pipeline of the paper's experiments: plan → streaming execution →
+// per-candidate constraint aggregation → concurrent measurement. Create
+// one Session per goroutine (they are cheap and share the database's
+// lazily built indexes); a Session's own methods must not be called
+// concurrently, though MeasureSQL fans measurement out internally.
+type Session struct {
+	d      *Database
+	engine *Engine
+}
+
+// NewSession returns a session over the database with the given engine
+// options (measurement knobs and planner toggles alike).
+func NewSession(d *Database, opts EngineOptions) *Session {
+	return &Session{d: d, engine: core.New(opts)}
+}
+
+// Database returns the session's database.
+func (s *Session) Database() *Database { return s.d }
+
+// Engine returns the session's engine, for direct measurement calls
+// (e.g. ε-sweeps over previously evaluated candidates, which then share
+// the engine's compiled-formula cache).
+func (s *Session) Engine() *Engine { return s.engine }
+
+// SQL parses and conditionally evaluates a SELECT statement through the
+// planner/executor, returning candidate tuples with their constraints.
+func (s *Session) SQL(src string) (*SQLResult, error) {
+	q, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.EvaluateSQL(q, s.d)
+}
+
+// EvaluateSQL conditionally evaluates an already parsed query through
+// the planner/executor with the session's toggles.
+func (s *Session) EvaluateSQL(q *SQLQuery) (*SQLResult, error) {
+	return s.engine.EvaluateSQL(q, s.d)
+}
+
+// MeasureSQL parses a SELECT statement and runs the fused pipeline:
+// streaming candidate enumeration overlapped with concurrent AFPRAS
+// measurement of each candidate's constraint at additive error eps and
+// failure probability delta. See Engine.MeasureSQL for the determinism
+// contract.
+func (s *Session) MeasureSQL(src string, eps, delta float64) (*SQLMeasured, error) {
+	q, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.MeasureSQL(q, s.d, eps, delta)
+}
+
+// MeasureSQLQuery is MeasureSQL over an already parsed query.
+func (s *Session) MeasureSQLQuery(q *SQLQuery, eps, delta float64) (*SQLMeasured, error) {
+	return s.engine.MeasureSQL(q, s.d, eps, delta)
+}
