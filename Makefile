@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check vet build test race bench-smoke bench bench-check
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -27,3 +27,9 @@ bench-smoke:
 # the performance trajectory across PRs.
 bench:
 	scripts/bench.sh
+
+# bench-check is the allocation-regression guard: the SQL pipeline
+# benchmarks must stay within the allocs/op budgets checked in at
+# scripts/alloc_budget.txt (CI runs this alongside the race job).
+bench-check:
+	scripts/alloc_check.sh

@@ -41,6 +41,12 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 		workers = n
 	}
 	o := opts.withDefaults()
+	// One shared compiled-kernel cache per batch: duplicate formulas
+	// compile once, and sharing cannot change values (see kernelCache).
+	var kernels *kernelCache
+	if o.CompileCacheSize >= 0 {
+		kernels = newKernelCache(o.CompileCacheSize)
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -48,7 +54,9 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = New(itemOptions(o, i)).MeasureFormula(phis[i], eps, delta)
+				eng := New(itemOptions(o, i))
+				eng.shared = kernels
+				results[i], errs[i] = eng.MeasureFormula(phis[i], eps, delta)
 			}
 		}()
 	}

@@ -144,12 +144,31 @@ type Engine struct {
 	opts  Options
 	rng   *rand.Rand
 	cache map[realfmla.FormulaID]*compiledEntry
+	// shared, when set, is the concurrency-safe compiled-kernel cache the
+	// engine resolves formulas through before compiling itself: the
+	// measurement pools (MeasureSQL, MeasureBatch) hand every per-item
+	// engine the pool owner's cache, so repeated calls and ε-sweeps reuse
+	// the immutable compiled kernels instead of recompiling per item.
+	shared *kernelCache
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
 	o := opts.withDefaults()
 	return &Engine{opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// poolKernels returns the engine's shared kernel cache for measurement
+// pools, creating it on first use (nil when caching is disabled). The
+// cache lives on the engine, so consecutive MeasureSQL calls reuse it.
+func (e *Engine) poolKernels() *kernelCache {
+	if e.opts.CompileCacheSize < 0 {
+		return nil
+	}
+	if e.shared == nil {
+		e.shared = newKernelCache(e.opts.CompileCacheSize)
+	}
+	return e.shared
 }
 
 // workers resolves Options.Workers to a concrete worker count.
@@ -160,16 +179,34 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// compiledEntry is the cached, preprocessed form of a measured formula:
+// kernel is the immutable, preprocessed form of a measured formula:
 // reduced to its relevant variables (Section 9) and kernel-compiled for
-// repeated evaluation. The seq sampler is per-entry scratch for the
-// engine's own goroutine; parallel workers bring their own.
-type compiledEntry struct {
-	source   realfmla.Formula // the formula this entry was built from
+// repeated evaluation. Kernels carry no mutable scratch, so they are safe
+// to share across engines and goroutines (see kernelCache).
+type kernel struct {
+	source   realfmla.Formula // the formula this kernel was built from
 	reduced  realfmla.Formula
 	vars     []int // original indices of the reduced variables
 	ambient  int   // variable count of the un-reduced formula
 	compiled *realfmla.Compiled
+}
+
+func newKernel(phi realfmla.Formula) *kernel {
+	reduced, vars := realfmla.Reduce(phi)
+	return &kernel{
+		source:   phi,
+		reduced:  reduced,
+		vars:     vars,
+		ambient:  realfmla.NumVars(phi),
+		compiled: realfmla.Compile(reduced),
+	}
+}
+
+// compiledEntry pairs a (possibly shared) kernel with the engine-local
+// sampling scratch. The seq sampler is per-entry scratch for the engine's
+// own goroutine; parallel workers bring their own.
+type compiledEntry struct {
+	*kernel
 	// seq is the single-threaded sampling/evaluation scratch; pool holds
 	// per-worker scratch for the parallel sampler. Both are lazily built
 	// and reused across calls (the engine is single-goroutine, and within
@@ -179,14 +216,7 @@ type compiledEntry struct {
 }
 
 func newCompiledEntry(phi realfmla.Formula) *compiledEntry {
-	reduced, vars := realfmla.Reduce(phi)
-	return &compiledEntry{
-		source:   phi,
-		reduced:  reduced,
-		vars:     vars,
-		ambient:  realfmla.NumVars(phi),
-		compiled: realfmla.Compile(reduced),
-	}
+	return &compiledEntry{kernel: newKernel(phi)}
 }
 
 // sampler returns the entry's single-threaded sampling scratch, creating
@@ -209,8 +239,9 @@ func (ent *compiledEntry) samplerPool(workers int) []*asymSampler {
 }
 
 // compiledFor returns the preprocessed form of phi, from the engine's
-// cache when enabled. The cached Compiled is immutable and shared; all
-// evaluation goes through per-goroutine Evaluators.
+// cache when enabled, resolving the immutable kernel through the shared
+// pool cache when the engine has one. The cached Compiled is immutable
+// and shared; all evaluation goes through per-goroutine Evaluators.
 func (e *Engine) compiledFor(phi realfmla.Formula) *compiledEntry {
 	if e.opts.CompileCacheSize < 0 {
 		return newCompiledEntry(phi)
@@ -221,7 +252,12 @@ func (e *Engine) compiledFor(phi realfmla.Formula) *compiledEntry {
 	if ent, ok := e.cache[key]; ok && realfmla.Equal(phi, ent.source) {
 		return ent
 	}
-	ent := newCompiledEntry(phi)
+	var ent *compiledEntry
+	if e.shared != nil {
+		ent = &compiledEntry{kernel: e.shared.get(key, phi)}
+	} else {
+		ent = newCompiledEntry(phi)
+	}
 	if e.cache == nil {
 		e.cache = make(map[realfmla.FormulaID]*compiledEntry)
 	} else if len(e.cache) >= e.opts.CompileCacheSize {

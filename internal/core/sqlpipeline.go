@@ -15,7 +15,10 @@ import (
 // planOptions and execOptions derive the SQL pipeline configuration from
 // the engine options.
 func (e *Engine) planOptions() plan.Options {
-	return plan.Options{Reorder: !e.opts.DisableJoinReorder}
+	return plan.Options{
+		Reorder:             !e.opts.DisableJoinReorder,
+		NoPersistentIndexes: e.opts.DisableDBIndexes,
+	}
 }
 
 func (e *Engine) execOptions() exec.Options {
@@ -67,7 +70,11 @@ type SQLMeasured struct {
 // Measurement matches MeasureBatch exactly: each candidate is measured by
 // its own engine seeded deterministically from this engine's options and
 // the candidate index, so results are bit-identical to a sequential
-// MeasureBatch run regardless of scheduling or the planner toggles.
+// MeasureBatch run regardless of scheduling or the planner toggles. The
+// per-candidate engines share this engine's compiled-kernel cache (see
+// kernelCache), so repeated MeasureSQL calls and ε-sweeps on one engine
+// compile each candidate constraint once instead of once per call;
+// kernels are immutable, so sharing cannot change the measured values.
 func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
 	if err := checkEpsDelta(eps, delta); err != nil {
 		return nil, err
@@ -90,12 +97,15 @@ func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64)
 		firstErr error
 	)
 	o := e.opts // seeds/toggles snapshot; per-candidate engines derive from it
+	kernels := e.poolKernels()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := New(itemOptions(o, j.idx)).MeasureFormula(j.cand.Phi, eps, delta)
+				eng := New(itemOptions(o, j.idx))
+				eng.shared = kernels
+				r, err := eng.MeasureFormula(j.cand.Phi, eps, delta)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -110,18 +120,15 @@ func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64)
 	}
 
 	out := &SQLMeasured{NullIDs: p.NullIDs, Index: p.Index}
-	ag := exec.NewAggregator(p.Limit, func(idx int, c exec.Candidate) {
+	res, sat, runErr := exec.Aggregate(p, d, e.execOptions(), func(idx int, c exec.Candidate) {
 		jobs <- job{idx: idx, cand: c}
 	})
-	runErr := exec.Run(p, d, e.execOptions(), func(dv *exec.Deriv) error {
-		out.Derivations++
-		ag.Add(dv)
-		return nil
-	})
-	cands := ag.Finish()
+	var cands []exec.Candidate
 	if runErr == nil {
+		out.Derivations = res.Derivations
+		cands = res.Candidates
 		for i, c := range cands {
-			if !ag.Saturated(i) { // saturated candidates were dispatched mid-enumeration
+			if !sat[i] { // saturated candidates were dispatched mid-enumeration
 				jobs <- job{idx: i, cand: c}
 			}
 		}

@@ -1,0 +1,238 @@
+package db
+
+// Randomized parity suite of the columnar storage engine: whatever is
+// inserted through the value.Value boundary must come back identically
+// through every materialization path (Tuples, All, Row, Clone), equality
+// indexes built by sequential scans over the columnar arrays must agree
+// with a naive reference built from materialized tuples, and dictionary
+// interning / null-id packing must be lossless.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func randSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num},
+			schema.Column{Name: "b", Type: schema.Base}),
+		schema.MustRelation("S",
+			schema.Column{Name: "y", Type: schema.Num},
+			schema.Column{Name: "c", Type: schema.Base}),
+	)
+}
+
+// randValue draws a value of the given sort, reusing a small pool of
+// strings and null IDs so that duplicates (the interesting case for
+// interning and indexing) are common.
+func randValue(rng *rand.Rand, t schema.ColType) value.Value {
+	if t == schema.Base {
+		switch rng.Intn(4) {
+		case 0:
+			return value.NullBase(rng.Intn(6))
+		default:
+			return value.Base(fmt.Sprintf("s%d", rng.Intn(8)))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return value.NullNum(rng.Intn(6))
+	default:
+		return value.Num(math.Round(rng.NormFloat64()*4) / 2)
+	}
+}
+
+func randDB(rng *rand.Rand) (*Database, map[string][]value.Tuple) {
+	s := randSchema()
+	d := New(s)
+	want := make(map[string][]value.Tuple)
+	for _, rel := range s.Relations() {
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			tup := make(value.Tuple, len(rel.Columns))
+			for j, c := range rel.Columns {
+				tup[j] = randValue(rng, c.Type)
+			}
+			if err := d.Insert(rel.Name, tup); err != nil {
+				panic(err)
+			}
+			want[rel.Name] = append(want[rel.Name], tup)
+		}
+	}
+	return d, want
+}
+
+func TestColumnarRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, want := randDB(rng)
+		for rel, rows := range want {
+			got := d.Tuples(rel)
+			if len(got) != len(rows) {
+				t.Fatalf("seed %d: %s has %d rows, want %d", seed, rel, len(got), len(rows))
+			}
+			i := 0
+			for tup := range d.All(rel) {
+				if !tup.Equal(rows[i]) {
+					t.Fatalf("seed %d: %s All row %d = %v, want %v", seed, rel, i, tup, rows[i])
+				}
+				if !got[i].Equal(rows[i]) {
+					t.Fatalf("seed %d: %s Tuples row %d = %v, want %v", seed, rel, i, got[i], rows[i])
+				}
+				if !d.Row(rel, i).Equal(rows[i]) {
+					t.Fatalf("seed %d: %s Row %d mismatch", seed, rel, i)
+				}
+				i++
+			}
+		}
+		// Clone preserves everything, independently.
+		c := d.Clone()
+		for rel, rows := range want {
+			got := c.Tuples(rel)
+			for i := range rows {
+				if !got[i].Equal(rows[i]) {
+					t.Fatalf("seed %d: clone %s row %d mismatch", seed, rel, i)
+				}
+			}
+		}
+	}
+}
+
+func TestColumnarIndexMatchesNaiveReference(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, want := randDB(rng)
+		for rel, rows := range want {
+			if len(rows) == 0 {
+				continue
+			}
+			for col := range rows[0] {
+				ix := d.Index(rel, col)
+				// Naive reference: group ordinals by boundary value.
+				ref := make(map[value.Value][]int)
+				for i, tup := range rows {
+					ref[tup[col]] = append(ref[tup[col]], i)
+				}
+				if ix.Distinct() != len(ref) {
+					t.Fatalf("seed %d: %s.%d Distinct = %d, want %d", seed, rel, col, ix.Distinct(), len(ref))
+				}
+				for v, wantOrds := range ref {
+					if got := ords(ix.Lookup(d, v)); !reflect.DeepEqual(got, wantOrds) {
+						t.Fatalf("seed %d: %s.%d Lookup(%v) = %v, want %v", seed, rel, col, v, got, wantOrds)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColumnarInventoriesMatchNaive(t *testing.T) {
+	for seed := int64(200); seed < 215; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, want := randDB(rng)
+		baseNulls := map[int]bool{}
+		numNulls := map[int]bool{}
+		baseConsts := map[string]bool{}
+		numConsts := map[float64]bool{}
+		for _, rows := range want {
+			for _, tup := range rows {
+				for _, v := range tup {
+					switch v.Kind() {
+					case value.BaseNull:
+						baseNulls[v.NullID()] = true
+					case value.NumNull:
+						numNulls[v.NullID()] = true
+					case value.BaseConst:
+						baseConsts[v.Str()] = true
+					case value.NumConst:
+						numConsts[v.Float()] = true
+					}
+				}
+			}
+		}
+		if got := d.BaseNulls(); len(got) != len(baseNulls) {
+			t.Fatalf("seed %d: BaseNulls = %v", seed, got)
+		}
+		if got := d.NumNulls(); len(got) != len(numNulls) {
+			t.Fatalf("seed %d: NumNulls = %v", seed, got)
+		}
+		if got := d.BaseConstants(); len(got) != len(baseConsts) {
+			t.Fatalf("seed %d: BaseConstants = %v", seed, got)
+		}
+		if got := d.NumConstants(); len(got) != len(numConsts) {
+			t.Fatalf("seed %d: NumConstants = %v", seed, got)
+		}
+		ids, index := d.NumNullIndex()
+		for i, id := range ids {
+			if index[id] != i {
+				t.Fatalf("seed %d: NumNullIndex inverse broken at %d", seed, id)
+			}
+		}
+	}
+}
+
+// TestDictInterningQuick is the testing/quick fuzz of dictionary
+// interning: arbitrary strings (including the dbio escape-sensitive "_"
+// prefixes and non-ASCII) survive an insert/materialize round trip, and
+// repeated inserts reuse one code.
+func TestDictInterningQuick(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R",
+		schema.Column{Name: "a", Type: schema.Base}))
+	d := New(s)
+	f := func(raw string) bool {
+		d.MustInsert("R", value.Base(raw))
+		n := d.Len("R")
+		got := d.Row("R", n-1)[0]
+		if got.Kind() != value.BaseConst || got.Str() != raw {
+			return false
+		}
+		code1, ok1 := d.LookupBaseCode(raw)
+		d.MustInsert("R", value.Base(raw))
+		code2, ok2 := d.LookupBaseCode(raw)
+		return ok1 && ok2 && code1 == code2 && code1&1 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNullIDPreservationQuick fuzzes null-id packing: any in-range null id
+// round-trips through the packed code arrays, and fresh nulls never
+// collide with inserted ones.
+func TestNullIDPreservationQuick(t *testing.T) {
+	f := func(rawBase, rawNum uint32) bool {
+		baseID := int(rawBase % maxID)
+		numID := int(rawNum % maxID)
+		s := schema.MustNew(schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num}))
+		d := New(s)
+		d.MustInsert("R", value.NullBase(baseID), value.NullNum(numID))
+		row := d.Row("R", 0)
+		if row[0] != value.NullBase(baseID) || row[1] != value.NullNum(numID) {
+			return false
+		}
+		return d.FreshBaseNull().NullID() > baseID && d.FreshNumNull().NullID() > numID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertRejectsOutOfRangeNullIDs(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R",
+		schema.Column{Name: "x", Type: schema.Num}))
+	d := New(s)
+	if err := d.Insert("R", value.Tuple{value.NullNum(maxID)}); err == nil {
+		t.Error("null id beyond packing range accepted")
+	}
+}

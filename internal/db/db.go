@@ -2,11 +2,21 @@
 // finite relations whose entries are base/numerical constants or marked
 // nulls, together with valuations (interpretations of nulls by constants)
 // and the active-domain bookkeeping the algorithms of the paper need.
+//
+// Storage is column-major: each relation column holds a per-row kind array
+// (the column's kind bitmap) plus flat typed payload arrays — packed
+// dictionary codes for base columns, raw float64 values and null IDs for
+// numerical columns. Base constants are interned in a per-database string
+// dictionary, so base equality (the decidable joins of Prop 5.2) is a
+// single integer comparison and equality-index builds are sequential scans
+// over flat arrays. value.Value remains the boundary type: Insert accepts
+// tuples of values and Tuples/All/Row materialize them back on demand.
 package db
 
 import (
 	"fmt"
 	"iter"
+	"math"
 	"sort"
 	"sync"
 
@@ -14,30 +24,86 @@ import (
 	"repro/internal/value"
 )
 
+// column is the columnar storage of one relation column.
+//
+//   - kinds is the per-row kind array (the kind bitmap of the column);
+//   - codes holds, for base columns, the packed equality code of every row
+//     (dictID<<1 for constants, nullID<<1|1 for nulls) and, for numerical
+//     columns, the null ID on NumNull rows (0 elsewhere);
+//   - nums holds the constant payload on NumConst rows of numerical
+//     columns; it stays nil for base columns.
+type column struct {
+	kinds []value.Kind
+	codes []int32
+	nums  []float64
+}
+
+// table is the columnar storage of one relation: n rows across per-column
+// typed arrays.
+type table struct {
+	rel  *schema.Relation
+	n    int
+	cols []column
+}
+
+// ColView is a read-only view of one relation column's columnar arrays,
+// the zero-copy scan interface of the executor. The slices are owned by
+// the database and must not be modified. Field meanings match column.
+type ColView struct {
+	Kinds []value.Kind
+	Codes []int32
+	Nums  []float64
+}
+
+// maxID bounds dictionary codes and null IDs so that the packed base code
+// (id<<1 | nullbit) always fits an int32.
+const maxID = 1 << 30
+
 // Database is an incomplete database instance: for each relation of the
-// schema, a finite set (stored as a slice) of tuples over constants and
+// schema, a finite set (stored column-major) of tuples over constants and
 // marked nulls.
 type Database struct {
 	schema *schema.Schema
-	tables map[string][]value.Tuple
+	tables map[string]*table
+	dict   dict
 
 	nextBaseNull int
 	nextNumNull  int
 
-	// Lazily built per-(relation, column) equality indexes, invalidated on
-	// Insert; see index.go. mu guards only the index map so that concurrent
-	// read-only query sessions can share one database.
+	// mu guards the lazily built caches below (equality indexes and
+	// active-domain inventories) so that concurrent read-only query
+	// sessions can share one database. Insert invalidates both.
 	mu      sync.Mutex
-	indexes map[indexKey]EqIndex
+	indexes map[indexKey]*EqIndex
+
+	invValid     bool
+	baseNulls    []int
+	numNulls     []int
+	numNullIndex map[int]int
+	numConsts    []float64
+
+	baseConstsLen int // dict length covered by baseConsts
+	baseConsts    []string
 }
 
 // New returns an empty database over the given schema.
 func New(s *schema.Schema) *Database {
-	return &Database{schema: s, tables: make(map[string][]value.Tuple)}
+	return &Database{schema: s, tables: make(map[string]*table)}
 }
 
 // Schema returns the database schema.
 func (d *Database) Schema() *schema.Schema { return d.schema }
+
+func (d *Database) table(rel string) *table { return d.tables[rel] }
+
+func (d *Database) ensureTable(rel string, r *schema.Relation) *table {
+	tb := d.tables[rel]
+	if tb == nil {
+		tb = &table{rel: r, cols: make([]column, len(r.Columns))}
+		d.tables[rel] = tb
+	}
+	return tb
+}
 
 // Insert adds a tuple to the named relation after validating it against the
 // schema. Nulls mentioned in the tuple are registered so that FreshBaseNull
@@ -53,17 +119,40 @@ func (d *Database) Insert(rel string, t value.Tuple) error {
 	for _, v := range t {
 		switch v.Kind() {
 		case value.BaseNull:
+			if v.NullID() >= maxID {
+				return fmt.Errorf("db: base null id %d out of range", v.NullID())
+			}
 			if v.NullID() >= d.nextBaseNull {
 				d.nextBaseNull = v.NullID() + 1
 			}
 		case value.NumNull:
+			if v.NullID() >= maxID {
+				return fmt.Errorf("db: numerical null id %d out of range", v.NullID())
+			}
 			if v.NullID() >= d.nextNumNull {
 				d.nextNumNull = v.NullID() + 1
 			}
 		}
 	}
-	d.tables[rel] = append(d.tables[rel], t.Clone())
-	d.invalidateIndexes(rel)
+	tb := d.ensureTable(rel, r)
+	for j, v := range t {
+		c := &tb.cols[j]
+		c.kinds = append(c.kinds, v.Kind())
+		switch v.Kind() {
+		case value.BaseConst:
+			c.codes = append(c.codes, d.dict.intern(v.Str())<<1)
+		case value.BaseNull:
+			c.codes = append(c.codes, int32(v.NullID())<<1|1)
+		case value.NumConst:
+			c.codes = append(c.codes, 0)
+			c.nums = append(c.nums, v.Float())
+		case value.NumNull:
+			c.codes = append(c.codes, int32(v.NullID()))
+			c.nums = append(c.nums, 0)
+		}
+	}
+	tb.n++
+	d.invalidateCaches(rel)
 	return nil
 }
 
@@ -88,29 +177,57 @@ func (d *Database) FreshNumNull() value.Value {
 	return v
 }
 
-// Tuples returns a defensive deep copy of the tuples of the named
-// relation: the caller owns the result and may modify it freely without
-// corrupting the database. Read-only consumers that want to avoid the
-// copy should use All, Len and Row instead.
+// cellValue materializes the boundary value of one cell.
+func (d *Database) cellValue(tb *table, col, row int) value.Value {
+	c := &tb.cols[col]
+	switch c.kinds[row] {
+	case value.BaseConst:
+		return value.Base(d.dict.str(c.codes[row] >> 1))
+	case value.BaseNull:
+		return value.NullBase(int(c.codes[row] >> 1))
+	case value.NumConst:
+		return value.Num(c.nums[row])
+	default:
+		return value.NullNum(int(c.codes[row]))
+	}
+}
+
+// rowTuple materializes row i of a table as a fresh tuple.
+func (d *Database) rowTuple(tb *table, i int) value.Tuple {
+	t := make(value.Tuple, len(tb.cols))
+	for j := range tb.cols {
+		t[j] = d.cellValue(tb, j, i)
+	}
+	return t
+}
+
+// Tuples returns the tuples of the named relation, materialized from the
+// columnar storage: the caller owns the result and may modify it freely
+// without corrupting the database. Read-only consumers that only iterate
+// should use All, Len and Row; scans should use Col.
 func (d *Database) Tuples(rel string) []value.Tuple {
-	ts := d.tables[rel]
-	if ts == nil {
+	tb := d.table(rel)
+	if tb == nil {
 		return nil
 	}
-	out := make([]value.Tuple, len(ts))
-	for i, t := range ts {
-		out[i] = t.Clone()
+	out := make([]value.Tuple, tb.n)
+	for i := range out {
+		out[i] = d.rowTuple(tb, i)
 	}
 	return out
 }
 
 // All returns an iterator over the tuples of the named relation in
-// insertion order. The yielded tuples are owned by the database and must
-// not be modified; this is the zero-copy path for read-only scans.
+// insertion order. Each yielded tuple is freshly materialized from the
+// columnar storage and owned by the caller.
 func (d *Database) All(rel string) iter.Seq[value.Tuple] {
 	return func(yield func(value.Tuple) bool) {
-		for _, t := range d.tables[rel] {
-			if !yield(t) {
+		tb := d.table(rel)
+		if tb == nil {
+			return
+		}
+		for i := 0; i < tb.n; i++ {
+			if !yield(d.rowTuple(tb, i)) {
 				return
 			}
 		}
@@ -118,47 +235,115 @@ func (d *Database) All(rel string) iter.Seq[value.Tuple] {
 }
 
 // Len returns the number of tuples in the named relation.
-func (d *Database) Len(rel string) int { return len(d.tables[rel]) }
+func (d *Database) Len(rel string) int {
+	tb := d.table(rel)
+	if tb == nil {
+		return 0
+	}
+	return tb.n
+}
 
-// Rows returns the live tuple slice of the named relation for read-only
-// random access (the batch companion of Row, used by the executor's join
-// loops). Neither the slice nor the tuples may be modified; mutating
-// callers must use Tuples, which copies.
-func (d *Database) Rows(rel string) []value.Tuple { return d.tables[rel] }
+// Rows returns the tuples of the named relation for read-only random
+// access, materialized from the columnar storage (one fresh tuple per
+// row). Hot paths should scan the columnar arrays via Col instead.
+func (d *Database) Rows(rel string) []value.Tuple { return d.Tuples(rel) }
 
-// Row returns the i-th tuple (in insertion order) of the named relation.
-// The tuple is owned by the database and must not be modified; it is the
-// random-access companion of All for index probes.
-func (d *Database) Row(rel string, i int) value.Tuple { return d.tables[rel][i] }
+// Row returns the i-th tuple (in insertion order) of the named relation,
+// materialized as a fresh tuple owned by the caller.
+func (d *Database) Row(rel string, i int) value.Tuple { return d.rowTuple(d.table(rel), i) }
+
+// Col returns the columnar view of one relation column for zero-copy
+// read-only scans. The returned slices are owned by the database and must
+// not be modified; an unknown relation yields empty views.
+func (d *Database) Col(rel string, col int) ColView {
+	tb := d.table(rel)
+	if tb == nil {
+		return ColView{}
+	}
+	c := &tb.cols[col]
+	return ColView{Kinds: c.kinds, Codes: c.codes, Nums: c.nums}
+}
+
+// DictString returns the base constant interned under the given dictionary
+// id (a packed base code shifted right by one).
+func (d *Database) DictString(id int32) string { return d.dict.str(id) }
+
+// LookupBaseCode returns the packed equality code of a base constant, with
+// ok=false when the constant occurs nowhere in the database (so no row can
+// compare equal to it).
+func (d *Database) LookupBaseCode(s string) (int32, bool) {
+	id, ok := d.dict.code(s)
+	return id << 1, ok
+}
 
 // Size returns the total number of tuples across all relations.
 func (d *Database) Size() int {
 	n := 0
-	for _, ts := range d.tables {
-		n += len(ts)
+	for _, tb := range d.tables {
+		n += tb.n
 	}
 	return n
 }
 
-// BaseNulls returns the identifiers of all base nulls occurring in the
-// database, sorted ascending. This is the set Nbase(D) of the paper.
-func (d *Database) BaseNulls() []int { return d.nullIDs(value.BaseNull) }
+// invalidateCaches drops the cached indexes of a relation and the
+// active-domain inventories after a mutation.
+func (d *Database) invalidateCaches(rel string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.indexes {
+		if k.rel == rel {
+			delete(d.indexes, k)
+		}
+	}
+	d.invValid = false
+}
 
-// NumNulls returns the identifiers of all numerical nulls occurring in the
-// database, sorted ascending. This is the set Nnum(D) of the paper.
-func (d *Database) NumNulls() []int { return d.nullIDs(value.NumNull) }
-
-func (d *Database) nullIDs(kind value.Kind) []int {
-	set := make(map[int]bool)
-	for _, ts := range d.tables {
-		for _, t := range ts {
-			for _, v := range t {
-				if v.Kind() == kind {
-					set[v.NullID()] = true
+// buildInventories computes the cached null/constant summaries with one
+// sequential scan per column. Callers hold d.mu.
+func (d *Database) buildInventories() {
+	if d.invValid {
+		return
+	}
+	baseSet := make(map[int]bool)
+	numSet := make(map[int]bool)
+	constSet := make(map[float64]bool)
+	for _, tb := range d.tables {
+		for j := range tb.cols {
+			c := &tb.cols[j]
+			if tb.rel.Columns[j].Type == schema.Base {
+				for i, k := range c.kinds {
+					if k == value.BaseNull {
+						baseSet[int(c.codes[i]>>1)] = true
+					}
+				}
+				continue
+			}
+			for i, k := range c.kinds {
+				if k == value.NumNull {
+					numSet[int(c.codes[i])] = true
+				} else {
+					constSet[c.nums[i]] = true
 				}
 			}
 		}
 	}
+	d.baseNulls = sortedInts(baseSet)
+	d.numNulls = sortedInts(numSet)
+	d.numNullIndex = make(map[int]int, len(d.numNulls))
+	for i, id := range d.numNulls {
+		d.numNullIndex[id] = i
+	}
+	// Fresh slice every rebuild: the previous one may still be held by a
+	// NumConstants caller (the accessors hand out the cached slices).
+	d.numConsts = make([]float64, 0, len(constSet))
+	for x := range constSet {
+		d.numConsts = append(d.numConsts, x)
+	}
+	sort.Float64s(d.numConsts)
+	d.invValid = true
+}
+
+func sortedInts(set map[int]bool) []int {
 	out := make([]int, 0, len(set))
 	for id := range set {
 		out = append(out, id)
@@ -167,46 +352,60 @@ func (d *Database) nullIDs(kind value.Kind) []int {
 	return out
 }
 
+// BaseNulls returns the identifiers of all base nulls occurring in the
+// database, sorted ascending. This is the set Nbase(D) of the paper. The
+// result is cached until the next mutation and must not be modified.
+func (d *Database) BaseNulls() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buildInventories()
+	return d.baseNulls
+}
+
+// NumNulls returns the identifiers of all numerical nulls occurring in the
+// database, sorted ascending. This is the set Nnum(D) of the paper. The
+// result is cached until the next mutation and must not be modified.
+func (d *Database) NumNulls() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buildInventories()
+	return d.numNulls
+}
+
+// NumNullIndex returns NumNulls together with its inverse (null ID →
+// position), the formula-variable indexing of the SQL pipeline. Both are
+// cached until the next mutation and must not be modified.
+func (d *Database) NumNullIndex() ([]int, map[int]int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buildInventories()
+	return d.numNulls, d.numNullIndex
+}
+
 // BaseConstants returns the set Cbase(D): all base-type constants occurring
-// in the database, sorted.
+// in the database, sorted. Because the dictionary is append-only and fed
+// exclusively by Insert, this is a sorted copy of the dictionary. The
+// result is cached until the dictionary next grows and must not be
+// modified.
 func (d *Database) BaseConstants() []string {
-	set := make(map[string]bool)
-	for _, ts := range d.tables {
-		for _, t := range ts {
-			for _, v := range t {
-				if v.Kind() == value.BaseConst {
-					set[v.Str()] = true
-				}
-			}
-		}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.dict.strs) != d.baseConstsLen || d.baseConsts == nil {
+		d.baseConsts = append([]string(nil), d.dict.strs...)
+		sort.Strings(d.baseConsts)
+		d.baseConstsLen = len(d.dict.strs)
 	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
+	return d.baseConsts
 }
 
 // NumConstants returns the set Cnum(D): all numerical constants occurring
-// in the database, sorted ascending.
+// in the database, sorted ascending. The result is cached until the next
+// mutation and must not be modified.
 func (d *Database) NumConstants() []float64 {
-	set := make(map[float64]bool)
-	for _, ts := range d.tables {
-		for _, t := range ts {
-			for _, v := range t {
-				if v.Kind() == value.NumConst {
-					set[v.Float()] = true
-				}
-			}
-		}
-	}
-	out := make([]float64, 0, len(set))
-	for x := range set {
-		out = append(out, x)
-	}
-	sort.Float64s(out)
-	return out
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buildInventories()
+	return d.numConsts
 }
 
 // NumNullOccurrences returns, for each numerical null ID, the
@@ -217,17 +416,23 @@ func (d *Database) NumNullOccurrences() map[int][]string {
 	out := make(map[int][]string)
 	seen := make(map[[2]interface{}]bool)
 	for _, rel := range d.schema.Relations() {
-		for _, t := range d.tables[rel.Name] {
-			for i, v := range t {
-				if v.Kind() != value.NumNull {
+		tb := d.table(rel.Name)
+		if tb == nil {
+			continue
+		}
+		for i := 0; i < tb.n; i++ {
+			for j := range tb.cols {
+				c := &tb.cols[j]
+				if c.kinds[i] != value.NumNull {
 					continue
 				}
-				key := [2]interface{}{v.NullID(), rel.Name + "." + rel.Columns[i].Name}
+				id := int(c.codes[i])
+				key := [2]interface{}{id, rel.Name + "." + rel.Columns[j].Name}
 				if seen[key] {
 					continue
 				}
 				seen[key] = true
-				out[v.NullID()] = append(out[v.NullID()], rel.Name+"."+rel.Columns[i].Name)
+				out[id] = append(out[id], rel.Name+"."+rel.Columns[j].Name)
 			}
 		}
 	}
@@ -244,10 +449,17 @@ func (d *Database) Clone() *Database {
 	c := New(d.schema)
 	c.nextBaseNull = d.nextBaseNull
 	c.nextNumNull = d.nextNumNull
-	for rel, ts := range d.tables {
-		cp := make([]value.Tuple, len(ts))
-		for i, t := range ts {
-			cp[i] = t.Clone()
+	c.dict = d.dict.clone()
+	for rel, tb := range d.tables {
+		cp := &table{rel: tb.rel, n: tb.n, cols: make([]column, len(tb.cols))}
+		for j := range tb.cols {
+			cp.cols[j] = column{
+				kinds: append([]value.Kind(nil), tb.cols[j].kinds...),
+				codes: append([]int32(nil), tb.cols[j].codes...),
+			}
+			if tb.cols[j].nums != nil {
+				cp.cols[j].nums = append([]float64(nil), tb.cols[j].nums...)
+			}
 		}
 		c.tables[rel] = cp
 	}
@@ -264,9 +476,22 @@ func (d *Database) String() string {
 	s := ""
 	for _, n := range names {
 		s += n + ":\n"
-		for _, t := range d.tables[n] {
+		for t := range d.All(n) {
 			s += "  " + t.String() + "\n"
 		}
 	}
 	return s
+}
+
+// canonFloatBits returns the equality-key bit pattern of a numerical
+// constant: -0 is identified with +0 (they compare equal) and every NaN
+// payload is collapsed to one canonical pattern.
+func canonFloatBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if f != f {
+		return 0x7ff8000000000001
+	}
+	return math.Float64bits(f)
 }

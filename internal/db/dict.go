@@ -1,0 +1,54 @@
+package db
+
+import "fmt"
+
+// dict is the per-database string dictionary: every base constant occurring
+// anywhere in the database is interned once and referred to by a dense
+// int32 id. The dictionary is append-only (the data model has no deletes),
+// which makes it double as the Cbase(D) inventory and keeps codes stable
+// for the lifetime of the database. Interning happens only on Insert;
+// query literals are looked up read-only, so concurrent read-only sessions
+// never mutate it.
+type dict struct {
+	codes map[string]int32
+	strs  []string
+}
+
+// intern returns the id of s, assigning the next free id on first sight.
+func (d *dict) intern(s string) int32 {
+	if id, ok := d.codes[s]; ok {
+		return id
+	}
+	if len(d.strs) >= maxID {
+		panic(fmt.Sprintf("db: dictionary overflow at %d distinct base constants", len(d.strs)))
+	}
+	if d.codes == nil {
+		d.codes = make(map[string]int32)
+	}
+	id := int32(len(d.strs))
+	d.codes[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// code returns the id of s without interning, ok=false when s was never
+// inserted.
+func (d *dict) code(s string) (int32, bool) {
+	id, ok := d.codes[s]
+	return id, ok
+}
+
+// str returns the string interned under id.
+func (d *dict) str(id int32) string { return d.strs[id] }
+
+// clone returns an independent copy.
+func (d *dict) clone() dict {
+	c := dict{strs: append([]string(nil), d.strs...)}
+	if d.codes != nil {
+		c.codes = make(map[string]int32, len(d.codes))
+		for s, id := range d.codes {
+			c.codes[s] = id
+		}
+	}
+	return c
+}

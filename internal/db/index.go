@@ -1,50 +1,105 @@
 package db
 
-import "repro/internal/value"
+import (
+	"repro/internal/schema"
+	"repro/internal/value"
+)
 
 // EqIndex is a per-column equality index: for each distinct column value,
 // the ordinals (insertion positions) of the tuples carrying it, ascending.
-// Because value.Value is compared structurally, a marked null indexes —
-// and therefore equi-joins — only with itself, the bijective-valuation
-// regime of Prop 5.2. The index is owned by the database and must not be
-// modified.
-type EqIndex map[value.Value][]int
+// Entries are keyed by the columnar equality codes, so a build is one
+// sequential scan over the column's flat arrays and a probe is one integer
+// map lookup. A marked null indexes — and therefore equi-joins — only with
+// itself, the bijective-valuation regime of Prop 5.2. The index is owned
+// by the database and must not be modified.
+type EqIndex struct {
+	// base groups base-column rows by packed code (dictID<<1 for
+	// constants, nullID<<1|1 for nulls); nil for numerical columns.
+	base map[int32][]int32
+	// num and nulls group numerical-column rows by canonical constant bit
+	// pattern and by null ID respectively; nil for base columns.
+	num   map[uint64][]int32
+	nulls map[int32][]int32
+}
+
+// Base returns the row ordinals carrying the given packed base code.
+func (ix *EqIndex) Base(code int32) []int32 { return ix.base[code] }
+
+// Lookup returns the row ordinals whose column value equals v — the
+// boundary-type probe used by tests and tools (the executor probes Base
+// directly).
+func (ix *EqIndex) Lookup(d *Database, v value.Value) []int32 {
+	switch v.Kind() {
+	case value.BaseConst:
+		code, ok := d.LookupBaseCode(v.Str())
+		if !ok {
+			return nil
+		}
+		return ix.base[code]
+	case value.BaseNull:
+		return ix.base[int32(v.NullID())<<1|1]
+	case value.NumConst:
+		return ix.num[canonFloatBits(v.Float())]
+	default:
+		return ix.nulls[int32(v.NullID())]
+	}
+}
+
+// Distinct returns the number of distinct keys in the index — the
+// per-column cardinality statistic the planner's cost-based join ordering
+// uses to estimate join fanout.
+func (ix *EqIndex) Distinct() int { return len(ix.base) + len(ix.num) + len(ix.nulls) }
 
 type indexKey struct {
 	rel string
 	col int
 }
 
+// BuildIndex builds an equality index of the given relation column with
+// one sequential scan, without touching the database's cache (the
+// transient-index mode of the executor). Use Index for the cached variant.
+func (d *Database) BuildIndex(rel string, col int) *EqIndex {
+	ix := &EqIndex{}
+	tb := d.table(rel)
+	if tb == nil {
+		return ix
+	}
+	c := &tb.cols[col]
+	if tb.rel.Columns[col].Type == schema.Base {
+		ix.base = make(map[int32][]int32)
+		for i, code := range c.codes {
+			ix.base[code] = append(ix.base[code], int32(i))
+		}
+		return ix
+	}
+	ix.num = make(map[uint64][]int32)
+	ix.nulls = make(map[int32][]int32)
+	for i, k := range c.kinds {
+		if k == value.NumConst {
+			bits := canonFloatBits(c.nums[i])
+			ix.num[bits] = append(ix.num[bits], int32(i))
+		} else {
+			ix.nulls[c.codes[i]] = append(ix.nulls[c.codes[i]], int32(i))
+		}
+	}
+	return ix
+}
+
 // Index returns the equality index of the given relation column, building
 // it on first use and caching it until the relation is next modified.
 // Concurrent callers are safe; each (relation, column) pair is built at
 // most once per version of the relation.
-func (d *Database) Index(rel string, col int) EqIndex {
+func (d *Database) Index(rel string, col int) *EqIndex {
 	k := indexKey{rel, col}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if ix, ok := d.indexes[k]; ok {
 		return ix
 	}
-	ix := make(EqIndex)
-	for i, t := range d.tables[rel] {
-		ix[t[col]] = append(ix[t[col]], i)
-	}
+	ix := d.BuildIndex(rel, col)
 	if d.indexes == nil {
-		d.indexes = make(map[indexKey]EqIndex)
+		d.indexes = make(map[indexKey]*EqIndex)
 	}
 	d.indexes[k] = ix
 	return ix
-}
-
-// invalidateIndexes drops the cached indexes of a relation after a
-// mutation.
-func (d *Database) invalidateIndexes(rel string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for k := range d.indexes {
-		if k.rel == rel {
-			delete(d.indexes, k)
-		}
-	}
 }

@@ -20,25 +20,70 @@ func indexTestDB(t *testing.T) *Database {
 	return d
 }
 
+func ords(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
 func TestIndexGroupsAndNullIdentity(t *testing.T) {
 	d := indexTestDB(t)
 	ix := d.Index("R", 0)
-	if got := ix[value.Base("a")]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+	if got := ords(ix.Lookup(d, value.Base("a"))); len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Errorf("a → %v, want [0 2] in insertion order", got)
 	}
-	if got := ix[value.Base("b")]; len(got) != 1 || got[0] != 1 {
+	if got := ords(ix.Lookup(d, value.Base("b"))); len(got) != 1 || got[0] != 1 {
 		t.Errorf("b → %v", got)
 	}
 	// A marked null indexes only with itself (Prop 5.2's regime).
-	if got := ix[value.NullBase(0)]; len(got) != 1 || got[0] != 3 {
+	if got := ords(ix.Lookup(d, value.NullBase(0))); len(got) != 1 || got[0] != 3 {
 		t.Errorf("⊥0 → %v", got)
 	}
-	if got := ix[value.NullBase(1)]; got != nil {
+	if got := ix.Lookup(d, value.NullBase(1)); got != nil {
 		t.Errorf("⊥1 → %v, want no entry", got)
 	}
+	if got := ix.Lookup(d, value.Base("zzz")); got != nil {
+		t.Errorf("unseen constant → %v, want no entry", got)
+	}
+	if ix.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3 (a, b, ⊥0)", ix.Distinct())
+	}
+	// The code-level probe the executor uses agrees with Lookup.
+	code, ok := d.LookupBaseCode("a")
+	if !ok {
+		t.Fatal("interned constant not found")
+	}
+	if got := ords(ix.Base(code)); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Base(code(a)) → %v", got)
+	}
 	// Cached on second call.
-	if &d.Index("R", 0)[value.Base("a")][0] != &ix[value.Base("a")][0] {
+	if d.Index("R", 0) != ix {
 		t.Error("index rebuilt on second call")
+	}
+}
+
+func TestNumericIndex(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R",
+		schema.Column{Name: "x", Type: schema.Num}))
+	d := New(s)
+	d.MustInsert("R", value.Num(1.5))
+	d.MustInsert("R", value.NullNum(7))
+	d.MustInsert("R", value.Num(1.5))
+	d.MustInsert("R", value.NullNum(8))
+	ix := d.Index("R", 0)
+	if got := ords(ix.Lookup(d, value.Num(1.5))); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("1.5 → %v", got)
+	}
+	if got := ords(ix.Lookup(d, value.NullNum(7))); len(got) != 1 || got[0] != 1 {
+		t.Errorf("⊤7 → %v", got)
+	}
+	if got := ix.Lookup(d, value.Num(2)); got != nil {
+		t.Errorf("2 → %v, want no entry", got)
+	}
+	if ix.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3 (1.5, ⊤7, ⊤8)", ix.Distinct())
 	}
 }
 
@@ -47,7 +92,7 @@ func TestIndexInvalidatedOnInsert(t *testing.T) {
 	_ = d.Index("R", 0)
 	d.MustInsert("R", value.Base("a"), value.Num(5))
 	ix := d.Index("R", 0)
-	if got := ix[value.Base("a")]; len(got) != 3 || got[2] != 4 {
+	if got := ords(ix.Lookup(d, value.Base("a"))); len(got) != 3 || got[2] != 4 {
 		t.Errorf("after insert: a → %v, want [0 2 4]", got)
 	}
 }

@@ -61,9 +61,9 @@ func (v *Valuation) Tuple(t value.Tuple) (value.Tuple, error) {
 // image.
 func (v *Valuation) Apply(d *Database) (*Database, error) {
 	out := New(d.schema)
-	for rel, ts := range d.tables {
-		for _, t := range ts {
-			vt, err := v.Tuple(t)
+	for rel, tb := range d.tables {
+		for i := 0; i < tb.n; i++ {
+			vt, err := v.Tuple(d.rowTuple(tb, i))
 			if err != nil {
 				return nil, err
 			}
@@ -108,19 +108,19 @@ func BijectiveBaseValuation(d *Database) *Valuation {
 func ApplyBijectiveBase(d *Database) (*Database, *Valuation) {
 	v := BijectiveBaseValuation(d)
 	out := New(d.schema)
-	out.nextNumNull = d.nextNumNull
-	for rel, ts := range d.tables {
-		for _, t := range ts {
-			nt := make(value.Tuple, len(t))
-			for i, x := range t {
+	for rel, tb := range d.tables {
+		for i := 0; i < tb.n; i++ {
+			nt := d.rowTuple(tb, i)
+			for j, x := range nt {
 				if x.Kind() == value.BaseNull {
-					nt[i] = value.Base(v.Base[x.NullID()])
-				} else {
-					nt[i] = x
+					nt[j] = value.Base(v.Base[x.NullID()])
 				}
 			}
-			out.tables[rel] = append(out.tables[rel], nt)
+			if err := out.Insert(rel, nt); err != nil {
+				panic(err) // same schema, nulls only replaced: cannot fail
+			}
 		}
 	}
+	out.nextNumNull = d.nextNumNull
 	return out, v
 }

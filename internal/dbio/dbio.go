@@ -57,10 +57,24 @@ func saveRelation(d *db.Database, rel *schema.Relation, dir string) error {
 	if err := w.Write(header); err != nil {
 		return fmt.Errorf("dbio: %w", err)
 	}
+	// Encode straight off the columnar arrays — no tuple materialization.
+	cols := make([]db.ColView, len(rel.Columns))
+	for j := range cols {
+		cols[j] = d.Col(rel.Name, j)
+	}
 	row := make([]string, len(rel.Columns))
-	for t := range d.All(rel.Name) {
-		for i, v := range t {
-			row[i] = encode(v)
+	for i := 0; i < d.Len(rel.Name); i++ {
+		for j, cv := range cols {
+			switch cv.Kinds[i] {
+			case value.BaseConst:
+				row[j] = escapeBase(d.DictString(cv.Codes[i] >> 1))
+			case value.BaseNull:
+				row[j] = "_B" + strconv.Itoa(int(cv.Codes[i]>>1))
+			case value.NumNull:
+				row[j] = "_N" + strconv.Itoa(int(cv.Codes[i]))
+			default:
+				row[j] = strconv.FormatFloat(cv.Nums[i], 'g', -1, 64)
+			}
 		}
 		if err := w.Write(row); err != nil {
 			return fmt.Errorf("dbio: %w", err)
@@ -168,24 +182,14 @@ func nullID(s, prefix string) (int, bool) {
 	return id, true
 }
 
-// encode renders a value. Base constants beginning with an underscore are
-// escaped with one extra underscore so that the null syntax stays
-// unambiguous.
-func encode(v value.Value) string {
-	switch v.Kind() {
-	case value.BaseNull:
-		return "_B" + strconv.Itoa(v.NullID())
-	case value.NumNull:
-		return "_N" + strconv.Itoa(v.NullID())
-	case value.NumConst:
-		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
-	default:
-		s := v.Str()
-		if strings.HasPrefix(s, "_") {
-			return "_" + s
-		}
-		return s
+// escapeBase renders a base constant. Constants beginning with an
+// underscore are escaped with one extra underscore so that the null
+// syntax stays unambiguous.
+func escapeBase(s string) string {
+	if strings.HasPrefix(s, "_") {
+		return "_" + s
 	}
+	return s
 }
 
 func decode(s string, t schema.ColType) (value.Value, error) {

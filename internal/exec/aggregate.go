@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"math"
+
 	"repro/internal/db"
 	"repro/internal/plan"
 	"repro/internal/realfmla"
@@ -31,13 +33,15 @@ type Result struct {
 	Derivations int
 }
 
-// Aggregator folds a stream of derivations into distinct candidate
-// tuples: per distinct projected tuple (in first-derivation order) the
-// disjunction of its derivations' constraint conjunctions. With a
-// positive limit, only the first `limit` distinct tuples keep their
-// constraint disjuncts — later tuples are tracked (they can never enter
-// the limit window) but cost no memory beyond their key, which is what
-// makes top-k workloads cheap to stream.
+// Aggregator folds a stream of materialized derivations into distinct
+// candidate tuples: per distinct projected tuple (in first-derivation
+// order) the disjunction of its derivations' constraint conjunctions.
+// With a positive limit, only the first `limit` distinct tuples keep
+// their constraint disjuncts — later tuples are tracked (they can never
+// enter the limit window) but cost no memory beyond their key. This is
+// the Deriv-based path used when a reordered plan must buffer and sort
+// derivations; streaming plans go through the fused aggregation of
+// Aggregate, which never materializes non-kept tuples at all.
 type Aggregator struct {
 	limit int
 	byKey map[string]*agg
@@ -112,20 +116,197 @@ func (a *Aggregator) Finish() []Candidate {
 // Saturated reports whether candidate idx was finalized early.
 func (a *Aggregator) Saturated(idx int) bool { return a.kept[idx].saturated }
 
-// Collect runs the plan and aggregates its derivation stream into the
-// distinct candidate tuples with their constraints — the materializing
-// convenience over Run for callers that want the whole Result.
-func Collect(p *plan.Plan, d *db.Database, opts Options) (*Result, error) {
-	res := &Result{NullIDs: p.NullIDs, Index: p.Index}
-	ag := NewAggregator(p.Limit, nil)
-	err := Run(p, d, opts, func(dv *Deriv) error {
-		res.Derivations++
-		ag.Add(dv)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+// aggNode is one distinct projected tuple of the fused aggregation,
+// keyed by the encoded columnar cells (kind + payload per position) so
+// grouping never builds string keys or boxed tuples. Hash collisions
+// chain through next.
+type aggNode struct {
+	next      *aggNode
+	kinds     []value.Kind
+	cells     []uint64
+	idx       int
+	keep      bool
+	saturated bool
+	tuple     value.Tuple
+	disjuncts []realfmla.Formula
+}
+
+// fusedAgg is the kept-aware aggregation fused into the cursor loop: the
+// projected tuple of each surviving binding is hashed straight off the
+// columnar arrays, and only derivations of kept, unsaturated candidates
+// materialize their tuples and constraint atoms.
+type fusedAgg struct {
+	limit       int
+	byHash      map[uint64]*aggNode
+	kept        []*aggNode
+	onSaturated func(idx int, c Candidate)
+
+	kindsBuf []value.Kind
+	cellsBuf []uint64
+}
+
+func newFusedAgg(limit int, onSaturated func(int, Candidate)) *fusedAgg {
+	return &fusedAgg{limit: limit, byHash: make(map[uint64]*aggNode), onSaturated: onSaturated}
+}
+
+// encode computes the projected tuple's hash and encoded cells from the
+// cursor's current binding, into the reusable buffers.
+func (f *fusedAgg) encode(c *Cursor) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	kinds := f.kindsBuf[:0]
+	cells := f.cellsBuf[:0]
+	h := uint64(offset64)
+	for _, pc := range c.proj {
+		ord := c.ords[pc.step]
+		k := pc.col.Kinds[ord]
+		var payload uint64
+		if k == value.NumConst {
+			payload = canonNumBits(pc.col.Nums[ord])
+		} else {
+			payload = uint64(uint32(pc.col.Codes[ord]))
+		}
+		kinds = append(kinds, k)
+		cells = append(cells, payload)
+		h = (h ^ uint64(k)) * prime64
+		h = (h ^ payload) * prime64
 	}
-	res.Candidates = ag.Finish()
-	return res, nil
+	f.kindsBuf, f.cellsBuf = kinds, cells
+	return h
+}
+
+// canonNumBits is the grouping key of a numerical constant: raw bits,
+// except that every NaN payload collapses to one pattern. This mirrors
+// value.Tuple.Key exactly — FormatFloat 'b' renders all NaNs alike but
+// keeps the sign of zero, so -0 and +0 stay distinct candidates. (It
+// deliberately differs from the equality-index canonicalization in
+// package db, which identifies -0 with +0 the way `==` on boxed values
+// always has.)
+func canonNumBits(v float64) uint64 {
+	if v != v {
+		return 0x7ff8000000000001
+	}
+	return math.Float64bits(v)
+}
+
+// add folds the cursor's current binding in.
+func (f *fusedAgg) add(c *Cursor) {
+	h := f.encode(c)
+	var g *aggNode
+	for n := f.byHash[h]; n != nil; n = n.next {
+		if keyEqual(n, f.kindsBuf, f.cellsBuf) {
+			g = n
+			break
+		}
+	}
+	if g == nil {
+		g = &aggNode{
+			kinds: append([]value.Kind(nil), f.kindsBuf...),
+			cells: append([]uint64(nil), f.cellsBuf...),
+			keep:  f.limit <= 0 || len(f.kept) < f.limit,
+			next:  f.byHash[h],
+		}
+		f.byHash[h] = g
+		if g.keep {
+			g.idx = len(f.kept)
+			g.tuple = c.tuple()
+			f.kept = append(f.kept, g)
+		}
+	}
+	if !g.keep || g.saturated {
+		return
+	}
+	conj := c.conj()
+	if conj == nil {
+		g.saturated = true
+		g.disjuncts = nil
+		if f.onSaturated != nil {
+			f.onSaturated(g.idx, Candidate{Tuple: g.tuple, Phi: realfmla.FTrue{}})
+		}
+		return
+	}
+	g.disjuncts = append(g.disjuncts, conj)
+}
+
+func keyEqual(n *aggNode, kinds []value.Kind, cells []uint64) bool {
+	if len(n.cells) != len(cells) {
+		return false
+	}
+	for i := range cells {
+		if n.kinds[i] != kinds[i] || n.cells[i] != cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *fusedAgg) finish() ([]Candidate, []bool) {
+	if len(f.kept) == 0 {
+		return nil, nil
+	}
+	out := make([]Candidate, len(f.kept))
+	sat := make([]bool, len(f.kept))
+	for i, g := range f.kept {
+		phi := realfmla.Formula(realfmla.FTrue{})
+		if !g.saturated {
+			phi = realfmla.Or(g.disjuncts...)
+		}
+		out[i] = Candidate{Tuple: g.tuple, Phi: phi}
+		sat[i] = g.saturated
+	}
+	return out, sat
+}
+
+// Aggregate runs the plan and folds its derivation stream into the
+// distinct candidate tuples with their constraints, in first-derivation
+// order with the plan's LIMIT applied. The returned bool slice marks
+// candidates whose constraint saturated to true mid-enumeration (and
+// were already reported through onSaturated, when set).
+//
+// On streaming (Identity) plans the fold is fused into the cursor:
+// grouping hashes the projected cells straight off the columnar arrays,
+// and tuples and constraint atoms are materialized only for kept
+// candidates — beyond-limit derivations are counted and nothing else.
+// Reordered plans buffer materialized derivations to restore derivation
+// order first (see Run), then aggregate; results are identical.
+func Aggregate(p *plan.Plan, d *db.Database, opts Options, onSaturated func(int, Candidate)) (*Result, []bool, error) {
+	res := &Result{NullIDs: p.NullIDs, Index: p.Index}
+	if !p.Identity {
+		ag := NewAggregator(p.Limit, onSaturated)
+		if err := Run(p, d, opts, func(dv *Deriv) error {
+			res.Derivations++
+			ag.Add(dv)
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		res.Candidates = ag.Finish()
+		sat := make([]bool, len(res.Candidates))
+		for i := range sat {
+			sat[i] = ag.Saturated(i)
+		}
+		return res, sat, nil
+	}
+	cur := NewCursor(p, d, opts)
+	f := newFusedAgg(p.Limit, onSaturated)
+	for cur.advance() {
+		res.Derivations++
+		f.add(cur)
+	}
+	if cur.err != nil {
+		return nil, nil, cur.err
+	}
+	var sat []bool
+	res.Candidates, sat = f.finish()
+	return res, sat, nil
+}
+
+// Collect runs the plan and aggregates its derivation stream into the
+// distinct candidate tuples with their constraints — the convenience over
+// Aggregate for callers that want the whole Result.
+func Collect(p *plan.Plan, d *db.Database, opts Options) (*Result, error) {
+	res, _, err := Aggregate(p, d, opts, nil)
+	return res, err
 }

@@ -16,6 +16,12 @@ type Options struct {
 	// deviates from the FROM-clause order, so results are unchanged;
 	// reordering only changes how much work the join does.
 	Reorder bool
+	// NoPersistentIndexes makes the cost model gather its distinct-key
+	// statistics from transient index builds instead of building (and
+	// caching) the database's persistent equality indexes — set alongside
+	// the executor's NoDBIndexes toggle so that ablation never touches
+	// persistent state.
+	NoPersistentIndexes bool
 }
 
 // Build lowers a query into a Plan over the given database, validating
@@ -59,11 +65,14 @@ func Build(q *sqlast.Query, d *db.Database, opts Options) (*Plan, error) {
 	}
 	sort.SliceStable(norm, func(i, j int) bool { return norm[i].origPos < norm[j].origPos })
 
-	// Base-equality adjacency between FROM positions, for join ordering.
+	// Base-equality adjacency between FROM positions, for join ordering,
+	// plus the concrete join edges (with resolved column indices) the
+	// cost model estimates fanout from.
 	edges := make([][]bool, len(q.From))
 	for i := range edges {
 		edges[i] = make([]bool, len(q.From))
 	}
+	var jedges []joinEdge
 	for _, nc := range norm {
 		if nc.c.Kind != sqlast.CondBaseEq {
 			continue
@@ -71,28 +80,29 @@ func Build(q *sqlast.Query, d *db.Database, opts Options) (*Plan, error) {
 		l, r := b.origPos[nc.c.LCol.Table], b.origPos[nc.c.RCol.Table]
 		if l != r {
 			edges[l][r], edges[r][l] = true, true
+			jedges = append(jedges, joinEdge{
+				l: l, r: r,
+				lcol: b.rels[nc.c.LCol.Table].ColumnIndex(nc.c.LCol.Col),
+				rcol: b.rels[nc.c.RCol.Table].ColumnIndex(nc.c.RCol.Col),
+			})
 		}
 	}
 
 	order := identityOrder(len(q.From))
 	if opts.Reorder && len(q.From) > 1 {
-		if g := b.greedyOrder(edges); betterPattern(connPattern(g, edges), connPattern(order, edges)) {
-			order = g
-		}
+		order = b.chooseOrder(order, edges, jedges, opts.NoPersistentIndexes)
 	}
 
+	nullIDs, nullIndex := d.NumNullIndex()
 	p := &Plan{
 		Schema:  d.Schema(),
 		From:    q.From,
 		Order:   order,
 		Limit:   q.Limit,
-		NullIDs: d.NumNulls(),
-		Index:   make(map[int]int),
+		NullIDs: nullIDs,
+		Index:   nullIndex,
 	}
 	p.K = len(p.NullIDs)
-	for i, id := range p.NullIDs {
-		p.Index[id] = i
-	}
 	p.Identity = true
 	stepOf := make(map[string]int, len(q.From)) // alias → step
 	for s, o := range order {
@@ -351,55 +361,183 @@ func betterPattern(a, b []bool) bool {
 	return false
 }
 
-// greedyOrder builds a join order that pulls equality-connected tables as
-// early as possible: start from the smaller endpoint of an equality edge
-// (or the smallest table when there are no edges), then repeatedly take
-// the smallest table connected to the bound set, falling back to the
-// smallest remaining table when none is. Deterministic: ties break by
-// original FROM position.
-func (b *builder) greedyOrder(edges [][]bool) []int {
+// joinEdge is one base-equality link between two FROM positions, with the
+// column indices resolved, so the cost model can ask the database for
+// per-column distinct-key counts.
+type joinEdge struct {
+	l, r       int
+	lcol, rcol int
+}
+
+// chooseOrder is the cost-based join ordering: candidate left-deep orders
+// are built greedily (always extending with the equality-connected table
+// of smallest estimated fanout), and a candidate replaces the FROM-clause
+// order only when it is strictly better — either it joins along equality
+// edges strictly earlier (avoiding a cartesian product the FROM order
+// forces), or it has the same connectivity pattern and a strictly lower
+// estimated cost including the buffer-and-sort penalty every reordered
+// plan pays to restore derivation order (see exec.Run). Ties keep the
+// FROM order and its streaming guarantee.
+func (b *builder) chooseOrder(identity []int, edges [][]bool, jedges []joinEdge, transientStats bool) []int {
 	n := len(b.q.From)
-	size := make([]int, n)
+	size := make([]float64, n)
 	hasEdge := make([]bool, n)
 	for i, t := range b.q.From {
-		size[i] = b.d.Len(t.Relation)
+		size[i] = float64(b.d.Len(t.Relation))
 		for j := 0; j < n; j++ {
 			hasEdge[i] = hasEdge[i] || edges[i][j]
 		}
 	}
-	used := make([]bool, n)
-	pick := func(allowed func(i int) bool) int {
-		best := -1
-		for i := 0; i < n; i++ {
-			if used[i] || !allowed(i) {
+
+	// fanout estimates the per-outer-row match count of joining position
+	// t through its local column c: |t| / distinct(t.c). The distinct
+	// count is one Index call — a sequential scan over the columnar
+	// layout on first use, cached on the database afterwards (or a
+	// transient build when persistent indexes are disabled).
+	distinct := make(map[[2]int]float64)
+	fanout := func(t, c int) float64 {
+		key := [2]int{t, c}
+		dv, ok := distinct[key]
+		if !ok {
+			if transientStats {
+				dv = float64(b.d.BuildIndex(b.q.From[t].Relation, c).Distinct())
+			} else {
+				dv = float64(b.d.Index(b.q.From[t].Relation, c).Distinct())
+			}
+			distinct[key] = dv
+		}
+		if dv <= 0 {
+			return 0
+		}
+		return size[t] / dv
+	}
+	// bestFanout is the most selective equality edge linking position t
+	// to the bound set (-1 when none applies).
+	bestFanout := func(t int, bound []int) float64 {
+		f := -1.0
+		for _, e := range jedges {
+			o, c := -1, 0
+			if e.l == t {
+				o, c = e.r, e.lcol
+			} else if e.r == t {
+				o, c = e.l, e.rcol
+			}
+			if o < 0 {
 				continue
 			}
-			if best < 0 || size[i] < size[best] {
-				best = i
-			}
-		}
-		return best
-	}
-	start := pick(func(i int) bool { return hasEdge[i] })
-	if start < 0 {
-		start = pick(func(i int) bool { return true })
-	}
-	order := []int{start}
-	used[start] = true
-	for len(order) < n {
-		next := pick(func(i int) bool {
-			for _, j := range order {
-				if edges[i][j] {
-					return true
+			for _, j := range bound {
+				if j == o {
+					if est := fanout(t, c); f < 0 || est < f {
+						f = est
+					}
+					break
 				}
 			}
-			return false
-		})
-		if next < 0 {
-			next = pick(func(i int) bool { return true })
 		}
-		order = append(order, next)
-		used[next] = true
+		return f
 	}
-	return order
+
+	// estimate costs a left-deep order: scanned rows of the first table
+	// plus every intermediate cardinality, with equality joins scaled by
+	// estimated fanout and cartesian steps by table size; non-identity
+	// orders add the final cardinality once more for the derivation-order
+	// restore (buffer + sort) the executor performs.
+	estimate := func(order []int) float64 {
+		card := size[order[0]]
+		work := card
+		for i := 1; i < n; i++ {
+			t := order[i]
+			if f := bestFanout(t, order[:i]); f >= 0 {
+				card *= f
+			} else {
+				card *= size[t]
+			}
+			work += card
+		}
+		if !isIdentity(order) {
+			work += card
+		}
+		return work
+	}
+
+	// greedyFrom grows an order from a start table, always taking the
+	// connected candidate with the smallest estimated fanout (ties: the
+	// smaller table, then the earlier FROM position), falling back to the
+	// smallest remaining table when nothing is connected.
+	greedyFrom := func(start int) []int {
+		used := make([]bool, n)
+		order := []int{start}
+		used[start] = true
+		for len(order) < n {
+			next, nextF := -1, -1.0
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				f := bestFanout(i, order)
+				if f < 0 {
+					continue
+				}
+				if next < 0 || f < nextF || (f == nextF && size[i] < size[next]) {
+					next, nextF = i, f
+				}
+			}
+			if next < 0 {
+				for i := 0; i < n; i++ {
+					if used[i] {
+						continue
+					}
+					if next < 0 || size[i] < size[next] {
+						next = i
+					}
+				}
+			}
+			order = append(order, next)
+			used[next] = true
+		}
+		return order
+	}
+
+	best := identity
+	bestPat := connPattern(identity, edges)
+	bestCost := estimate(identity)
+	for start := 0; start < n; start++ {
+		if !hasEdge[start] && anyEdge(hasEdge) {
+			continue
+		}
+		g := greedyFrom(start)
+		gp := connPattern(g, edges)
+		gc := estimate(g)
+		if betterPattern(gp, bestPat) || (patternEqual(gp, bestPat) && gc < bestCost) {
+			best, bestPat, bestCost = g, gp, gc
+		}
+	}
+	return best
+}
+
+func isIdentity(order []int) bool {
+	for i, o := range order {
+		if i != o {
+			return false
+		}
+	}
+	return true
+}
+
+func anyEdge(hasEdge []bool) bool {
+	for _, h := range hasEdge {
+		if h {
+			return true
+		}
+	}
+	return false
+}
+
+func patternEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

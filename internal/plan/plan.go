@@ -11,10 +11,14 @@
 //     step by a decidable base-column equality becomes an index probe
 //     (hash join) instead of a full scan, and a step filtered by a
 //     base-column/literal equality becomes an index lookup;
-//   - join reordering: when the FROM-clause order forces a cartesian
-//     product before an available equality join, the tables are reordered
-//     greedily along base-equality edges (the executor restores the
-//     original derivation order, so results are unchanged).
+//   - cost-based join reordering: left-deep orders are grown greedily
+//     along base-equality edges by estimated fanout (|T| divided by the
+//     join column's distinct-key count, read off the database's equality
+//     indexes), and replace the FROM-clause order only when they join
+//     strictly earlier than a forced cartesian product, or cost strictly
+//     less even after the buffer-and-sort penalty reordered plans pay to
+//     restore derivation order (the executor restores that order, so
+//     results are unchanged).
 //
 // Base-typed (in)equalities are decided outright during execution —
 // marked base nulls join only with themselves, the bijective-valuation
@@ -137,7 +141,8 @@ type Plan struct {
 	Conds []Cond
 
 	// Numerical-null bookkeeping: NullIDs maps formula variable index to
-	// null ID, Index is its inverse, K = len(NullIDs).
+	// null ID, Index is its inverse, K = len(NullIDs). Both are the
+	// database's cached inventories (db.NumNullIndex) — shared, read-only.
 	NullIDs []int
 	Index   map[int]int
 	K       int

@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/db"
@@ -108,6 +109,49 @@ func TestConnectedFromOrderKept(t *testing.T) {
 	p := build(t, `SELECT A.k FROM A A, B B, C C WHERE A.k = B.k AND B.k = C.k`, plan.Options{Reorder: true})
 	if !p.Identity {
 		t.Errorf("fully connected FROM order was reordered: %v", p.Order)
+	}
+}
+
+// TestCostReorderByFanout: with identical connectivity patterns, the
+// planner deviates from the FROM order exactly when the distinct-key
+// statistics say the reordered join is strictly cheaper even after the
+// derivation-order-restore penalty.
+func TestCostReorderByFanout(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("Wide",
+			schema.Column{Name: "k", Type: schema.Base}),
+		schema.MustRelation("Keyed",
+			schema.Column{Name: "k", Type: schema.Base}),
+	)
+	d := db.New(s)
+	for i := 0; i < 30; i++ {
+		// Every Wide row carries the same key (distinct = 1, so probing
+		// Wide fans out 30×); Keyed has one row per key (fanout 1).
+		d.MustInsert("Wide", value.Base("dup"))
+		d.MustInsert("Keyed", value.Base(fmt.Sprintf("k%d", i)))
+	}
+	q := sqlfront.MustParse(`SELECT W.k FROM Keyed K, Wide W WHERE W.k = K.k`)
+	// Identity order probes Wide per Keyed row (est. 30 + 30·30 = 930);
+	// starting from Wide costs 30 + 30·1 + 30 restore penalty = 90.
+	p, err := plan.Build(q, d, plan.Options{Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Identity {
+		t.Errorf("high-fanout FROM order kept: %v", p.Order)
+	}
+	if p.Steps[0].Relation != "Wide" {
+		t.Errorf("order %v does not start from the selective side", p.Order)
+	}
+	// The reverse FROM order is already the cheap one and must stand
+	// (reordering would only add the restore penalty).
+	p, err = plan.Build(sqlfront.MustParse(`SELECT W.k FROM Wide W, Keyed K WHERE W.k = K.k`),
+		d, plan.Options{Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Identity {
+		t.Errorf("cheap FROM order reordered: %v", p.Order)
 	}
 }
 

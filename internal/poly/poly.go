@@ -114,10 +114,26 @@ func mulVars(a, b []VarPow) []VarPow {
 	return out
 }
 
-// normalize sorts terms, merges equal monomials, and drops zero
-// coefficients. It takes ownership of ts.
-func normalize(n int, ts []Term) Poly {
-	sort.Slice(ts, func(i, j int) bool { return varsLess(ts[i].Vars, ts[j].Vars) })
+// sortTerms orders ts by monomial with an in-place insertion sort: the
+// term lists of this package are short (a handful of monomials), and
+// unlike sort.Slice this allocates nothing — it runs in the executor's
+// per-derivation hot path — and is stable, so the merge order of equal
+// monomials is a deterministic function of the construction order.
+func sortTerms(ts []Term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && varsLess(ts[j].Vars, ts[j-1].Vars); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// normalizeTerms sorts ts, merges equal monomials and drops zero
+// coefficients in place, returning the normalized prefix of ts. It is the
+// single normalization algorithm shared by the allocating operations below
+// and by the Scratch arena (scratch.go), which is what keeps their results
+// bit-identical.
+func normalizeTerms(ts []Term) []Term {
+	sortTerms(ts)
 	out := ts[:0]
 	for _, t := range ts {
 		if len(out) > 0 && varsEqual(out[len(out)-1].Vars, t.Vars) {
@@ -132,6 +148,13 @@ func normalize(n int, ts []Term) Poly {
 			kept = append(kept, t)
 		}
 	}
+	return kept
+}
+
+// normalize sorts terms, merges equal monomials, and drops zero
+// coefficients. It takes ownership of ts.
+func normalize(n int, ts []Term) Poly {
+	kept := normalizeTerms(ts)
 	return Poly{N: n, Terms: append([]Term(nil), kept...)}
 }
 

@@ -1,0 +1,199 @@
+package poly
+
+import "fmt"
+
+// This file is the allocation-free companion of the polynomial algebra:
+// a Scratch arena whose operations (Const, Var, Neg, Add, Sub, Mul) mirror
+// the allocating Poly operations step for step — same construction order,
+// same normalizeTerms call — so the values they produce are bit-identical
+// to the allocating path, while all intermediates live in reusable
+// buffers. The vectorized SQL executor evaluates every numeric predicate
+// through a Scratch and only Materializes the (few) polynomials that end
+// up in kept constraint atoms.
+//
+// The scalar Fold helpers at the bottom mirror the same operations on
+// constant polynomials, so a predicate over constants only can be decided
+// with plain float64 arithmetic and still agree exactly with the
+// polynomial path (the zero polynomial is canonicalized to +0, and a zero
+// operand annihilates a product outright, exactly as a term list with no
+// entries does).
+
+// SPoly is a scratch polynomial: a region of a Scratch arena. It is valid
+// until the arena is next Reset.
+type SPoly struct{ off, n int }
+
+// Scratch is a reusable arena for building polynomials without
+// per-operation allocations. The zero value is ready to use. A Scratch is
+// not safe for concurrent use.
+type Scratch struct {
+	terms []Term
+	vp    []VarPow
+}
+
+// Reset discards every scratch polynomial built since the last Reset,
+// keeping the arena's capacity.
+func (s *Scratch) Reset() {
+	s.terms = s.terms[:0]
+	s.vp = s.vp[:0]
+}
+
+// Const builds the constant polynomial c, mirroring Const.
+func (s *Scratch) Const(c float64) SPoly {
+	if c == 0 {
+		return SPoly{off: len(s.terms)}
+	}
+	s.terms = append(s.terms, Term{Coef: c})
+	return SPoly{off: len(s.terms) - 1, n: 1}
+}
+
+// Var builds the polynomial z_i, mirroring Var.
+func (s *Scratch) Var(i int) SPoly {
+	s.vp = append(s.vp, VarPow{Var: i, Pow: 1})
+	vs := s.vp[len(s.vp)-1:]
+	s.terms = append(s.terms, Term{Coef: 1, Vars: vs})
+	return SPoly{off: len(s.terms) - 1, n: 1}
+}
+
+// Neg builds -a, mirroring Neg (Scale by -1).
+func (s *Scratch) Neg(a SPoly) SPoly {
+	off := len(s.terms)
+	for _, t := range s.terms[a.off : a.off+a.n] {
+		s.terms = append(s.terms, Term{Coef: -1 * t.Coef, Vars: t.Vars})
+	}
+	return SPoly{off: off, n: a.n}
+}
+
+// Add builds a + b, mirroring Add: concatenate both term lists, then
+// normalize.
+func (s *Scratch) Add(a, b SPoly) SPoly {
+	off := len(s.terms)
+	s.terms = append(s.terms, s.terms[a.off:a.off+a.n]...)
+	s.terms = append(s.terms, s.terms[b.off:b.off+b.n]...)
+	kept := normalizeTerms(s.terms[off:])
+	s.terms = s.terms[:off+len(kept)]
+	return SPoly{off: off, n: len(kept)}
+}
+
+// Sub builds a - b as Add(a, Neg(b)), mirroring Sub.
+func (s *Scratch) Sub(a, b SPoly) SPoly { return s.Add(a, s.Neg(b)) }
+
+// Mul builds a · b, mirroring Mul: pairwise term products in the same
+// order, then normalize.
+func (s *Scratch) Mul(a, b SPoly) SPoly {
+	off := len(s.terms)
+	for i := 0; i < a.n; i++ {
+		ta := s.terms[a.off+i]
+		for j := 0; j < b.n; j++ {
+			tb := s.terms[b.off+j]
+			s.terms = append(s.terms, Term{Coef: ta.Coef * tb.Coef, Vars: s.mulVars(ta.Vars, tb.Vars)})
+		}
+	}
+	kept := normalizeTerms(s.terms[off:])
+	s.terms = s.terms[:off+len(kept)]
+	return SPoly{off: off, n: len(kept)}
+}
+
+// mulVars is the arena variant of mulVars: the merged exponent list is
+// appended to the VarPow arena.
+func (s *Scratch) mulVars(a, b []VarPow) []VarPow {
+	off := len(s.vp)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Var < b[j].Var:
+			s.vp = append(s.vp, a[i])
+			i++
+		case a[i].Var > b[j].Var:
+			s.vp = append(s.vp, b[j])
+			j++
+		default:
+			s.vp = append(s.vp, VarPow{Var: a[i].Var, Pow: a[i].Pow + b[j].Pow})
+			i++
+			j++
+		}
+	}
+	s.vp = append(s.vp, a[i:]...)
+	s.vp = append(s.vp, b[j:]...)
+	return s.vp[off:len(s.vp):len(s.vp)]
+}
+
+// IsConst mirrors IsConst on a scratch polynomial.
+func (s *Scratch) IsConst(a SPoly) (float64, bool) {
+	if a.n == 0 {
+		return 0, true
+	}
+	if a.n == 1 && len(s.terms[a.off].Vars) == 0 {
+		return s.terms[a.off].Coef, true
+	}
+	return 0, false
+}
+
+// Materialize copies a scratch polynomial out of the arena into an
+// immutable Poly in n variables, with its own exact-size backing arrays.
+// The result is value-identical to what the allocating operations produce
+// for the same construction sequence.
+func (s *Scratch) Materialize(a SPoly, n int) Poly {
+	if a.n == 0 {
+		return Poly{N: n}
+	}
+	ts := make([]Term, a.n)
+	nv := 0
+	for _, t := range s.terms[a.off : a.off+a.n] {
+		nv += len(t.Vars)
+	}
+	vs := make([]VarPow, 0, nv)
+	for i, t := range s.terms[a.off : a.off+a.n] {
+		off := len(vs)
+		vs = append(vs, t.Vars...)
+		ts[i] = Term{Coef: t.Coef, Vars: vs[off:len(vs):len(vs)]}
+	}
+	return Poly{N: n, Terms: ts}
+}
+
+// String renders a scratch polynomial, for debugging.
+func (s *Scratch) String(a SPoly) string {
+	return fmt.Sprint(s.Materialize(a, 0).Terms)
+}
+
+// FoldConst mirrors Const on scalars: the zero polynomial is +0.
+func FoldConst(c float64) float64 {
+	if c == 0 {
+		return 0
+	}
+	return c
+}
+
+// FoldAdd mirrors Add on constant polynomials: coefficients of equal
+// monomials are summed and an exact-zero result is the zero polynomial.
+func FoldAdd(a, b float64) float64 {
+	r := a + b
+	if r == 0 {
+		return 0
+	}
+	return r
+}
+
+// FoldNeg mirrors Neg (Scale by -1) on constant polynomials.
+func FoldNeg(a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return -1 * a
+}
+
+// FoldSub mirrors Sub on constant polynomials.
+func FoldSub(a, b float64) float64 { return FoldAdd(a, FoldNeg(b)) }
+
+// FoldMul mirrors Mul on constant polynomials: a zero operand has no
+// terms, so the product has none either — even against ±Inf or NaN —
+// and an exact-zero coefficient is dropped.
+func FoldMul(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	r := a * b
+	if r == 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,140 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr evaluates a random expression tree simultaneously through the
+// allocating algebra, the scratch arena, and (when constant) the scalar
+// Fold mirror, checking the three agree bit for bit.
+type scratchChecker struct {
+	rng *rand.Rand
+	s   *Scratch
+	n   int
+}
+
+func (c *scratchChecker) leafConst() float64 {
+	vals := []float64{0, 1, -1, 2.5, -0.5, 3, 7, math.Copysign(0, -1), 1e-300, -1e-300}
+	return vals[c.rng.Intn(len(vals))]
+}
+
+// build returns the same random expression through all three evaluators;
+// constOnly forces a constant tree (the scalar mirror's domain).
+func (c *scratchChecker) build(depth int, constOnly bool) (Poly, SPoly, float64, bool) {
+	if depth == 0 || c.rng.Intn(3) == 0 {
+		if !constOnly && c.rng.Intn(2) == 0 {
+			i := c.rng.Intn(c.n)
+			return Var(c.n, i), c.s.Var(i), 0, false
+		}
+		v := c.leafConst()
+		return Const(c.n, v), c.s.Const(v), FoldConst(v), true
+	}
+	switch c.rng.Intn(4) {
+	case 0:
+		p, sp, f, fc := c.build(depth-1, constOnly)
+		return p.Neg(), c.s.Neg(sp), FoldNeg(f), fc
+	case 1:
+		lp, lsp, lf, lc := c.build(depth-1, constOnly)
+		rp, rsp, rf, rc := c.build(depth-1, constOnly)
+		return lp.Add(rp), c.s.Add(lsp, rsp), FoldAdd(lf, rf), lc && rc
+	case 2:
+		lp, lsp, lf, lc := c.build(depth-1, constOnly)
+		rp, rsp, rf, rc := c.build(depth-1, constOnly)
+		return lp.Sub(rp), c.s.Sub(lsp, rsp), FoldSub(lf, rf), lc && rc
+	default:
+		lp, lsp, lf, lc := c.build(depth-1, constOnly)
+		rp, rsp, rf, rc := c.build(depth-1, constOnly)
+		return lp.Mul(rp), c.s.Mul(lsp, rsp), FoldMul(lf, rf), lc && rc
+	}
+}
+
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestScratchMirrorsAllocatingOps: random expression trees produce
+// bit-identical polynomials through the arena and the allocating path.
+func TestScratchMirrorsAllocatingOps(t *testing.T) {
+	s := &Scratch{}
+	for seed := int64(0); seed < 200; seed++ {
+		c := &scratchChecker{rng: rand.New(rand.NewSource(seed)), s: s, n: 5}
+		s.Reset()
+		p, sp, _, _ := c.build(4, false)
+		got := s.Materialize(sp, c.n)
+		if !got.Equal(p) {
+			t.Fatalf("seed %d: scratch %v != allocating %v", seed, got, p)
+		}
+		// Bit-level check on coefficients (Equal uses ==, which conflates
+		// 0 and -0).
+		for i := range p.Terms {
+			if !bitsEqual(got.Terms[i].Coef, p.Terms[i].Coef) {
+				t.Fatalf("seed %d: coefficient bits differ: %x vs %x",
+					seed, math.Float64bits(got.Terms[i].Coef), math.Float64bits(p.Terms[i].Coef))
+			}
+		}
+		if c, ok := s.IsConst(sp); ok != func() bool { _, k := p.IsConst(); return k }() {
+			t.Fatalf("seed %d: IsConst disagreement", seed)
+		} else if ok {
+			if pc, _ := p.IsConst(); !bitsEqual(c, pc) {
+				t.Fatalf("seed %d: IsConst value %v vs %v", seed, c, pc)
+			}
+		}
+	}
+}
+
+// TestFoldMirrorsConstantPolys: on all-constant trees the scalar Fold
+// mirror agrees bit for bit with the polynomial constant.
+func TestFoldMirrorsConstantPolys(t *testing.T) {
+	s := &Scratch{}
+	for seed := int64(1000); seed < 1300; seed++ {
+		c := &scratchChecker{rng: rand.New(rand.NewSource(seed)), s: s, n: 3}
+		s.Reset()
+		p, _, f, isConst := c.build(4, true)
+		if !isConst {
+			t.Fatal("constOnly tree not constant")
+		}
+		pc, ok := p.IsConst()
+		if !ok {
+			t.Fatalf("seed %d: constant tree produced non-constant poly", seed)
+		}
+		if !bitsEqual(f, pc) {
+			t.Fatalf("seed %d: Fold %x != poly %x", seed, math.Float64bits(f), math.Float64bits(pc))
+		}
+	}
+}
+
+// TestFoldEdgeCases pins the zero-annihilation semantics the Fold mirror
+// inherits from the term-list representation.
+func TestFoldEdgeCases(t *testing.T) {
+	if got := FoldMul(0, math.Inf(1)); got != 0 {
+		t.Errorf("FoldMul(0, Inf) = %v", got)
+	}
+	if got := FoldMul(0, math.NaN()); got != 0 {
+		t.Errorf("FoldMul(0, NaN) = %v", got)
+	}
+	if got := FoldConst(math.Copysign(0, -1)); !bitsEqual(got, 0) {
+		t.Errorf("FoldConst(-0) = %x", math.Float64bits(got))
+	}
+	if got := FoldAdd(1, -1); !bitsEqual(got, 0) {
+		t.Errorf("FoldAdd(1,-1) = %x", math.Float64bits(got))
+	}
+}
+
+// TestScratchQuickConstants fuzzes the scalar mirror against the
+// polynomial path over arbitrary float pairs (including NaN and ±Inf
+// patterns quick generates).
+func TestScratchQuickConstants(t *testing.T) {
+	n := 2
+	f := func(a, b float64) bool {
+		add, _ := Const(n, a).Add(Const(n, b)).IsConst()
+		mul, _ := Const(n, a).Mul(Const(n, b)).IsConst()
+		sub, _ := Const(n, a).Sub(Const(n, b)).IsConst()
+		return bitsEqual(FoldAdd(FoldConst(a), FoldConst(b)), add) &&
+			bitsEqual(FoldMul(FoldConst(a), FoldConst(b)), mul) &&
+			bitsEqual(FoldSub(FoldConst(a), FoldConst(b)), sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

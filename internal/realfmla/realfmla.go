@@ -67,6 +67,20 @@ func (r Rel) Negate() Rel {
 	return r
 }
 
+// Holds reports whether "v Rel 0", the decision Atom.Eval makes on a
+// constant polynomial with value v (NaN has sign 0, like the dropped
+// zero-coefficient term it mirrors).
+func (r Rel) Holds(v float64) bool {
+	switch {
+	case v < 0:
+		return r.holds(-1)
+	case v > 0:
+		return r.holds(1)
+	default:
+		return r.holds(0)
+	}
+}
+
 // holds reports whether "sign Rel 0" for a sign in {-1,0,1}.
 func (r Rel) holds(sign int) bool {
 	switch r {

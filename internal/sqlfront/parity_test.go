@@ -9,6 +9,7 @@ package sqlfront
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -306,6 +307,27 @@ func TestParityLimitOrderSensitivity(t *testing.T) {
 	// so the disjunction collapses to true.
 	if _, ok := res.Candidates[0].Phi.(realfmla.FTrue); !ok {
 		t.Fatalf("Phi = %s, want true (post-limit derivation must count)", res.Candidates[0].Phi)
+	}
+}
+
+// TestParitySignedZeroCandidates pins the tuple-grouping contract on the
+// edge the fused columnar aggregation could get wrong: -0 and +0 are
+// distinct projected candidates (value.Tuple.Key keeps the sign of
+// zero), while NaN payloads collapse into one.
+func TestParitySignedZeroCandidates(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R",
+		schema.Column{Name: "x", Type: schema.Num}))
+	d := db.New(s)
+	d.MustInsert("R", value.Num(0))
+	d.MustInsert("R", value.Num(math.Copysign(0, -1)))
+	d.MustInsert("R", value.Num(0))
+	checkParity(t, MustParse(`SELECT R.x FROM R R`), d)
+	res, err := Evaluate(MustParse(`SELECT R.x FROM R R`), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("%d candidates, want 2 (+0 and -0 are distinct)", len(res.Candidates))
 	}
 }
 

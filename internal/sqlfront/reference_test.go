@@ -126,6 +126,21 @@ type refBinder struct {
 	conds [][]Condition
 	// probe[i], when non-nil, is the hash-join plan for position i.
 	probe []*refProbePlan
+	// rows memoizes per-relation tuple materialization (the columnar
+	// database materializes on every Rows call).
+	rows map[string][]value.Tuple
+}
+
+func (b *refBinder) tableRows(rel string) []value.Tuple {
+	if b.rows == nil {
+		b.rows = make(map[string][]value.Tuple)
+	}
+	ts, ok := b.rows[rel]
+	if !ok {
+		ts = b.d.Rows(rel)
+		b.rows[rel] = ts
+	}
+	return ts
 }
 
 type refProbePlan struct {
@@ -335,10 +350,7 @@ func (b *refBinder) candidateRows(rows map[string]value.Tuple, pos int) []value.
 			p.idx = make(map[value.Value][]value.Tuple)
 			rel := b.rels[tr.Alias]
 			ci := rel.ColumnIndex(p.localCol)
-			// db.Rows instead of the original db.Tuples call: Tuples
-			// became a deep copy in this refactor, and the reference
-			// evaluator only reads.
-			for _, row := range b.d.Rows(tr.Relation) {
+			for _, row := range b.tableRows(tr.Relation) {
 				p.idx[row[ci]] = append(p.idx[row[ci]], row)
 			}
 		}
@@ -346,7 +358,7 @@ func (b *refBinder) candidateRows(rows map[string]value.Tuple, pos int) []value.
 		ci := b.rels[p.outer.Table].ColumnIndex(p.outer.Col)
 		return p.idx[outerRow[ci]]
 	}
-	return b.d.Rows(tr.Relation)
+	return b.tableRows(tr.Relation)
 }
 
 // applyConditions evaluates every condition that becomes checkable at this

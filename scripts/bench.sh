@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Runs the Figure 1 benchmark family plus the end-to-end SQL pipeline
-# benchmark and records the results as BENCH_<date>.json in the
+# benchmarks and records the results as BENCH_<date>.json in the
 # repository root, so the performance trajectory across PRs stays
-# machine-readable.
+# machine-readable. The default regexp covers, among others:
+#   - BenchmarkFigure1aWorkersScaled: the worker benchmark sized to show
+#     multi-core sampling scaling (m = 40000 samples per candidate; the
+#     smaller BenchmarkFigure1aWorkers run is kept as the overhead bound);
+#   - BenchmarkSQLPipeline: naive/indexed/fused end-to-end pipelines over
+#     the columnar executor (allocs/op guarded by scripts/alloc_check.sh);
+#   - BenchmarkSQLPipelineSweep: repeated-MeasureSQL ε-sweep showing the
+#     shared compiled-kernel cache of the fused measurement pool.
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
 #   scripts/bench.sh                 # -bench 'Figure1|SQLPipeline' -benchtime 1s
