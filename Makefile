@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-check
+.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -33,3 +33,11 @@ bench:
 # scripts/alloc_budget.txt (CI runs this alongside the race job).
 bench-check:
 	scripts/alloc_check.sh
+
+# fuzz-smoke gives each wire-protocol fuzzer a short budget: malformed
+# requests and SQL must come back as structured errors, never panics
+# (CI runs this as its own job; go test -fuzz takes one target at a time).
+fuzz-smoke:
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzMeasureRequest$$' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzMeasureSQLString$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzValueRoundTrip$$' -fuzztime 5s

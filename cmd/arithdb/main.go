@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +28,9 @@ import (
 	"strings"
 
 	arithdb "repro"
+	"repro/internal/client"
 	"repro/internal/fo"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -53,6 +56,7 @@ func usage() {
   arithdb sql     -data DIR -query "SELECT ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N]
                   [-no-join-reorder] [-no-db-indexes] [-no-hash-join]
+  arithdb sql     -connect URL -query "SELECT ..." [-eps E] [-delta D] [-stream]
   arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N] [args...]
   arithdb info    -data DIR`)
@@ -123,9 +127,34 @@ func runSQL(args []string) {
 	plannerFlags(fs, opts)
 	ranges := rangeFlags{}
 	fs.Var(ranges, "range", "column range constraint Relation.column=lo:hi (repeatable; empty bound = ±inf)")
+	connect := fs.String("connect", "", "arithdbd base URL (e.g. http://localhost:8080): run the query on a server instead of -data")
+	stream := fs.Bool("stream", false, "with -connect: print candidates as the server streams them")
 	_ = fs.Parse(args)
-	if *data == "" || *query == "" {
-		log.Fatal("sql: -data and -query are required")
+	if *query == "" {
+		log.Fatal("sql: -query is required")
+	}
+	if *stream && *connect == "" {
+		log.Fatal("sql: -stream requires -connect (local runs print the buffered result)")
+	}
+	if *connect != "" {
+		// The server's own configuration governs seeding, planning and
+		// measurement; reject local-only flags instead of silently
+		// ignoring them.
+		localOnly := map[string]bool{
+			"data": true, "range": true, "seed": true, "workers": true,
+			"compile-cache": true, "no-join-reorder": true,
+			"no-db-indexes": true, "no-hash-join": true,
+		}
+		fs.Visit(func(f *flag.Flag) {
+			if localOnly[f.Name] {
+				log.Fatalf("sql: -%s is not supported over -connect (the server's configuration governs it)", f.Name)
+			}
+		})
+		runSQLRemote(*connect, *query, *eps, *delta, *stream)
+		return
+	}
+	if *data == "" {
+		log.Fatal("sql: -data (or -connect) is required")
 	}
 	d, err := arithdb.LoadDatabase(*data)
 	if err != nil {
@@ -166,6 +195,46 @@ func runSQL(args []string) {
 	fmt.Printf("%d candidate tuples (%d derivations)\n", len(res.Candidates), res.Derivations)
 	for _, c := range res.Candidates {
 		printMeasure(c.Tuple, c.Measure)
+	}
+}
+
+// runSQLRemote runs the query on an arithdbd server through the wire
+// client. Responses are lossless, so the printed tuples and measures are
+// exactly what a local session over the server's database would print.
+func runSQLRemote(base, query string, eps, delta float64, stream bool) {
+	c := client.New(base)
+	ctx := context.Background()
+	printWire := func(wc wire.MeasuredCandidate) {
+		tuple, err := wire.ToTuple(wc.Tuple)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "approx"
+		if wc.Measure.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("%-24s μ = %.4f  [%s, %s]\n", tuple, wc.Measure.Value, kind, wc.Measure.Method)
+	}
+	if stream {
+		// Top-k candidates render as the server finalizes them; the
+		// summary line arrives with the terminal done event.
+		done, err := c.MeasureSQLStream(ctx, query, eps, delta, func(ev wire.Event) error {
+			printWire(*ev.Candidate)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d candidate tuples (%d derivations)\n", done.Count, done.Derivations)
+		return
+	}
+	res, err := c.MeasureSQL(ctx, query, eps, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d candidate tuples (%d derivations)\n", res.Count, res.Derivations)
+	for _, wc := range res.Candidates {
+		printWire(wc)
 	}
 }
 

@@ -1,0 +1,117 @@
+// Command arithdbd is the multi-user arithdb server: it loads (or
+// generates) one incomplete database, builds its indexes and inventories
+// once, and serves the HTTP/JSON wire protocol of internal/server —
+// MeasureSQL with optional streaming top-k delivery, the Figure 1
+// experiment workloads, and schema introspection — to any number of
+// concurrent clients, with admission control on the measurement pool.
+//
+//	arithdbd -data DIR [-addr :8080] [-max-inflight N] [-workers N]
+//	         [-queue-timeout 2s] [-seed S] [-min-eps 0.005]
+//	arithdbd -gen 20000 ...       # synthetic sales database instead of -data
+//
+// Clients: `arithdb sql -connect http://host:8080 -query "SELECT ..."`,
+// or any HTTP client (see README "Server mode" for the endpoints).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	arithdb "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arithdbd: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		data         = flag.String("data", "", "database directory (written by datagen or SaveDatabase)")
+		gen          = flag.Int("gen", 0, "serve a synthetic sales database with N products instead of -data (orders = 0.8N, market = 0.2N)")
+		genSeed      = flag.Int64("gen-seed", 2020, "seed of the synthetic database")
+		genNullRate  = flag.Float64("gen-nullrate", 0.1, "numerical null rate of the synthetic database")
+		seed         = flag.Int64("seed", 1, "engine seed: fixes every response bit-for-bit")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently measuring requests (0 = max(2, GOMAXPROCS)); further requests queue")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max queue wait before a 429")
+		workers      = flag.Int("workers", 0, "per-request measurement worker budget (0 = GOMAXPROCS / max-inflight)")
+		minEps       = flag.Float64("min-eps", 0.005, "smallest accepted eps (sampling cost grows as eps^-2)")
+		compileCache = flag.Int("compile-cache", 0, "cross-request compiled-kernel cache entries (0 = default 1024)")
+		shutdownWait = flag.Duration("shutdown-wait", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	var (
+		d   *arithdb.Database
+		err error
+	)
+	switch {
+	case *data != "" && *gen > 0:
+		log.Fatal("-data and -gen are mutually exclusive")
+	case *data != "":
+		d, err = arithdb.LoadDatabase(*data)
+	case *gen > 0:
+		d, err = arithdb.GenerateSales(arithdb.SalesConfig{
+			Seed: *genSeed, Products: *gen, Orders: *gen * 4 / 5, Market: *gen / 5,
+			Segments: *gen / 10, NullRate: *genNullRate,
+		})
+	default:
+		log.Fatal("one of -data or -gen is required")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB: d,
+		Engine: arithdb.EngineOptions{
+			Seed:             *seed,
+			PoolWorkers:      *workers,
+			CompileCacheSize: *compileCache,
+		},
+		MaxInflight:     *maxInflight,
+		QueueTimeout:    *queueTimeout,
+		MinEps:          *minEps,
+		KernelCacheSize: *compileCache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("serving %d tuples on http://%s", d.Size(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("draining (up to %s)...", *shutdownWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "arithdbd: bye")
+}

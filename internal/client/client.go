@@ -1,0 +1,207 @@
+// Package client is the Go client of the arithdb server wire protocol
+// (internal/server). It is what `arithdb sql -connect` and the end-to-end
+// tests speak; responses are lossless, so a client-side result is
+// bit-identical to the Session call the server ran.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Client talks to one arithdbd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewWith returns a client using the given http.Client (tests inject the
+// in-process listener's client).
+func NewWith(base string, hc *http.Client) *Client {
+	c := New(base)
+	if hc != nil {
+		c.hc = hc
+	}
+	return c
+}
+
+// ServerError is a structured non-2xx response.
+type ServerError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d, %s)", e.Msg, e.Status, e.Code)
+}
+
+// IsBusy reports whether the server shed this request under admission
+// control (queue timeout or shutdown drain) — the retryable overload
+// responses.
+func IsBusy(err error) bool {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	se := &ServerError{Status: resp.StatusCode, Code: wire.CodeInternal}
+	var er wire.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
+		se.Msg = er.Error
+		if er.Code != "" {
+			se.Code = er.Code
+		}
+	} else {
+		se.Msg = resp.Status
+	}
+	return se
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Info fetches the served database's schema and null inventory.
+func (c *Client) Info(ctx context.Context) (*wire.InfoResponse, error) {
+	var out wire.InfoResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/info", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MeasureSQL runs the fused measure pipeline on the server and returns
+// the buffered result. Zero eps/delta take the server defaults.
+func (c *Client) MeasureSQL(ctx context.Context, sql string, eps, delta float64) (*wire.MeasureResponse, error) {
+	var out wire.MeasureResponse
+	req := wire.MeasureRequest{SQL: sql, Eps: eps, Delta: delta}
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/sql/measure", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MeasureSQLStream runs the fused pipeline with incremental delivery:
+// yield receives each candidate event in candidate order as the server
+// finalizes it. The terminal "done" event is returned; a terminal
+// "error" event (or a yield error) aborts with that error.
+func (c *Client) MeasureSQLStream(ctx context.Context, sql string, eps, delta float64, yield func(ev wire.Event) error) (*wire.Event, error) {
+	blob, err := json.Marshal(wire.MeasureRequest{SQL: sql, Eps: eps, Delta: delta, Stream: true})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sql/measure", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: bad stream event: %w", err)
+		}
+		switch ev.Event {
+		case wire.EventCandidate:
+			if ev.Candidate == nil {
+				return nil, fmt.Errorf("client: candidate event %d without a candidate payload", ev.Idx)
+			}
+			if err := yield(ev); err != nil {
+				return nil, err
+			}
+		case wire.EventDone:
+			return &ev, nil
+		case wire.EventError:
+			return nil, &ServerError{Status: http.StatusOK, Code: wire.CodeInternal, Msg: ev.Error}
+		default:
+			return nil, fmt.Errorf("client: unknown stream event %q", ev.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("client: stream ended without a done event")
+}
+
+// Experiments lists the server's Figure 1 workloads.
+func (c *Client) Experiments(ctx context.Context) (*wire.ExperimentsResponse, error) {
+	var out wire.ExperimentsResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RunExperiment runs one Figure 1 workload on the server.
+func (c *Client) RunExperiment(ctx context.Context, id string, eps, delta float64) (*wire.ExperimentRunResponse, error) {
+	var out wire.ExperimentRunResponse
+	req := wire.ExperimentRunRequest{ID: id, Eps: eps, Delta: delta}
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/experiments/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 
 	"repro/internal/realfmla"
@@ -36,11 +35,11 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 	if n == 0 {
 		return results, errs
 	}
-	workers := runtime.GOMAXPROCS(0)
+	o := opts.withDefaults()
+	workers := o.poolWorkers()
 	if workers > n {
 		workers = n
 	}
-	o := opts.withDefaults()
 	// One shared compiled-kernel cache per batch: duplicate formulas
 	// compile once, and sharing cannot change values (see kernelCache).
 	var kernels *kernelCache

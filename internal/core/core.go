@@ -94,6 +94,14 @@ type Options struct {
 	// Workers (the same contract MeasureBatch documents across items).
 	// 0 uses GOMAXPROCS; 1 samples on the calling goroutine.
 	Workers int
+	// PoolWorkers bounds the concurrency of the candidate-measurement
+	// pools (MeasureSQL, MeasureSQLStream, MeasureBatch): the number of
+	// goroutines measuring candidates at once. 0 uses GOMAXPROCS. Like
+	// Workers it never changes results — per-candidate engines are seeded
+	// by candidate index — only scheduling; a multi-user server sets it
+	// as the per-request worker budget so one request cannot monopolize
+	// the machine.
+	PoolWorkers int
 	// CompileCacheSize bounds the engine's compiled-formula cache: the
 	// variable-reduced, kernel-compiled form of each measured formula is
 	// kept keyed by formula identity, so ε-sweeps over the same candidate
@@ -178,6 +186,39 @@ func (e *Engine) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// poolWorkers resolves Options.PoolWorkers to a concrete measurement-pool
+// width.
+func (o Options) poolWorkers() int {
+	if o.PoolWorkers > 0 {
+		return o.PoolWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Kernels is a concurrency-safe cache of immutable compiled formula
+// kernels that can be shared across engines. Engines themselves are
+// single-goroutine, but a multi-user server creates one engine per
+// request over the same database and the same workload; handing every
+// request engine one shared Kernels (UseKernels) makes repeated queries
+// and ε-sweeps compile each candidate constraint once per server instead
+// of once per request. Sharing cannot change measured values: kernels
+// are immutable and all sampling state is per-engine.
+type Kernels = kernelCache
+
+// NewKernels returns a shared kernel cache holding up to capacity
+// compiled formulas (0 uses the default of 1024).
+func NewKernels(capacity int) *Kernels {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return newKernelCache(capacity)
+}
+
+// UseKernels makes the engine resolve compiled kernels through kc — both
+// for its own measurements and for the per-candidate engines of its
+// measurement pools. Call it right after New, before any measurement.
+func (e *Engine) UseKernels(kc *Kernels) { e.shared = kc }
 
 // kernel is the immutable, preprocessed form of a measured formula:
 // reduced to its relevant variables (Section 9) and kernel-compiled for

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/db"
 	"repro/internal/exec"
@@ -75,77 +74,26 @@ type SQLMeasured struct {
 // kernelCache), so repeated MeasureSQL calls and ε-sweeps on one engine
 // compile each candidate constraint once instead of once per call;
 // kernels are immutable, so sharing cannot change the measured values.
+//
+// MeasureSQL is the buffering collector over MeasureSQLStream — the
+// streaming form that delivers candidates incrementally in this exact
+// order — so the two are bit-identical by construction.
 func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
-	if err := checkEpsDelta(eps, delta); err != nil {
-		return nil, err
-	}
-	p, err := plan.Build(q, d, e.planOptions())
+	return e.MeasureSQLContext(context.Background(), q, d, eps, delta)
+}
+
+// MeasureSQLContext is MeasureSQL with cancellation: when ctx is
+// cancelled, remaining candidate measurements are skipped and the call
+// returns ctx.Err() (see MeasureSQLStream).
+func (e *Engine) MeasureSQLContext(ctx context.Context, q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
+	out := &SQLMeasured{}
+	info, err := e.MeasureSQLStream(ctx, q, d, eps, delta, func(idx int, c MeasuredCandidate) error {
+		out.Candidates = append(out.Candidates, c)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	type job struct {
-		idx  int
-		cand exec.Candidate
-	}
-	workers := runtime.GOMAXPROCS(0)
-	jobs := make(chan job, workers)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		measures = make(map[int]Result)
-		firstErr error
-	)
-	o := e.opts // seeds/toggles snapshot; per-candidate engines derive from it
-	kernels := e.poolKernels()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				eng := New(itemOptions(o, j.idx))
-				eng.shared = kernels
-				r, err := eng.MeasureFormula(j.cand.Phi, eps, delta)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-				} else {
-					measures[j.idx] = r
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-
-	out := &SQLMeasured{NullIDs: p.NullIDs, Index: p.Index}
-	res, sat, runErr := exec.Aggregate(p, d, e.execOptions(), func(idx int, c exec.Candidate) {
-		jobs <- job{idx: idx, cand: c}
-	})
-	var cands []exec.Candidate
-	if runErr == nil {
-		out.Derivations = res.Derivations
-		cands = res.Candidates
-		for i, c := range cands {
-			if !sat[i] { // saturated candidates were dispatched mid-enumeration
-				jobs <- job{idx: i, cand: c}
-			}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if len(cands) > 0 {
-		out.Candidates = make([]MeasuredCandidate, len(cands))
-		for i, c := range cands {
-			out.Candidates[i] = MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: measures[i]}
-		}
-	}
+	out.NullIDs, out.Index, out.Derivations = info.NullIDs, info.Index, info.Derivations
 	return out, nil
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlast"
+)
+
+// SQLStreamInfo summarizes a completed MeasureSQLStream run: the shape
+// metadata of SQLMeasured without the candidate slice (the candidates
+// were delivered through yield).
+type SQLStreamInfo struct {
+	// Count is the number of candidates delivered (after LIMIT).
+	Count int
+	// NullIDs / Index / Derivations as in exec.Result.
+	NullIDs     []int
+	Index       map[int]int
+	Derivations int
+}
+
+// MeasureSQLStream is the streaming form of MeasureSQL: instead of
+// buffering the full result, every measured candidate is handed to yield
+// as soon as it is final, in candidate order (the first-derivation order
+// of the slice API). A server can therefore deliver top-k answers
+// incrementally while enumeration and measurement are still running:
+// candidates whose constraint saturates to true mid-join are measured and
+// — once every earlier candidate has also finalized — delivered before
+// the join completes.
+//
+// yield is called sequentially from a single internal goroutine (never
+// concurrently with itself), not from the caller's goroutine, which is
+// busy driving enumeration. Indices are strictly consecutive from 0; the
+// sequence of (idx, candidate) pairs is exactly MeasureSQL's Candidates
+// slice, bit-identical measures included — the same per-candidate engine
+// seeding (itemOptions) and shared kernel cache are used, so streaming
+// delivery cannot change results. If yield returns an error, delivery
+// stops and MeasureSQLStream returns that error after the in-flight
+// pipeline drains (measurement of remaining candidates still completes;
+// it is bounded by the query's candidate set).
+//
+// Cancelling ctx stops the work promptly: enumeration aborts at the
+// next poll (every few thousand derivations — see exec.Options.Interrupt),
+// workers skip the sampling of every not-yet-measured candidate,
+// delivery stops, and MeasureSQLStream returns ctx.Err(). A server hands
+// the request context here so an abandoned connection frees its
+// admission slot instead of computing results nobody reads.
+//
+// A slow yield exerts backpressure end to end: the measurement pool and
+// ultimately enumeration block rather than buffering unboundedly.
+func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Database, eps, delta float64, yield func(idx int, c MeasuredCandidate) error) (*SQLStreamInfo, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q, d, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		idx  int
+		cand exec.Candidate
+	}
+	type measured struct {
+		idx  int
+		cand exec.Candidate
+		res  Result
+		err  error
+	}
+	workers := e.opts.poolWorkers()
+	jobs := make(chan job, workers)
+	results := make(chan measured, workers)
+	var wg sync.WaitGroup
+	o := e.opts // seeds/toggles snapshot; per-candidate engines derive from it
+	kernels := e.poolKernels()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					results <- measured{idx: j.idx, cand: j.cand, err: err}
+					continue
+				}
+				eng := New(itemOptions(o, j.idx))
+				eng.shared = kernels
+				r, err := eng.MeasureFormula(j.cand.Phi, eps, delta)
+				results <- measured{idx: j.idx, cand: j.cand, res: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The emitter restores candidate order: measurements finish out of
+	// order (saturated candidates mid-enumeration, the rest as the pool
+	// drains), so results are parked until every earlier index has been
+	// delivered. Error fields are written only here and read only after
+	// emitDone, so Wait orders the accesses.
+	var (
+		emitDone   = make(chan struct{})
+		yieldErr   error
+		measureErr error
+	)
+	go func() {
+		defer close(emitDone)
+		pending := make(map[int]measured)
+		next := 0
+		for m := range results {
+			if m.err != nil {
+				if measureErr == nil {
+					measureErr = m.err
+				}
+				continue
+			}
+			pending[m.idx] = m
+			for {
+				mm, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if yieldErr == nil && measureErr == nil {
+					if err := yield(next, MeasuredCandidate{Tuple: mm.cand.Tuple, Phi: mm.cand.Phi, Measure: mm.res}); err != nil {
+						yieldErr = err
+					}
+				}
+				next++
+			}
+		}
+	}()
+
+	info := &SQLStreamInfo{NullIDs: p.NullIDs, Index: p.Index}
+	eo := e.execOptions()
+	eo.Interrupt = ctx.Err // abort enumeration too, not just measurement
+	res, sat, runErr := exec.Aggregate(p, d, eo, func(idx int, c exec.Candidate) {
+		jobs <- job{idx: idx, cand: c}
+	})
+	if runErr == nil {
+		info.Derivations = res.Derivations
+		info.Count = len(res.Candidates)
+		for i, c := range res.Candidates {
+			if !sat[i] { // saturated candidates were dispatched mid-enumeration
+				jobs <- job{idx: i, cand: c}
+			}
+		}
+	}
+	close(jobs)
+	<-emitDone
+	if runErr != nil {
+		return nil, runErr
+	}
+	if measureErr != nil {
+		return nil, measureErr
+	}
+	if yieldErr != nil {
+		return nil, yieldErr
+	}
+	return info, nil
+}

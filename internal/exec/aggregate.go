@@ -273,10 +273,19 @@ func (f *fusedAgg) finish() ([]Candidate, []bool) {
 // order first (see Run), then aggregate; results are identical.
 func Aggregate(p *plan.Plan, d *db.Database, opts Options, onSaturated func(int, Candidate)) (*Result, []bool, error) {
 	res := &Result{NullIDs: p.NullIDs, Index: p.Index}
+	// interruptEvery trades poll cost against abort latency: checking a
+	// context every ~4k derivations is invisible in the profile but
+	// bounds how long a cancelled query keeps enumerating.
+	const interruptEvery = 4096
 	if !p.Identity {
 		ag := NewAggregator(p.Limit, onSaturated)
 		if err := Run(p, d, opts, func(dv *Deriv) error {
 			res.Derivations++
+			if opts.Interrupt != nil && res.Derivations%interruptEvery == 0 {
+				if err := opts.Interrupt(); err != nil {
+					return err
+				}
+			}
 			ag.Add(dv)
 			return nil
 		}); err != nil {
@@ -293,6 +302,11 @@ func Aggregate(p *plan.Plan, d *db.Database, opts Options, onSaturated func(int,
 	f := newFusedAgg(p.Limit, onSaturated)
 	for cur.advance() {
 		res.Derivations++
+		if opts.Interrupt != nil && res.Derivations%interruptEvery == 0 {
+			if err := opts.Interrupt(); err != nil {
+				return nil, nil, err
+			}
+		}
 		f.add(cur)
 	}
 	if cur.err != nil {

@@ -48,6 +48,12 @@ type Options struct {
 	// becomes a full scan with residual condition checks — the naive
 	// nested-loop baseline.
 	NoHashJoin bool
+	// Interrupt, when set, is polled every few thousand derivations
+	// during aggregation; a non-nil return aborts the run with that
+	// error. Servers wire a request context's Err here so an abandoned
+	// query stops enumerating (the join space can be enormous) instead
+	// of running to completion for nobody.
+	Interrupt func() error
 }
 
 // Deriv is one derivation: a surviving join combination. Tuple is the

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control errors, mapped to HTTP 429 and 503 by the handlers.
+var (
+	// ErrBusy: the measurement pool stayed saturated for the whole queue
+	// timeout. Clients should back off and retry.
+	ErrBusy = errors.New("server: too many in-flight measurements, try again later")
+	// ErrShuttingDown: the server is draining and admits no new work.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// gate is the admission controller: a counting semaphore over the
+// expensive (measuring) endpoints, with a bounded queue wait and a drain
+// mode for graceful shutdown. Overload therefore degrades into prompt,
+// structured 429s instead of an unbounded goroutine/heap pileup.
+type gate struct {
+	slots    chan struct{} // capacity = max in-flight; a held slot = one running request
+	draining chan struct{} // closed on shutdown
+	closed   atomic.Bool
+}
+
+func newGate(maxInflight int) *gate {
+	return &gate{
+		slots:    make(chan struct{}, maxInflight),
+		draining: make(chan struct{}),
+	}
+}
+
+// acquire claims a slot, waiting up to timeout. It fails fast with
+// ErrShuttingDown once shutdown began, with ErrBusy when the pool stays
+// full, and with ctx.Err() when the client gives up first.
+func (g *gate) acquire(ctx context.Context, timeout time.Duration) error {
+	if g.closed.Load() {
+		return ErrShuttingDown
+	}
+	// Fast path: a free slot costs no timer.
+	select {
+	case g.slots <- struct{}{}:
+		return g.admitted()
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.admitted()
+	case <-g.draining:
+		return ErrShuttingDown
+	case <-timer.C:
+		return ErrBusy
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitted confirms a freshly won slot: if shutdown began while this
+// acquire was racing for it (the select can pick the slot case even with
+// draining closed), hand the slot back so the drain completes and the
+// request is shed as documented.
+func (g *gate) admitted() error {
+	if g.closed.Load() {
+		g.release()
+		return ErrShuttingDown
+	}
+	return nil
+}
+
+func (g *gate) release() { <-g.slots }
+
+// shutdown stops admitting work and waits until every held slot is
+// released (or ctx expires). Safe to call once.
+func (g *gate) shutdown(ctx context.Context) error {
+	g.closed.Store(true)
+	close(g.draining)
+	for i := 0; i < cap(g.slots); i++ {
+		select {
+		case g.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// TestGate: the admission semaphore in isolation — queue timeout, client
+// abandonment, and drain.
+func TestGate(t *testing.T) {
+	g := newGate(1)
+	ctx := context.Background()
+	if err := g.acquire(ctx, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx, 5*time.Millisecond); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full gate: %v, want ErrBusy", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := g.acquire(canceled, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled client: %v, want context.Canceled", err)
+	}
+	g.release()
+	if err := g.acquire(ctx, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain: shutdown blocks until the held slot is released, then
+	// further acquires fail fast.
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(released)
+		g.release()
+	}()
+	if err := g.shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-released:
+	default:
+		t.Fatal("shutdown returned before the in-flight slot was released")
+	}
+	if err := g.acquire(ctx, time.Minute); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("drained gate: %v, want ErrShuttingDown", err)
+	}
+
+	// A drain deadline is honored: shutdown of a gate whose slot is never
+	// released gives up with the context's error.
+	g2 := newGate(1)
+	if err := g2.acquire(ctx, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	expired, cancelExpired := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancelExpired()
+	if err := g2.shutdown(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired drain: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestServerAdmissionControl: with the pool saturated, queued requests
+// come back as prompt structured 429s — not OOM, not hangs — and the
+// server keeps answering once the slot frees.
+func TestServerAdmissionControl(t *testing.T) {
+	s, c, _ := newTestServer(t, Config{
+		Engine:       core.Options{Seed: 7},
+		MaxInflight:  1,
+		QueueTimeout: 20 * time.Millisecond,
+	})
+	hold := make(chan struct{})
+	admitted := make(chan struct{}, 4)
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-hold
+	}
+
+	ctx := context.Background()
+	src := testWorkloads[4]
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.MeasureSQL(ctx, src, 0.05, 0.25)
+		slowDone <- err
+	}()
+	<-admitted // the one slot is now held
+
+	start := time.Now()
+	_, err := c.MeasureSQL(ctx, src, 0.05, 0.25)
+	if !client.IsBusy(err) {
+		t.Fatalf("saturated pool: %v, want busy", err)
+	}
+	var se *client.ServerError
+	if !asServerError(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("saturated pool: %v, want HTTP 429", err)
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("shed took %v, want prompt rejection", wait)
+	}
+
+	close(hold)
+	s.testHookAdmitted = nil
+	if err := <-slowDone; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+	if _, err := c.MeasureSQL(ctx, src, 0.05, 0.25); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestServerShutdownDrain: Shutdown waits for in-flight work, then new
+// measure requests and health checks answer 503.
+func TestServerShutdownDrain(t *testing.T) {
+	s, c, _ := newTestServer(t, Config{
+		Engine:       core.Options{Seed: 7},
+		MaxInflight:  2,
+		QueueTimeout: 20 * time.Millisecond,
+	})
+	hold := make(chan struct{})
+	admitted := make(chan struct{}, 4)
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-hold
+	}
+	ctx := context.Background()
+	src := testWorkloads[4]
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := c.MeasureSQL(ctx, src, 0.05, 0.25)
+		inflight <- err
+	}()
+	<-admitted
+
+	// Shutdown must block on the in-flight request...
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(ctx) }()
+	select {
+	case <-shutdownDone:
+		t.Fatal("shutdown returned with a request in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(hold)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+
+	// Drained: new work is shed with 503s.
+	_, err := c.MeasureSQL(ctx, src, 0.05, 0.25)
+	var se *client.ServerError
+	if !asServerError(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("after shutdown: %v, want HTTP 503", err)
+	}
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health reported ok while draining")
+	}
+}
+
+// BenchmarkServerThroughput: end-to-end requests/second through the HTTP
+// stack, all clients hammering one shared database.
+func BenchmarkServerThroughput(b *testing.B) {
+	_, _, hts := newTestServer(b, Config{
+		Engine:      core.Options{Seed: 1},
+		MaxInflight: runtime.GOMAXPROCS(0),
+	})
+	src := `SELECT P.seg FROM Products P, Market M
+		WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 6`
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := client.NewWith(hts.URL, hts.Client())
+		for pb.Next() {
+			if _, err := c.MeasureSQL(ctx, src, 0.05, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

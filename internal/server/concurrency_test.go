@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestServerConcurrentDeterminism: N goroutine clients hammering one
+// shared Database with mixed queries and ε-sweeps must each get
+// bit-identical results regardless of interleaving. Run under -race this
+// is also the data-race probe of every shared structure: the database's
+// lazily built indexes and inventories, the cross-request kernel cache,
+// and the admission gate. (CI's race job runs the whole package.)
+func TestServerConcurrentDeterminism(t *testing.T) {
+	opts := core.Options{Seed: 11}
+	_, c, _ := newTestServer(t, Config{Engine: opts, MaxInflight: 4, QueueTimeout: 0})
+
+	// The workload mix: every query at several error levels (the ε-sweep
+	// shape that exercises the shared compiled-kernel cache).
+	type work struct {
+		src        string
+		eps, delta float64
+	}
+	var mix []work
+	for _, src := range testWorkloads {
+		for _, eps := range []float64{0.05, 0.1} {
+			mix = append(mix, work{src: src, eps: eps, delta: 0.25})
+		}
+	}
+	refs := make([]*core.SQLMeasured, len(mix))
+	for i, wk := range mix {
+		refs[i] = directMeasure(t, opts, wk.src, wk.eps, wk.delta)
+	}
+
+	const (
+		clients = 8
+		rounds  = 5
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g*rounds + r*3 + g) % len(mix) // staggered mix per client
+				wk := mix[i]
+				got, err := c.MeasureSQL(ctx, wk.src, wk.eps, wk.delta)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d round %d: %w", g, r, err)
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							errCh <- fmt.Errorf("client %d round %d: %v", g, r, p)
+						}
+					}()
+					assertParity(fatalToPanic{t}, fmt.Sprintf("client %d round %d mix %d", g, r, i), got, refs[i])
+				}()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// fatalToPanic adapts assertParity's testing.TB Fatalf onto panics so
+// worker goroutines (where t.Fatalf is illegal) can report through their
+// error channel.
+type fatalToPanic struct{ *testing.T }
+
+func (f fatalToPanic) Fatalf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
+func (f fatalToPanic) Fatal(args ...any)                 { panic(fmt.Sprint(args...)) }
+func (f fatalToPanic) Helper()                           {}

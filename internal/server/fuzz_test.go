@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/wire"
+)
+
+// fuzzServer serves a deliberately tiny database with tight admission
+// bounds, so no fuzzer-crafted request can demand more than trivial
+// work: the eps floor bounds sampling, MaxRelations bounds the join
+// space (6^4 derivations worst case), and MaxSQLLen/MaxBodyBytes bound
+// parsing.
+var fuzzServer = sync.OnceValue(func() *Server {
+	d, err := datagen.Generate(datagen.Config{
+		Seed: 2, Products: 6, Orders: 5, Market: 4, Segments: 2, NullRate: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := New(Config{
+		DB:           d,
+		Engine:       core.Options{Seed: 1},
+		MinEps:       0.05,
+		MinDelta:     1e-3,
+		MaxSQLLen:    2048,
+		MaxBodyBytes: 8 << 10,
+		MaxRelations: 4,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// fuzzStatuses are the only statuses the measure endpoint may produce:
+// anything else (a 500, or a panic unwound by net/http) fails the fuzz.
+var fuzzStatuses = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusBadRequest:            true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusTooManyRequests:       true,
+	http.StatusServiceUnavailable:    true,
+}
+
+// postMeasure drives the handler directly (no TCP) and checks the
+// response invariants: an allowed status and a structured body — JSON
+// for unary responses, one JSON event per line (ending in done/error)
+// for streams.
+func postMeasure(t *testing.T, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sql/measure", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	fuzzServer().ServeHTTP(rec, req)
+
+	if !fuzzStatuses[rec.Code] {
+		t.Fatalf("status %d for body %q", rec.Code, body)
+	}
+	raw := rec.Body.Bytes()
+	if len(bytes.TrimSpace(raw)) == 0 {
+		t.Fatalf("empty body, status %d, for %q", rec.Code, body)
+	}
+	if rec.Code != http.StatusOK {
+		var er wire.ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Fatalf("unstructured error (status %d): %q", rec.Code, raw)
+		}
+		return
+	}
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/x-ndjson") ||
+		strings.HasPrefix(rec.Header().Get("Content-Type"), "text/event-stream") {
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 || bytes.HasPrefix(line, []byte("event: ")) {
+				continue
+			}
+			line = bytes.TrimPrefix(line, []byte("data: "))
+			var ev wire.Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatalf("bad stream line %q: %v", line, err)
+			}
+		}
+		return
+	}
+	var res wire.MeasureResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("bad 200 body %q: %v", raw, err)
+	}
+	if res.Count != len(res.Candidates) {
+		t.Fatalf("count %d but %d candidates", res.Count, len(res.Candidates))
+	}
+}
+
+// FuzzMeasureRequest: arbitrary request bodies against the JSON decoder
+// and the full measure path — malformed input must come back as
+// structured errors, never panics, hangs, or unbounded work.
+func FuzzMeasureRequest(f *testing.F) {
+	f.Add([]byte(`{"sql":"SELECT P.id FROM Products P","eps":0.5,"delta":0.5}`))
+	f.Add([]byte(`{"sql":"SELECT P.id FROM Products P","stream":true,"includePhi":true}`))
+	f.Add([]byte(`{"sql":"SELECT P.seg FROM Products P, Market M WHERE P.seg = M.seg LIMIT 2","eps":0.5,"delta":0.5}`))
+	f.Add([]byte(`{"sql":""}`))
+	f.Add([]byte(`{"sql":"SELECT`))
+	f.Add([]byte(`{"sql":"SELECT P.id FROM Products P","eps":1e-308}`))
+	f.Add([]byte(`{"sql":"SELECT P.id FROM Products P","eps":-1,"delta":2}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"sql":"SELECT A.id FROM Products A, Products B, Products C, Products D, Products E"}`))
+	f.Add([]byte("{\"sql\":\"SELECT P.id FROM Products P WHERE P.rrp * P.rrp * P.rrp > 0\",\"eps\":0.5,\"delta\":0.5}"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		postMeasure(t, body)
+	})
+}
+
+// FuzzMeasureSQLString: arbitrary SQL strings through a well-formed
+// request — the parser, planner, and executor must reject or answer, not
+// panic.
+func FuzzMeasureSQLString(f *testing.F) {
+	f.Add("SELECT P.id FROM Products P")
+	f.Add("SELECT P.id, O.pid FROM Products P, Orders O WHERE P.id = O.pid LIMIT 3")
+	f.Add("SELECT M.seg FROM Market M WHERE M.rrp * M.dis <= 10")
+	f.Add("select p.ID from products p")
+	f.Add("SELECT * FROM Products")
+	f.Add("SELECT P.nope FROM Products P")
+	f.Add("SELECT P.id FROM Products P WHERE P.id = P.id AND NOT (P.rrp < 0)")
+	f.Add("SELECT P.id FROM Products P WHERE ((((((((P.rrp)))))))) > 1")
+	f.Add("SELECT 'a; DROP TABLE Products; --")
+	f.Add("ШЕLECT ⊥ FROM ⊤")
+	f.Add(strings.Repeat("(", 500))
+	f.Fuzz(func(t *testing.T, sql string) {
+		body, err := json.Marshal(wire.MeasureRequest{SQL: sql, Eps: 0.5, Delta: 0.5})
+		if err != nil {
+			t.Skip()
+		}
+		postMeasure(t, body)
+	})
+}

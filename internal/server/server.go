@@ -1,0 +1,552 @@
+// Package server is the multi-user HTTP/JSON front of the arithdb
+// pipeline: one shared immutable Database whose indexes and inventories
+// are built once and shared by every request, one engine (the Session
+// unit) per request, and a wire protocol around MeasureSQL.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /v1/info              schema and null inventory of the served DB
+//	POST /v1/sql/measure       fused measure pipeline; set "stream": true
+//	                           for incremental top-k delivery (NDJSON, or
+//	                           SSE under Accept: text/event-stream)
+//	GET  /v1/experiments       the paper's Figure 1 workloads
+//	POST /v1/experiments/run   run one workload, with wall time
+//
+// Responses are lossless (see package wire): a client reconstructs the
+// exact tuples and measures a direct Session call would return, bit for
+// bit, regardless of how many other clients are hammering the server —
+// per-candidate seeding makes measurement deterministic, and the shared
+// state (equality indexes, inventories, compiled-kernel cache) is
+// concurrency-safe and value-neutral.
+//
+// Admission control: the measuring endpoints pass through a counting
+// semaphore (MaxInflight) with a bounded queue wait (QueueTimeout);
+// saturation degrades into structured 429s, shutdown into 503s, and
+// per-request engines get a bounded measurement-pool budget
+// (Engine.PoolWorkers) so no single query monopolizes the machine.
+// Request bodies, SQL length, and the eps/delta sampling floors are
+// likewise bounded so malformed or adversarial requests fail fast with
+// structured errors.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/sqlast"
+	"repro/internal/sqlfront"
+	"repro/internal/wire"
+)
+
+// Config configures a Server. DB is required; everything else has
+// production-safe defaults.
+type Config struct {
+	// DB is the shared database. The server never mutates it; its lazily
+	// built indexes and inventories are concurrency-safe.
+	DB *db.Database
+	// Engine is the per-request engine configuration. A fixed Seed makes
+	// every response deterministic. PoolWorkers is the per-request
+	// measurement worker budget; 0 divides GOMAXPROCS by MaxInflight.
+	Engine core.Options
+	// MaxInflight bounds concurrently measuring requests; further
+	// requests queue. 0 uses max(2, GOMAXPROCS).
+	MaxInflight int
+	// QueueTimeout bounds how long an admitted-but-queued request waits
+	// for a slot before a 429. 0 uses 2s.
+	QueueTimeout time.Duration
+	// DefaultEps / DefaultDelta fill requests that omit eps/delta.
+	// Defaults: 0.01 / 0.05.
+	DefaultEps, DefaultDelta float64
+	// MinEps / MinDelta are request floors (sampling cost grows as ε⁻²,
+	// so an unbounded request could demand unbounded work).
+	// Defaults: 0.005 / 1e-6.
+	MinEps, MinDelta float64
+	// MaxBodyBytes / MaxSQLLen bound request size. Defaults: 1 MiB / 64 KiB.
+	MaxBodyBytes int64
+	MaxSQLLen    int
+	// MaxRelations bounds the FROM clause: the join space grows
+	// exponentially in it, so an unbounded query could demand unbounded
+	// work from a short request. Default 16.
+	MaxRelations int
+	// KernelCacheSize sizes the cross-request compiled-kernel cache.
+	// 0 uses the core default (1024).
+	KernelCacheSize int
+	// StreamWriteTimeout bounds how long one stream event may take to
+	// reach the client before the stream is aborted (a stalled reader
+	// would otherwise pin its admission slot forever). Default 30s.
+	StreamWriteTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = max(2, runtime.GOMAXPROCS(0))
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.DefaultEps <= 0 {
+		c.DefaultEps = 0.01
+	}
+	if c.DefaultDelta <= 0 {
+		c.DefaultDelta = 0.05
+	}
+	if c.MinEps <= 0 {
+		c.MinEps = 0.005
+	}
+	if c.MinDelta <= 0 {
+		c.MinDelta = 1e-6
+	}
+	// The floors win over the defaults: an operator raising MinEps above
+	// DefaultEps must not end up with a server whose own defaults 400.
+	if c.DefaultEps < c.MinEps {
+		c.DefaultEps = c.MinEps
+	}
+	if c.DefaultDelta < c.MinDelta {
+		c.DefaultDelta = c.MinDelta
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSQLLen <= 0 {
+		c.MaxSQLLen = 1 << 16
+	}
+	if c.MaxRelations <= 0 {
+		c.MaxRelations = 16
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 30 * time.Second
+	}
+	if c.Engine.PoolWorkers <= 0 {
+		c.Engine.PoolWorkers = max(1, runtime.GOMAXPROCS(0)/c.MaxInflight)
+	}
+	return c
+}
+
+// Server is an http.Handler serving the arithdb wire protocol.
+type Server struct {
+	cfg     Config
+	kernels *core.Kernels
+	gate    *gate
+	mux     *http.ServeMux
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// testHookAdmitted, when set, runs while a measure request holds its
+	// admission slot, before any work — tests use it to hold the pool
+	// saturated deterministically.
+	testHookAdmitted func()
+}
+
+// New returns a server over the shared database.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		kernels: core.NewKernels(cfg.KernelCacheSize),
+		gate:    newGate(cfg.MaxInflight),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("POST /v1/sql/measure", s.handleMeasure)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/experiments/run", s.handleExperimentRun)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops admitting new measure requests (they get 503s) and
+// waits until the in-flight ones drain or ctx expires. The HTTP listener
+// itself is the caller's to close (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.gate.shutdown(ctx) })
+	return s.shutdownErr
+}
+
+// engine builds the per-request engine: fresh (engines are
+// single-goroutine) but sharing the server-wide compiled-kernel cache.
+func (s *Server) engine() *core.Engine {
+	eng := core.New(s.cfg.Engine)
+	eng.UseKernels(s.kernels)
+	return eng
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, wire.ErrorResponse{Error: msg, Code: code})
+}
+
+// admissionError maps gate errors onto 429/503.
+func (s *Server) admissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, wire.CodeBusy, err.Error())
+	case errors.Is(err, ErrShuttingDown):
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, err.Error())
+	default: // client context expired while queued
+		s.writeError(w, 499, wire.CodeBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.gate.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	d := s.cfg.DB
+	info := wire.InfoResponse{
+		Tuples:    d.Size(),
+		BaseNulls: len(d.BaseNulls()),
+		NumNulls:  len(d.NumNulls()),
+	}
+	for _, rel := range d.Schema().Relations() {
+		ri := wire.RelationInfo{Name: rel.Name}
+		for _, col := range rel.Columns {
+			ri.Columns = append(ri.Columns, wire.ColumnInfo{Name: col.Name, Type: col.Type.String()})
+		}
+		info.Relations = append(info.Relations, ri)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// decodeBody reads a bounded JSON body, rejecting trailing garbage.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, wire.CodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// sampling validates and defaults an (eps, delta) pair against the
+// server floors.
+func (s *Server) sampling(w http.ResponseWriter, eps, delta float64) (float64, float64, bool) {
+	if eps == 0 {
+		eps = s.cfg.DefaultEps
+	}
+	if delta == 0 {
+		delta = s.cfg.DefaultDelta
+	}
+	switch {
+	case !(eps > 0 && eps <= 1): // also rejects NaN
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("eps must be in (0,1], got %g", eps))
+	case eps < s.cfg.MinEps:
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("eps %g below the server floor %g", eps, s.cfg.MinEps))
+	case !(delta > 0 && delta < 1):
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("delta must be in (0,1), got %g", delta))
+	case delta < s.cfg.MinDelta:
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("delta %g below the server floor %g", delta, s.cfg.MinDelta))
+	default:
+		return eps, delta, true
+	}
+	return 0, 0, false
+}
+
+// parseSQL validates and parses the request SQL.
+func (s *Server) parseSQL(w http.ResponseWriter, src string) (*sqlast.Query, bool) {
+	if src == "" {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "sql is required")
+		return nil, false
+	}
+	if len(src) > s.cfg.MaxSQLLen {
+		s.writeError(w, http.StatusRequestEntityTooLarge, wire.CodeBadRequest,
+			fmt.Sprintf("sql longer than the server limit of %d bytes", s.cfg.MaxSQLLen))
+		return nil, false
+	}
+	q, err := sqlfront.Parse(src)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return nil, false
+	}
+	if len(q.From) > s.cfg.MaxRelations {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("FROM lists %d relations, above the server limit of %d", len(q.From), s.cfg.MaxRelations))
+		return nil, false
+	}
+	return q, true
+}
+
+func toWireCandidate(c core.MeasuredCandidate, includePhi bool) wire.MeasuredCandidate {
+	out := wire.MeasuredCandidate{
+		Tuple:   wire.FromTuple(c.Tuple),
+		Measure: wire.FromResult(c.Measure),
+	}
+	if includePhi {
+		out.Phi = fmt.Sprint(c.Phi)
+	}
+	return out
+}
+
+// acquireSlot is the shared admission sequence of the measuring
+// endpoints: claim a gate slot (writing the 429/503 on failure) and run
+// the test hook. The caller must defer release when ok.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if err := s.gate.acquire(r.Context(), s.cfg.QueueTimeout); err != nil {
+		s.admissionError(w, err)
+		return nil, false
+	}
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+	return s.gate.release, true
+}
+
+// measureSQL runs the fused pipeline for an admitted request, bound to
+// the request context: a client that disconnects mid-measurement frees
+// its slot promptly instead of computing results nobody reads.
+func (s *Server) measureSQL(w http.ResponseWriter, r *http.Request, q *sqlast.Query, eps, delta float64) (*core.SQLMeasured, bool) {
+	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.cfg.DB, eps, delta)
+	switch {
+	case err == nil:
+		return res, true
+	case r.Context().Err() != nil:
+		// Client gone; best-effort status for the log, nobody reads it.
+		s.writeError(w, 499, wire.CodeBadRequest, err.Error())
+	default:
+		// The database and engine are fixed; at this point only the query
+		// can be at fault (unknown relation/column, ill-typed predicate).
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+	}
+	return nil, false
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req wire.MeasureRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	q, ok := s.parseSQL(w, req.SQL)
+	if !ok {
+		return
+	}
+	eps, delta, ok := s.sampling(w, req.Eps, req.Delta)
+	if !ok {
+		return
+	}
+	release, ok := s.acquireSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	if req.Stream {
+		s.streamMeasure(w, r, q, eps, delta, req.IncludePhi)
+		return
+	}
+	res, ok := s.measureSQL(w, r, q, eps, delta)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, toMeasureResponse(res, req.IncludePhi))
+}
+
+func toMeasureResponse(res *core.SQLMeasured, includePhi bool) wire.MeasureResponse {
+	out := wire.MeasureResponse{
+		Count:       len(res.Candidates),
+		Derivations: res.Derivations,
+		NullIDs:     res.NullIDs,
+		Candidates:  make([]wire.MeasuredCandidate, 0, len(res.Candidates)),
+	}
+	for _, c := range res.Candidates {
+		out.Candidates = append(out.Candidates, toWireCandidate(c, includePhi))
+	}
+	return out
+}
+
+// streamMeasure delivers candidates incrementally as the fused pipeline
+// finalizes them. Headers are written lazily with the first event, so
+// errors that precede any output remain clean HTTP error responses; an
+// error after partial output becomes a terminal "error" event.
+func (s *Server) streamMeasure(w http.ResponseWriter, r *http.Request, q *sqlast.Query, eps, delta float64, includePhi bool) {
+	ew := newEventWriter(w, strings.Contains(r.Header.Get("Accept"), "text/event-stream"),
+		s.cfg.StreamWriteTimeout)
+	defer ew.close()
+	// A failed event write (client gone, or the stall deadline fired)
+	// cancels the pipeline so remaining sampling is skipped and the
+	// admission slot frees promptly instead of measuring into the void.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	info, err := s.engine().MeasureSQLStream(ctx, q, s.cfg.DB, eps, delta,
+		func(idx int, c core.MeasuredCandidate) error {
+			wc := toWireCandidate(c, includePhi)
+			if err := ew.write(wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wc}); err != nil {
+				cancel()
+				return err
+			}
+			return nil
+		})
+	if err != nil {
+		if !ew.started {
+			status, code := http.StatusBadRequest, wire.CodeBadRequest
+			if r.Context().Err() != nil {
+				status = 499 // client gone before any output
+			}
+			s.writeError(w, status, code, err.Error())
+			return
+		}
+		_ = ew.write(wire.Event{Event: wire.EventError, Error: err.Error()})
+		return
+	}
+	_ = ew.write(wire.Event{
+		Event:       wire.EventDone,
+		Count:       info.Count,
+		Derivations: info.Derivations,
+		NullIDs:     info.NullIDs,
+	})
+}
+
+// eventWriter frames stream events as NDJSON lines or SSE messages and
+// flushes each one so clients see candidates as they finalize. Every
+// event renews a write deadline, so a stalled (open but unread)
+// connection turns into a write error — which aborts the stream and
+// frees its admission slot — instead of pinning the slot forever.
+type eventWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+	sse     bool
+	started bool
+}
+
+func newEventWriter(w http.ResponseWriter, sse bool, timeout time.Duration) *eventWriter {
+	return &eventWriter{w: w, rc: http.NewResponseController(w), timeout: timeout, sse: sse}
+}
+
+func (ew *eventWriter) write(ev wire.Event) error {
+	if ew.timeout > 0 {
+		// Best effort: recorders and exotic writers may not support
+		// deadlines; the stream still works, just without stall cutoff.
+		_ = ew.rc.SetWriteDeadline(time.Now().Add(ew.timeout))
+	}
+	if !ew.started {
+		if ew.sse {
+			ew.w.Header().Set("Content-Type", "text/event-stream")
+			ew.w.Header().Set("Cache-Control", "no-store")
+		} else {
+			ew.w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		ew.w.WriteHeader(http.StatusOK)
+		ew.started = true
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if ew.sse {
+		if _, err := fmt.Fprintf(ew.w, "event: %s\ndata: %s\n\n", ev.Event, blob); err != nil {
+			return err
+		}
+	} else {
+		if _, err := ew.w.Write(append(blob, '\n')); err != nil {
+			return err
+		}
+	}
+	_ = ew.rc.Flush()
+	return nil
+}
+
+// close clears the write deadline so it cannot leak into the next
+// response on a keep-alive connection (net/http only resets it itself
+// when Server.WriteTimeout is set).
+func (ew *eventWriter) close() {
+	if ew.started && ew.timeout > 0 {
+		_ = ew.rc.SetWriteDeadline(time.Time{})
+	}
+}
+
+// Experiments are the paper's Figure 1 decision-support workloads, run
+// against the served database (they expect the sales schema).
+var experiments = []wire.Experiment{
+	{ID: "1a", Name: "Competitive Advantage", SQL: datagen.CompetitiveAdvantage},
+	{ID: "1b", Name: "Never Knowingly Undersold", SQL: datagen.NeverKnowinglyUndersold},
+	{ID: "1c", Name: "Unfair Discount", SQL: datagen.UnfairDiscount},
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.ExperimentsResponse{Experiments: experiments})
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	var req wire.ExperimentRunRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var src string
+	for _, e := range experiments {
+		if e.ID == req.ID {
+			src = e.SQL
+			break
+		}
+	}
+	if src == "" {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("unknown experiment %q (want 1a, 1b or 1c)", req.ID))
+		return
+	}
+	q, ok := s.parseSQL(w, src)
+	if !ok {
+		return
+	}
+	eps, delta, ok := s.sampling(w, req.Eps, req.Delta)
+	if !ok {
+		return
+	}
+	release, ok := s.acquireSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	res, ok := s.measureSQL(w, r, q, eps, delta)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ExperimentRunResponse{
+		MeasureResponse: toMeasureResponse(res, false),
+		Seconds:         time.Since(start).Seconds(),
+	})
+}

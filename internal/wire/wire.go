@@ -1,0 +1,264 @@
+// Package wire defines the HTTP/JSON wire protocol spoken between the
+// arithdb server (internal/server, cmd/arithdbd) and its clients
+// (internal/client, arithdb -connect).
+//
+// The protocol is designed so a round trip is lossless: a client that
+// decodes a response reconstructs the exact value.Tuple and core.Result
+// a direct Session call would have produced, bit for bit. Numerical
+// constants therefore travel as shortest-round-trip decimal strings
+// (which also carry NaN, ±Inf and -0, none of which survive a bare JSON
+// number), and exact rational measures carry their numerator/denominator
+// text alongside the float.
+package wire
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// Value kinds on the wire.
+const (
+	KindBase     = "base"      // base-sort constant (Str)
+	KindNum      = "num"       // numerical constant (Num)
+	KindBaseNull = "base-null" // marked base null ⊥id (ID)
+	KindNumNull  = "num-null"  // marked numerical null ⊤id (ID)
+)
+
+// Value is one database value on the wire.
+type Value struct {
+	Kind string `json:"kind"`
+	// Str is the payload of a base constant.
+	Str string `json:"str,omitempty"`
+	// Num is the payload of a numerical constant, formatted with
+	// strconv.FormatFloat(v, 'g', -1, 64): decodes to the identical bits,
+	// including -0, and renders NaN and ±Inf where JSON numbers cannot.
+	Num string `json:"num,omitempty"`
+	// ID is the identifier of a marked null.
+	ID int `json:"id,omitempty"`
+}
+
+// FromValue encodes a database value.
+func FromValue(v value.Value) Value {
+	switch v.Kind() {
+	case value.BaseConst:
+		return Value{Kind: KindBase, Str: v.Str()}
+	case value.NumConst:
+		return Value{Kind: KindNum, Num: strconv.FormatFloat(v.Float(), 'g', -1, 64)}
+	case value.BaseNull:
+		return Value{Kind: KindBaseNull, ID: v.NullID()}
+	default:
+		return Value{Kind: KindNumNull, ID: v.NullID()}
+	}
+}
+
+// Value decodes the wire value.
+func (w Value) Value() (value.Value, error) {
+	switch w.Kind {
+	case KindBase:
+		return value.Base(w.Str), nil
+	case KindNum:
+		f, err := strconv.ParseFloat(w.Num, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("wire: bad numerical constant %q", w.Num)
+		}
+		return value.Num(f), nil
+	case KindBaseNull:
+		return value.NullBase(w.ID), nil
+	case KindNumNull:
+		return value.NullNum(w.ID), nil
+	}
+	return value.Value{}, fmt.Errorf("wire: unknown value kind %q", w.Kind)
+}
+
+// FromTuple encodes a tuple.
+func FromTuple(t value.Tuple) []Value {
+	out := make([]Value, len(t))
+	for i, v := range t {
+		out[i] = FromValue(v)
+	}
+	return out
+}
+
+// ToTuple decodes a tuple.
+func ToTuple(ws []Value) (value.Tuple, error) {
+	out := make(value.Tuple, len(ws))
+	for i, w := range ws {
+		v, err := w.Value()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Measure is a core.Result on the wire.
+type Measure struct {
+	// Value round-trips exactly: encoding/json emits the shortest decimal
+	// that parses back to the identical float64 (μ is always finite).
+	Value float64 `json:"value"`
+	// Rat is the exact rational value as "p/q" when the method is exact
+	// over the rationals.
+	Rat       string `json:"rat,omitempty"`
+	Exact     bool   `json:"exact"`
+	Method    string `json:"method"`
+	Samples   int    `json:"samples"`
+	K         int    `json:"k"`
+	RelevantK int    `json:"relevantK"`
+}
+
+// FromResult encodes a measure.
+func FromResult(r core.Result) Measure {
+	m := Measure{
+		Value:     r.Value,
+		Exact:     r.Exact,
+		Method:    string(r.Method),
+		Samples:   r.Samples,
+		K:         r.K,
+		RelevantK: r.RelevantK,
+	}
+	if r.Rat != nil {
+		m.Rat = r.Rat.RatString()
+	}
+	return m
+}
+
+// Result decodes the measure.
+func (m Measure) Result() (core.Result, error) {
+	r := core.Result{
+		Value:     m.Value,
+		Exact:     m.Exact,
+		Method:    core.Method(m.Method),
+		Samples:   m.Samples,
+		K:         m.K,
+		RelevantK: m.RelevantK,
+	}
+	if m.Rat != "" {
+		rat, ok := new(big.Rat).SetString(m.Rat)
+		if !ok {
+			return core.Result{}, fmt.Errorf("wire: bad rational %q", m.Rat)
+		}
+		r.Rat = rat
+	}
+	return r, nil
+}
+
+// MeasureRequest is the body of POST /v1/sql/measure.
+type MeasureRequest struct {
+	SQL string `json:"sql"`
+	// Eps/Delta are the additive error and failure probability; zero
+	// values take the server defaults. The server enforces floors so one
+	// request cannot demand unbounded sampling work.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Stream requests incremental delivery (NDJSON events, or SSE when
+	// the request prefers text/event-stream) instead of one JSON body.
+	Stream bool `json:"stream,omitempty"`
+	// IncludePhi adds each candidate's constraint, rendered as text, to
+	// the response.
+	IncludePhi bool `json:"includePhi,omitempty"`
+}
+
+// MeasuredCandidate is one measured candidate answer on the wire.
+type MeasuredCandidate struct {
+	Tuple   []Value `json:"tuple"`
+	Phi     string  `json:"phi,omitempty"`
+	Measure Measure `json:"measure"`
+}
+
+// MeasureResponse is the non-streaming response of POST /v1/sql/measure
+// (and the payload part of an experiment run).
+type MeasureResponse struct {
+	Candidates  []MeasuredCandidate `json:"candidates"`
+	Count       int                 `json:"count"`
+	Derivations int                 `json:"derivations"`
+	NullIDs     []int               `json:"nullIds,omitempty"`
+}
+
+// Stream event kinds.
+const (
+	EventCandidate = "candidate"
+	EventDone      = "done"
+	EventError     = "error"
+)
+
+// Event is one element of a streaming response. Candidates arrive in
+// candidate order with consecutive Idx from 0; the stream ends with
+// exactly one "done" (carrying the run summary) or one "error" event.
+type Event struct {
+	Event string `json:"event"`
+	// EventCandidate fields.
+	Idx       int                `json:"idx"`
+	Candidate *MeasuredCandidate `json:"candidate,omitempty"`
+	// EventDone fields.
+	Count       int   `json:"count"`
+	Derivations int   `json:"derivations"`
+	NullIDs     []int `json:"nullIds,omitempty"`
+	// EventError fields.
+	Error string `json:"error,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is a stable machine-readable cause: "bad-request", "busy",
+	// "shutting-down", "internal".
+	Code string `json:"code,omitempty"`
+}
+
+// Error codes.
+const (
+	CodeBadRequest   = "bad-request"
+	CodeBusy         = "busy"
+	CodeShuttingDown = "shutting-down"
+	CodeInternal     = "internal"
+)
+
+// ColumnInfo / RelationInfo / InfoResponse describe the served database
+// (GET /v1/info).
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "base" | "num"
+}
+
+type RelationInfo struct {
+	Name    string       `json:"name"`
+	Columns []ColumnInfo `json:"columns"`
+}
+
+type InfoResponse struct {
+	Relations []RelationInfo `json:"relations"`
+	Tuples    int            `json:"tuples"`
+	BaseNulls int            `json:"baseNulls"`
+	NumNulls  int            `json:"numNulls"`
+}
+
+// Experiment is one of the paper's decision-support workloads
+// (GET /v1/experiments).
+type Experiment struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// ExperimentsResponse lists the available experiments.
+type ExperimentsResponse struct {
+	Experiments []Experiment `json:"experiments"`
+}
+
+// ExperimentRunRequest is the body of POST /v1/experiments/run.
+type ExperimentRunRequest struct {
+	ID    string  `json:"id"`
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+}
+
+// ExperimentRunResponse is a measured experiment with its wall time.
+type ExperimentRunResponse struct {
+	MeasureResponse
+	Seconds float64 `json:"seconds"`
+}

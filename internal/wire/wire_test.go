@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// TestValueRoundTrip: every value kind survives the wire bit-for-bit,
+// including the floats JSON numbers cannot carry.
+func TestValueRoundTrip(t *testing.T) {
+	vals := value.Tuple{
+		value.Base(""),
+		value.Base("ACME Ltd. — ünïcode\n\"quotes\""),
+		value.Num(0),
+		value.Num(math.Copysign(0, -1)), // -0 stays distinct from +0
+		value.Num(3.5),
+		value.Num(1e-300),
+		value.Num(math.MaxFloat64),
+		value.Num(math.Inf(1)),
+		value.Num(math.Inf(-1)),
+		value.Num(math.NaN()),
+		value.Num(0.1 + 0.2), // not representable exactly in short decimal... except shortest-round-trip handles it
+		value.NullBase(0),
+		value.NullBase(12345),
+		value.NullNum(7),
+	}
+	blob, err := json.Marshal(FromTuple(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []Value
+	if err := json.Unmarshal(blob, &ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ToTuple(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("length %d, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if vals[i].Kind() != got[i].Kind() {
+			t.Fatalf("value %d: kind %v, want %v", i, got[i].Kind(), vals[i].Kind())
+		}
+		// Tuple.Key canonicalizes exactly the way candidate identity does
+		// (bit equality except NaN payloads, -0 ≠ +0).
+		if (value.Tuple{vals[i]}).Key() != (value.Tuple{got[i]}).Key() {
+			t.Fatalf("value %d: %v did not round-trip (got %v)", i, vals[i], got[i])
+		}
+	}
+	// Explicit -0 sign check: Key keeps the sign bit.
+	neg, _ := ws[3].Value()
+	if math.Signbit(neg.Float()) != true {
+		t.Fatal("-0 lost its sign on the wire")
+	}
+}
+
+// TestMeasureRoundTrip: core.Result survives, including exact rationals.
+func TestMeasureRoundTrip(t *testing.T) {
+	results := []core.Result{
+		{Value: 0.5, Rat: big.NewRat(1, 2), Exact: true, Method: core.MethodExactCells, K: 3, RelevantK: 2},
+		{Value: 1, Rat: big.NewRat(1, 1), Exact: true, Method: core.MethodTrivial, K: 0},
+		{Value: 0.123456789012345678, Method: core.MethodAFPRAS, Samples: 4711, K: 9, RelevantK: 4},
+		{Value: 0.7853981633974483, Exact: true, Method: core.MethodExactSector, K: 2, RelevantK: 2},
+	}
+	for i, r := range results {
+		blob, err := json.Marshal(FromResult(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Measure
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Value) != math.Float64bits(r.Value) {
+			t.Fatalf("result %d: value %v, want %v (bits differ)", i, got.Value, r.Value)
+		}
+		if got.Exact != r.Exact || got.Method != r.Method || got.Samples != r.Samples ||
+			got.K != r.K || got.RelevantK != r.RelevantK {
+			t.Fatalf("result %d: %+v, want %+v", i, got, r)
+		}
+		if (got.Rat == nil) != (r.Rat == nil) {
+			t.Fatalf("result %d: rat presence mismatch", i)
+		}
+		if got.Rat != nil && got.Rat.Cmp(r.Rat) != 0 {
+			t.Fatalf("result %d: rat %v, want %v", i, got.Rat, r.Rat)
+		}
+	}
+}
+
+// TestValueDecodeErrors: malformed wire values produce errors, not panics.
+func TestValueDecodeErrors(t *testing.T) {
+	bad := []Value{
+		{Kind: "banana"},
+		{Kind: KindNum, Num: "not-a-number"},
+		{Kind: KindNum, Num: ""},
+		{},
+	}
+	for i, w := range bad {
+		if _, err := w.Value(); err == nil {
+			t.Errorf("bad value %d decoded without error", i)
+		}
+	}
+	if _, err := (Measure{Rat: "1/0/oops"}).Result(); err == nil {
+		t.Error("bad rational decoded without error")
+	}
+}
+
+// FuzzValueRoundTrip: arbitrary JSON either fails to decode as a wire
+// value or round-trips losslessly; no input panics.
+func FuzzValueRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"kind":"base","str":"x"}`))
+	f.Add([]byte(`{"kind":"num","num":"-0"}`))
+	f.Add([]byte(`{"kind":"num","num":"NaN"}`))
+	f.Add([]byte(`{"kind":"num-null","id":3}`))
+	f.Add([]byte(`{"kind":"banana","id":-1}`))
+	f.Add([]byte(`[{"kind":"base-null","id":9}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Value
+		if err := json.Unmarshal(data, &w); err != nil {
+			return
+		}
+		v, err := w.Value()
+		if err != nil {
+			return
+		}
+		back, err := FromValue(v).Value()
+		if err != nil {
+			t.Fatalf("re-encoded value failed to decode: %v", err)
+		}
+		if (value.Tuple{v}).Key() != (value.Tuple{back}).Key() {
+			t.Fatalf("round trip changed %v to %v", v, back)
+		}
+	})
+}

@@ -9,19 +9,22 @@
 #   - BenchmarkSQLPipeline: naive/indexed/fused end-to-end pipelines over
 #     the columnar executor (allocs/op guarded by scripts/alloc_check.sh);
 #   - BenchmarkSQLPipelineSweep: repeated-MeasureSQL ε-sweep showing the
-#     shared compiled-kernel cache of the fused measurement pool.
+#     shared compiled-kernel cache of the fused measurement pool;
+#   - BenchmarkServerThroughput: end-to-end HTTP requests/second through
+#     the multi-user server (internal/server), all clients sharing one
+#     database under admission control.
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
-#   scripts/bench.sh                 # -bench 'Figure1|SQLPipeline' -benchtime 1s
+#   scripts/bench.sh                 # -bench 'Figure1|SQLPipeline|ServerThroughput' -benchtime 1s
 #   scripts/bench.sh Figure1a 5x     # quicker, single series
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline}"
+bench="${1:-Figure1|SQLPipeline|ServerThroughput}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 
-raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" .)"
+raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . ./internal/server)"
 printf '%s\n' "$raw"
 
 {

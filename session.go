@@ -1,6 +1,8 @@
 package arithdb
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -68,4 +70,22 @@ func (s *Session) MeasureSQL(src string, eps, delta float64) (*SQLMeasured, erro
 // MeasureSQLQuery is MeasureSQL over an already parsed query.
 func (s *Session) MeasureSQLQuery(q *SQLQuery, eps, delta float64) (*SQLMeasured, error) {
 	return s.engine.MeasureSQL(q, s.d, eps, delta)
+}
+
+// SQLStreamInfo summarizes a completed MeasureSQLStream run.
+type SQLStreamInfo = core.SQLStreamInfo
+
+// MeasureSQLStream is the streaming form of MeasureSQL: each measured
+// candidate is handed to yield as soon as it is final, in candidate
+// order, so callers can render top-k answers while enumeration and
+// measurement are still running. The delivered sequence is bit-identical
+// to MeasureSQL's Candidates slice; see Engine.MeasureSQLStream for the
+// yield contract (called sequentially from an internal goroutine) and
+// the cancellation semantics of ctx.
+func (s *Session) MeasureSQLStream(ctx context.Context, src string, eps, delta float64, yield func(idx int, c MeasuredSQLCandidate) error) (*SQLStreamInfo, error) {
+	q, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.MeasureSQLStream(ctx, q, s.d, eps, delta, yield)
 }
