@@ -44,6 +44,8 @@ func main() {
 		runSQL(os.Args[2:])
 	case "measure":
 		runMeasure(os.Args[2:])
+	case "insert":
+		runInsert(os.Args[2:])
 	case "info":
 		runInfo(os.Args[2:])
 	default:
@@ -59,6 +61,7 @@ func usage() {
   arithdb sql     -connect URL -query "SELECT ..." [-eps E] [-delta D] [-stream]
   arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N] [args...]
+  arithdb insert  (-data DIR | -connect URL) -rel R -tuple "v1,v2,..." [-tuple ...]
   arithdb info    -data DIR`)
 	os.Exit(2)
 }
@@ -316,6 +319,64 @@ func parseValue(s string) arithdb.Value {
 		return arithdb.Num(f)
 	}
 	return arithdb.Base(s)
+}
+
+// tupleFlags collects repeated -tuple "v1,v2,..." declarations; each
+// value is parsed like a measure argument (parseValue: _B<i>/_N<i> for
+// nulls, numbers as numerical constants, anything else as a base
+// constant — base constants containing commas need the Go API).
+type tupleFlags []arithdb.Tuple
+
+func (t *tupleFlags) String() string { return fmt.Sprintf("%v", []arithdb.Tuple(*t)) }
+
+func (t *tupleFlags) Set(s string) error {
+	parts := strings.Split(s, ",")
+	tup := make(arithdb.Tuple, len(parts))
+	for i, p := range parts {
+		tup[i] = parseValue(strings.TrimSpace(p))
+	}
+	*t = append(*t, tup)
+	return nil
+}
+
+// runInsert appends tuples to one relation — locally (load, insert
+// through the same incremental-maintenance path the library uses, save
+// back) or on a server (POST /v1/insert). Both forms are atomic: an
+// invalid tuple anywhere in the batch changes nothing.
+func runInsert(args []string) {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	data := fs.String("data", "", "database directory (written by datagen or SaveDatabase)")
+	connect := fs.String("connect", "", "arithdbd base URL: insert on a server instead of -data")
+	rel := fs.String("rel", "", "target relation")
+	var tuples tupleFlags
+	fs.Var(&tuples, "tuple", `tuple "v1,v2,..." (repeatable)`)
+	_ = fs.Parse(args)
+	if *rel == "" || len(tuples) == 0 {
+		log.Fatal("insert: -rel and at least one -tuple are required")
+	}
+	if (*data == "") == (*connect == "") {
+		log.Fatal("insert: exactly one of -data or -connect is required")
+	}
+	if *connect != "" {
+		res, err := client.New(*connect).Insert(context.Background(), *rel, tuples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("inserted %d tuples into %s (%d total, version %d)\n",
+			res.Inserted, *rel, res.Tuples, res.Version)
+		return
+	}
+	d, err := arithdb.LoadDatabase(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.InsertBatch(*rel, tuples); err != nil {
+		log.Fatal(err)
+	}
+	if err := arithdb.SaveDatabase(d, *data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d tuples into %s (%d total)\n", len(tuples), *rel, d.Len(*rel))
 }
 
 func runInfo(args []string) {

@@ -1,12 +1,13 @@
 // Command arithdbd is the multi-user arithdb server: it loads (or
-// generates) one incomplete database, builds its indexes and inventories
-// once, and serves the HTTP/JSON wire protocol of internal/server —
-// MeasureSQL with optional streaming top-k delivery, the Figure 1
+// generates) one incomplete database and serves the HTTP/JSON wire
+// protocol of internal/server — MeasureSQL with optional streaming top-k
+// delivery, atomic batch inserts (POST /v1/insert, incremental index
+// maintenance; queries pin copy-on-write snapshots), the Figure 1
 // experiment workloads, and schema introspection — to any number of
 // concurrent clients, with admission control on the measurement pool.
 //
 //	arithdbd -data DIR [-addr :8080] [-max-inflight N] [-workers N]
-//	         [-queue-timeout 2s] [-seed S] [-min-eps 0.005]
+//	         [-queue-timeout 2s] [-seed S] [-min-eps 0.005] [-read-only]
 //	arithdbd -gen 20000 ...       # synthetic sales database instead of -data
 //
 // Clients: `arithdb sql -connect http://host:8080 -query "SELECT ..."`,
@@ -46,6 +47,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "per-request measurement worker budget (0 = GOMAXPROCS / max-inflight)")
 		minEps       = flag.Float64("min-eps", 0.005, "smallest accepted eps (sampling cost grows as eps^-2)")
 		compileCache = flag.Int("compile-cache", 0, "cross-request compiled-kernel cache entries (0 = default 1024)")
+		readOnly     = flag.Bool("read-only", false, "disable POST /v1/insert (serve a frozen database)")
 		shutdownWait = flag.Duration("shutdown-wait", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -72,7 +74,8 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		DB: d,
+		DB:       d,
+		ReadOnly: *readOnly,
 		Engine: arithdb.EngineOptions{
 			Seed:             *seed,
 			PoolWorkers:      *workers,

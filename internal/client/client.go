@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/value"
 	"repro/internal/wire"
 )
 
@@ -115,6 +116,23 @@ func (c *Client) Health(ctx context.Context) error {
 func (c *Client) Info(ctx context.Context) (*wire.InfoResponse, error) {
 	var out wire.InfoResponse
 	if err := c.roundTrip(ctx, http.MethodGet, "/v1/info", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert commits a batch of tuples into one relation on the server. The
+// batch is atomic: the server validates every tuple before appending the
+// first, so either all commit (as one database version step) or none do.
+// Queries admitted after a successful Insert observe the new tuples; a
+// query already running keeps its pinned snapshot.
+func (c *Client) Insert(ctx context.Context, relation string, tuples []value.Tuple) (*wire.InsertResponse, error) {
+	req := wire.InsertRequest{Relation: relation, Tuples: make([][]wire.Value, len(tuples))}
+	for i, t := range tuples {
+		req.Tuples[i] = wire.FromTuple(t)
+	}
+	var out wire.InsertResponse
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/insert", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -2,8 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/db"
 	"repro/internal/fo"
@@ -70,7 +68,7 @@ func (e *Engine) additiveApprox(ent *compiledEntry, eps, delta float64) (Result,
 	// engine statistically independent while making the sample loop itself
 	// a pure function of (base, chunk index) — the property the parallel
 	// scheduler needs for worker-count-independent results.
-	base := e.rng.Int63()
+	base := e.drawBase()
 	hits := e.sampleAsym(ent, m, base)
 	return Result{
 		Value:     float64(hits) / float64(m),
@@ -135,45 +133,28 @@ func chunkLen(m, ch int) int {
 
 // sampleAsym counts, over m sampled Gaussian directions, how often the
 // entry's compiled formula holds asymptotically, fanning fixed-size
-// chunks of samples out over Options.Workers goroutines. Every worker
-// owns a private asymSampler, so the steady-state loop does not allocate;
-// the single-worker path reuses the entry's cached sampler across calls.
+// chunks of samples out over Options.Workers participants (the calling
+// goroutine plus the engine's persistent helper pool — see samplePool).
+// Every participant owns a private asymSampler and chunks are claimed
+// atomically, so the steady-state loop does not allocate at any worker
+// count; the single-worker path reuses the entry's cached sampler across
+// calls.
 func (e *Engine) sampleAsym(ent *compiledEntry, m int, base int64) int {
 	chunks := (m + asymChunkSize - 1) / asymChunkSize
 	workers := e.workers()
 	if workers > chunks {
 		workers = chunks
 	}
-	tol := e.opts.Tol
 	if workers <= 1 {
 		s := ent.sampler()
+		tol := e.opts.Tol
 		hits := 0
 		for ch := 0; ch < chunks; ch++ {
 			hits += s.chunk(mc.DeriveSeed(base, int64(ch)), chunkLen(m, ch), tol)
 		}
 		return hits
 	}
-	pool := ent.samplerPool(workers)
-	var next, total atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		s := pool[w]
-		go func() {
-			defer wg.Done()
-			hits := 0
-			for {
-				ch := int(next.Add(1)) - 1
-				if ch >= chunks {
-					break
-				}
-				hits += s.chunk(mc.DeriveSeed(base, int64(ch)), chunkLen(m, ch), tol)
-			}
-			total.Add(int64(hits))
-		}()
-	}
-	wg.Wait()
-	return int(total.Load())
+	return e.runParallel(ent, workers, m, chunks, base)
 }
 
 // AdditiveApproxDirect is the same additive-error scheme evaluated without
@@ -216,7 +197,7 @@ func (e *Engine) AdditiveApproxDirect(q *fo.Query, d *db.Database, args []value.
 	hits := 0
 	for i := 0; i < m; i++ {
 		for _, id := range ids {
-			dir[id] = e.rng.NormFloat64()
+			dir[id] = e.rand().NormFloat64()
 		}
 		if err := tmpl.SetDirection(dir); err != nil {
 			return Result{}, err

@@ -104,11 +104,11 @@ func (e *Engine) MeasureWithBackground(phi realfmla.Formula, bg Background, eps,
 		for j := 0; j < n; j++ {
 			switch {
 			case bounded[j]:
-				vals[j] = lo[j] + e.rng.Float64()*(hi[j]-lo[j])
+				vals[j] = lo[j] + e.rand().Float64()*(hi[j]-lo[j])
 			case sign[j] != 0:
-				vals[j] = sign[j] * math.Abs(e.rng.NormFloat64())
+				vals[j] = sign[j] * math.Abs(e.rand().NormFloat64())
 			default:
-				vals[j] = e.rng.NormFloat64()
+				vals[j] = e.rand().NormFloat64()
 			}
 		}
 		if ev.MixedAsymEval(vals, ray, e.opts.Tol) {
@@ -191,8 +191,8 @@ func (e *Engine) MeasureWithDistributions(phi realfmla.Formula, dists map[int]Di
 		ds[j] = d
 	}
 	ev := ent.sampler().ev
-	uniform := e.rng.Float64
-	normal := e.rng.NormFloat64
+	uniform := e.rand().Float64
+	normal := e.rand().NormFloat64
 	vals := make([]float64, n)
 	hits := 0
 	for i := 0; i < m; i++ {

@@ -21,13 +21,40 @@ func itemOptions(o Options, idx int) Options {
 	return o
 }
 
+// resetItem reconfigures a pooled per-item engine for one measurement.
+// The engine behaves bit-identically to New(o) with the same shared
+// kernel cache: the RNG source reseeds in place exactly as a fresh
+// source seeds, the compiled-entry cache holds only immutable kernels
+// plus sampling scratch that reseeds per chunk, and no other state
+// survives a measurement. Pooling the engines merely avoids rebuilding
+// the ~5 KB RNG state (and the engine allocation) per candidate.
+func (e *Engine) resetItem(o Options, kernels *kernelCache) {
+	e.opts = o.withDefaults()
+	e.reseedPending = true
+	e.memoServed = 0
+	e.shared = kernels
+}
+
+// itemEngine returns the w-th reusable pool engine of this engine's
+// measurement pools, creating it on first use. Each pool worker owns one
+// engine for the duration of a call; calls on the parent engine are
+// sequential, so reuse across calls is single-owner too.
+func (e *Engine) itemEngine(w int) *Engine {
+	for len(e.itemEngines) <= w {
+		eng := New(e.opts)
+		eng.seedMemo = make(map[int64]int64)
+		e.itemEngines = append(e.itemEngines, eng)
+	}
+	return e.itemEngines[w]
+}
+
 // MeasureBatch computes measures for many formulas concurrently — the
 // shape of the experiment pipeline, where every candidate tuple of a SQL
 // result needs its own confidence level. Engines are not safe for
-// concurrent use, so each formula gets its own engine, seeded
-// deterministically from the parent options and the formula's index:
-// results are identical to a sequential run regardless of scheduling.
-// A nil error slice entry means the corresponding result is valid.
+// concurrent use, so each formula is measured under its own per-index
+// seeding (itemOptions) on a worker-owned engine: results are identical
+// to a sequential run regardless of scheduling. A nil error slice entry
+// means the corresponding result is valid.
 func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]Result, []error) {
 	n := len(phis)
 	results := make([]Result, n)
@@ -52,9 +79,9 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := New(o)
 			for i := range next {
-				eng := New(itemOptions(o, i))
-				eng.shared = kernels
+				eng.resetItem(itemOptions(o, i), kernels)
 				results[i], errs[i] = eng.MeasureFormula(phis[i], eps, delta)
 			}
 		}()

@@ -158,12 +158,64 @@ type Engine struct {
 	// engine the pool owner's cache, so repeated calls and ε-sweeps reuse
 	// the immutable compiled kernels instead of recompiling per item.
 	shared *kernelCache
+	// pool is the persistent crew of parallel-sampling helpers (lazily
+	// started when Options.Workers > 1 — see samplePool).
+	pool *samplePool
+	// itemEngines are the reusable per-candidate engines of this engine's
+	// measurement pools (MeasureSQLStream): one per pool worker, reseeded
+	// per candidate (resetItem), bit-identical to freshly built ones.
+	itemEngines []*Engine
+
+	// Lazy reseeding of pooled item engines. resetItem only marks the
+	// reseed; the O(600)-word RNG seeding runs when a draw is actually
+	// needed, and the AFPRAS base draw — a pure function of the item seed,
+	// and in the common case the item's only draw — is memoized in
+	// seedMemo, so repeated queries skip reseeding entirely. memoServed
+	// counts memo-served draws so a later full-RNG user replays them and
+	// the stream stays bit-identical to a freshly seeded source.
+	reseedPending bool
+	memoServed    int
+	seedMemo      map[int64]int64
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
 	o := opts.withDefaults()
 	return &Engine{opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// rand returns the engine RNG, applying a pending item reseed first.
+// Draws already served from the base-seed memo (drawBase) are replayed,
+// so the stream matches a freshly seeded source exactly.
+func (e *Engine) rand() *rand.Rand {
+	if e.reseedPending {
+		e.rng.Seed(e.opts.Seed)
+		for i := 0; i < e.memoServed; i++ {
+			e.rng.Int63()
+		}
+		e.reseedPending = false
+		e.memoServed = 0
+	}
+	return e.rng
+}
+
+// drawBase draws the AFPRAS per-invocation base seed. On pooled item
+// engines, the first draw after a reset is memoized by item seed —
+// rand.Source seeding is deterministic, so the value is a pure function
+// of the seed and memoization cannot change results.
+func (e *Engine) drawBase() int64 {
+	if e.reseedPending && e.memoServed == 0 && e.seedMemo != nil {
+		if b, ok := e.seedMemo[e.opts.Seed]; ok {
+			e.memoServed = 1
+			return b
+		}
+		b := e.rand().Int63()
+		if len(e.seedMemo) < 1<<16 { // bound pathological seed churn
+			e.seedMemo[e.opts.Seed] = b
+		}
+		return b
+	}
+	return e.rand().Int63()
 }
 
 // poolKernels returns the engine's shared kernel cache for measurement

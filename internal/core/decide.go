@@ -197,7 +197,7 @@ func (e *Engine) satisfiableConj(conj realfmla.Conj, n int) ([]float64, bool, er
 		weights := make([]float64, len(points))
 		sum := 0.0
 		for i := range weights {
-			weights[i] = e.rng.Float64() + 1e-3
+			weights[i] = e.rand().Float64() + 1e-3
 			sum += weights[i]
 		}
 		w := make([]float64, n)

@@ -55,7 +55,7 @@ func (e *Engine) FPRAS(phi realfmla.Formula, eps float64) (Result, error) {
 	perPhase := clampInt(int(24/(eps*eps)), 2000, 400000)
 	union := clampInt(int(float64(len(bodies))*24/(eps*eps)), 4000, 2000000)
 
-	vol, err := geometry.UnionVolume(bodies, e.rng, geometry.UnionVolumeOptions{
+	vol, err := geometry.UnionVolume(bodies, e.rand(), geometry.UnionVolumeOptions{
 		Samples: union,
 		Volume:  geometry.VolumeOptions{SamplesPerPhase: perPhase},
 	})

@@ -18,6 +18,12 @@ import (
 // Sharing kernels cannot change results: compilation is a deterministic
 // pure function of the formula, kernels are immutable, and all sampling
 // state stays in per-engine compiledEntry scratch.
+//
+// Keys are formula fingerprints — pure formula identity, independent of
+// any database version — so a server-wide cache survives snapshot
+// swaps: after an insert, candidate constraints the new tuples did not
+// change hash to the same kernels and skip recompilation, and
+// constraints that did change simply miss and compile once.
 type kernelCache struct {
 	mu  sync.Mutex
 	cap int

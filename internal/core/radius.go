@@ -38,7 +38,7 @@ func (e *Engine) MuAtRadius(phi realfmla.Formula, r float64, samples int) (float
 	ev := ent.sampler().ev
 	hits := 0
 	for i := 0; i < samples; i++ {
-		x := mc.SampleBall(e.rng, n)
+		x := mc.SampleBall(e.rand(), n)
 		for j := range x {
 			x[j] *= r
 		}

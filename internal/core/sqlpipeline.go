@@ -86,14 +86,5 @@ func (e *Engine) MeasureSQL(q *sqlast.Query, d *db.Database, eps, delta float64)
 // cancelled, remaining candidate measurements are skipped and the call
 // returns ctx.Err() (see MeasureSQLStream).
 func (e *Engine) MeasureSQLContext(ctx context.Context, q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
-	out := &SQLMeasured{}
-	info, err := e.MeasureSQLStream(ctx, q, d, eps, delta, func(idx int, c MeasuredCandidate) error {
-		out.Candidates = append(out.Candidates, c)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out.NullIDs, out.Index, out.Derivations = info.NullIDs, info.Index, info.Derivations
-	return out, nil
+	return e.measureSQLBuffered(ctx, q, d, eps, delta)
 }

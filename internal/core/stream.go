@@ -31,25 +31,29 @@ type SQLStreamInfo struct {
 // — once every earlier candidate has also finalized — delivered before
 // the join completes.
 //
-// yield is called sequentially from a single internal goroutine (never
-// concurrently with itself), not from the caller's goroutine, which is
-// busy driving enumeration. Indices are strictly consecutive from 0; the
-// sequence of (idx, candidate) pairs is exactly MeasureSQL's Candidates
-// slice, bit-identical measures included — the same per-candidate engine
-// seeding (itemOptions) and shared kernel cache are used, so streaming
-// delivery cannot change results. If yield returns an error, delivery
-// stops and MeasureSQLStream returns that error after the in-flight
-// pipeline drains (measurement of remaining candidates still completes;
-// it is bounded by the query's candidate set).
+// yield is never called concurrently with itself. Indices are strictly
+// consecutive from 0; the sequence of (idx, candidate) pairs is exactly
+// MeasureSQL's Candidates slice, bit-identical measures included — every
+// candidate is measured by a per-candidate-seeded pool engine
+// (itemOptions; the engines themselves are pooled and reseeded, which
+// cannot change values) sharing this engine's compiled-kernel cache, so
+// streaming delivery cannot change results. If yield returns an error,
+// delivery stops and MeasureSQLStream returns that error once the
+// pipeline unwinds.
 //
 // Cancelling ctx stops the work promptly: enumeration aborts at the
 // next poll (every few thousand derivations — see exec.Options.Interrupt),
-// workers skip the sampling of every not-yet-measured candidate,
-// delivery stops, and MeasureSQLStream returns ctx.Err(). A server hands
+// the measurement of not-yet-measured candidates is skipped, delivery
+// stops, and MeasureSQLStream returns ctx.Err(). A server hands
 // the request context here so an abandoned connection frees its
 // admission slot instead of computing results nobody reads.
 //
-// A slow yield exerts backpressure end to end: the measurement pool and
+// With Options.PoolWorkers == 1 (or on a single-CPU host) the whole
+// pipeline runs inline on the calling goroutine — no worker goroutines,
+// channels, or per-candidate engine construction — so the fused pipeline
+// carries no concurrency overhead where concurrency cannot pay. Wider
+// pools fan candidates out over reusable worker engines; a slow yield
+// then exerts backpressure end to end: the measurement pool and
 // ultimately enumeration block rather than buffering unboundedly.
 func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Database, eps, delta float64, yield func(idx int, c MeasuredCandidate) error) (*SQLStreamInfo, error) {
 	if err := checkEpsDelta(eps, delta); err != nil {
@@ -59,7 +63,186 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 	if err != nil {
 		return nil, err
 	}
+	if e.opts.poolWorkers() <= 1 {
+		return e.measureStreamSeqInline(ctx, p, d, eps, delta, yield)
+	}
+	return e.measureStreamPool(ctx, p, d, eps, delta, yield)
+}
 
+// measureStreamSeqInline is the single-worker streaming pipeline:
+// candidates whose constraint saturates mid-join are measured inline (on
+// one reusable, per-candidate-reseeded engine) and delivered through the
+// reorder buffer while enumeration is still running — the incremental
+// top-k contract — without any goroutines or channels. A sticky error
+// (measurement, yield, or ctx) stops delivery immediately and aborts
+// enumeration at its next interrupt poll.
+func (e *Engine) measureStreamSeqInline(ctx context.Context, p *plan.Plan, d *db.Database, eps, delta float64, yield func(int, MeasuredCandidate) error) (*SQLStreamInfo, error) {
+	o := e.opts
+	kernels := e.poolKernels()
+	eng := e.itemEngine(0)
+	oy := orderedYield{yield: yield}
+	var sick error
+	measure := func(idx int, c exec.Candidate) {
+		if sick != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			sick = err
+			return
+		}
+		eng.resetItem(itemOptions(o, idx), kernels)
+		r, err := eng.MeasureFormula(c.Phi, eps, delta)
+		if err != nil {
+			sick = err
+			return
+		}
+		sick = oy.deliver(idx, MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: r})
+	}
+	eo := e.execOptions()
+	eo.Interrupt = func() error {
+		if sick != nil {
+			return sick
+		}
+		return ctx.Err()
+	}
+	res, sat, runErr := exec.Aggregate(p, d, eo, measure)
+	if runErr != nil {
+		if sick != nil {
+			return nil, sick
+		}
+		return nil, runErr
+	}
+	for i, c := range res.Candidates {
+		if sick != nil {
+			return nil, sick
+		}
+		if !sat[i] { // saturated candidates were measured mid-enumeration
+			measure(i, c)
+		}
+	}
+	if sick != nil {
+		return nil, sick
+	}
+	return &SQLStreamInfo{
+		Count:       len(res.Candidates),
+		NullIDs:     p.NullIDs,
+		Index:       p.Index,
+		Derivations: res.Derivations,
+	}, nil
+}
+
+// measureSQLBuffered is the collector behind MeasureSQLContext: same
+// deliveries as MeasureSQLStream, but the single-worker path hands the
+// candidate count ahead of delivery so the result slice is allocated
+// exactly once.
+func (e *Engine) measureSQLBuffered(ctx context.Context, q *sqlast.Query, d *db.Database, eps, delta float64) (*SQLMeasured, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q, d, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := &SQLMeasured{}
+	collect := func(idx int, c MeasuredCandidate) error {
+		out.Candidates = append(out.Candidates, c)
+		return nil
+	}
+	var info *SQLStreamInfo
+	if e.opts.poolWorkers() <= 1 {
+		info, err = e.measureStreamSeq(ctx, p, d, eps, delta, func(n int) {
+			out.Candidates = make([]MeasuredCandidate, 0, n)
+		}, collect)
+	} else {
+		info, err = e.measureStreamPool(ctx, p, d, eps, delta, collect)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.NullIDs, out.Index, out.Derivations = info.NullIDs, info.Index, info.Derivations
+	return out, nil
+}
+
+// orderedYield restores candidate order on an out-of-order stream of
+// measured candidates: saturated candidates finalize mid-enumeration in
+// arbitrary index order, so results are parked until every earlier index
+// has been delivered.
+type orderedYield struct {
+	yield   func(int, MeasuredCandidate) error
+	pending map[int]MeasuredCandidate
+	next    int
+}
+
+func (oy *orderedYield) deliver(idx int, m MeasuredCandidate) error {
+	if idx != oy.next {
+		if oy.pending == nil {
+			oy.pending = make(map[int]MeasuredCandidate)
+		}
+		oy.pending[idx] = m
+		return nil
+	}
+	for {
+		if err := oy.yield(oy.next, m); err != nil {
+			return err
+		}
+		oy.next++
+		var ok bool
+		m, ok = oy.pending[oy.next]
+		if !ok {
+			return nil
+		}
+		delete(oy.pending, oy.next)
+	}
+}
+
+// measureStreamSeq is the single-worker buffered pipeline (the seq path
+// of MeasureSQL, where nobody reads mid-run deliveries): interleaving
+// measurement into the join would only evict the enumeration's working
+// set, so the join runs to completion uninterrupted and the candidates
+// are then measured in index order on one reusable, per-candidate-
+// reseeded engine — no goroutines, channels, or reorder buffer. The
+// start hook receives the candidate count before the first delivery
+// (the collector sizes its slice exactly with it). Streaming consumers
+// go through measureStreamSeqInline instead, which preserves mid-join
+// top-k delivery; measured values are bit-identical either way.
+func (e *Engine) measureStreamSeq(ctx context.Context, p *plan.Plan, d *db.Database, eps, delta float64, start func(n int), yield func(int, MeasuredCandidate) error) (*SQLStreamInfo, error) {
+	o := e.opts
+	kernels := e.poolKernels()
+	eng := e.itemEngine(0)
+	eo := e.execOptions()
+	eo.Interrupt = ctx.Err
+	res, _, runErr := exec.Aggregate(p, d, eo, nil)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if start != nil {
+		start(len(res.Candidates))
+	}
+	for i, c := range res.Candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eng.resetItem(itemOptions(o, i), kernels)
+		r, err := eng.MeasureFormula(c.Phi, eps, delta)
+		if err != nil {
+			return nil, err
+		}
+		if err := yield(i, MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: r}); err != nil {
+			return nil, err
+		}
+	}
+	return &SQLStreamInfo{
+		Count:       len(res.Candidates),
+		NullIDs:     p.NullIDs,
+		Index:       p.Index,
+		Derivations: res.Derivations,
+	}, nil
+}
+
+// measureStreamPool is the concurrent fused pipeline: candidates fan out
+// over PoolWorkers reusable worker engines while an emitter goroutine
+// restores candidate order.
+func (e *Engine) measureStreamPool(ctx context.Context, p *plan.Plan, d *db.Database, eps, delta float64, yield func(int, MeasuredCandidate) error) (*SQLStreamInfo, error) {
 	type job struct {
 		idx  int
 		cand exec.Candidate
@@ -76,21 +259,24 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 	var wg sync.WaitGroup
 	o := e.opts // seeds/toggles snapshot; per-candidate engines derive from it
 	kernels := e.poolKernels()
+	engines := make([]*Engine, workers)
+	for w := range engines {
+		engines[w] = e.itemEngine(w)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(eng *Engine) {
 			defer wg.Done()
 			for j := range jobs {
 				if err := ctx.Err(); err != nil {
 					results <- measured{idx: j.idx, cand: j.cand, err: err}
 					continue
 				}
-				eng := New(itemOptions(o, j.idx))
-				eng.shared = kernels
+				eng.resetItem(itemOptions(o, j.idx), kernels)
 				r, err := eng.MeasureFormula(j.cand.Phi, eps, delta)
 				results <- measured{idx: j.idx, cand: j.cand, res: r, err: err}
 			}
-		}()
+		}(engines[w])
 	}
 	go func() {
 		wg.Wait()
@@ -99,8 +285,7 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 
 	// The emitter restores candidate order: measurements finish out of
 	// order (saturated candidates mid-enumeration, the rest as the pool
-	// drains), so results are parked until every earlier index has been
-	// delivered. Error fields are written only here and read only after
+	// drains). Error fields are written only here and read only after
 	// emitDone, so Wait orders the accesses.
 	var (
 		emitDone   = make(chan struct{})
@@ -109,8 +294,14 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 	)
 	go func() {
 		defer close(emitDone)
-		pending := make(map[int]measured)
-		next := 0
+		oy := orderedYield{yield: func(idx int, m MeasuredCandidate) error {
+			if yieldErr == nil && measureErr == nil {
+				if err := yield(idx, m); err != nil {
+					yieldErr = err
+				}
+			}
+			return nil // keep draining; the sticky error wins at the end
+		}}
 		for m := range results {
 			if m.err != nil {
 				if measureErr == nil {
@@ -118,20 +309,7 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 				}
 				continue
 			}
-			pending[m.idx] = m
-			for {
-				mm, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				if yieldErr == nil && measureErr == nil {
-					if err := yield(next, MeasuredCandidate{Tuple: mm.cand.Tuple, Phi: mm.cand.Phi, Measure: mm.res}); err != nil {
-						yieldErr = err
-					}
-				}
-				next++
-			}
+			_ = oy.deliver(m.idx, MeasuredCandidate{Tuple: m.cand.Tuple, Phi: m.cand.Phi, Measure: m.res})
 		}
 	}()
 

@@ -11,14 +11,24 @@
 // single integer comparison and equality-index builds are sequential scans
 // over flat arrays. value.Value remains the boundary type: Insert accepts
 // tuples of values and Tuples/All/Row materialize them back on demand.
+//
+// The store is versioned: every column, the dictionary, each equality-index
+// group and each inventory slice is append-only, so Insert maintains the
+// cached indexes and inventories incrementally (no wholesale invalidation)
+// and Snapshot publishes immutable copy-on-write views that concurrent
+// readers keep using while later writes land (see snapshot.go).
 package db
 
 import (
+	"cmp"
 	"fmt"
 	"iter"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -46,6 +56,15 @@ type table struct {
 	cols []column
 }
 
+// view returns a frozen copy of the table header: the same backing arrays
+// behind fresh slice headers. The arrays are append-only, so a writer
+// appending row n never touches memory a view of length n can reach.
+func (tb *table) view() *table {
+	cp := &table{rel: tb.rel, n: tb.n, cols: make([]column, len(tb.cols))}
+	copy(cp.cols, tb.cols)
+	return cp
+}
+
 // ColView is a read-only view of one relation column's columnar arrays,
 // the zero-copy scan interface of the executor. The slices are owned by
 // the database and must not be modified. Field meanings match column.
@@ -62,6 +81,13 @@ const maxID = 1 << 30
 // Database is an incomplete database instance: for each relation of the
 // schema, a finite set (stored column-major) of tuples over constants and
 // marked nulls.
+//
+// A Database is either the live writer or a frozen snapshot of one
+// (Snapshot). Writers need external serialization among themselves — one
+// Insert at a time — but writing is safe concurrently with any number of
+// readers that hold snapshots. Reading the live writer directly is only
+// safe when no Insert runs concurrently (the single-goroutine Session
+// regime).
 type Database struct {
 	schema *schema.Schema
 	tables map[string]*table
@@ -70,13 +96,47 @@ type Database struct {
 	nextBaseNull int
 	nextNumNull  int
 
-	// mu guards the lazily built caches below (equality indexes and
-	// active-domain inventories) so that concurrent read-only query
-	// sessions can share one database. Insert invalidates both.
+	// frozen marks an immutable snapshot view: Insert is rejected, and the
+	// caches below, once built, are never mutated in place. origin points
+	// a snapshot back at the writer it was taken from, so indexes the
+	// snapshot builds lazily can be adopted by the writer (adoptIndex)
+	// and stay incrementally maintained for later snapshots.
+	frozen bool
+	origin *Database
+
+	// version counts committed mutations. Snapshot's fast path compares it
+	// (atomically, without taking mu) against the published snapshot's
+	// version; equality means the snapshot is current.
+	version atomic.Int64
+	// snap is the published snapshot of this writer — the RCU handle:
+	// readers load the pointer, the writer swaps in a fresh frozen view
+	// when Snapshot finds the published one stale.
+	snap atomic.Pointer[Database]
+
+	// mu guards the caches below and, on a writer, every mutation: Insert
+	// holds it across the column appends and the incremental cache
+	// maintenance, so Snapshot and the cache accessors always observe a
+	// committed state.
 	mu      sync.Mutex
 	indexes map[indexKey]*EqIndex
+	// sharedIx marks indexes referenced by a published snapshot: the
+	// writer clones them (copy-on-write) before its next in-place append.
+	sharedIx map[indexKey]bool
 
-	invValid     bool
+	// Active-domain inventories. The membership sets are writer-local and
+	// maintained incrementally by Insert; the sorted slices below them are
+	// the published form, possibly shared with snapshots, so they are only
+	// ever replaced by fresh allocations or extended append-only (which a
+	// snapshot, bounded by its own slice lengths, never observes).
+	invValid    bool // published slices match the membership sets
+	invShared   bool // numNullIndex is shared with a snapshot: COW first
+	baseNullSet map[int]bool
+	numNullSet  map[int]bool
+	numConstSet map[float64]bool
+	pendBase    []int     // new base-null IDs awaiting a sorted merge
+	pendNum     []int     // new numerical-null IDs awaiting a sorted merge
+	pendConst   []float64 // new numerical constants awaiting a sorted merge
+
 	baseNulls    []int
 	numNulls     []int
 	numNullIndex map[int]int
@@ -94,6 +154,14 @@ func New(s *schema.Schema) *Database {
 // Schema returns the database schema.
 func (d *Database) Schema() *schema.Schema { return d.schema }
 
+// Version reports the number of committed mutations. Two reads returning
+// the same version bracket an unchanged database; a snapshot carries the
+// version it was taken at.
+func (d *Database) Version() int64 { return d.version.Load() }
+
+// ReadOnly reports whether the database is a frozen snapshot view.
+func (d *Database) ReadOnly() bool { return d.frozen }
+
 func (d *Database) table(rel string) *table { return d.tables[rel] }
 
 func (d *Database) ensureTable(rel string, r *schema.Relation) *table {
@@ -105,55 +173,125 @@ func (d *Database) ensureTable(rel string, r *schema.Relation) *table {
 	return tb
 }
 
-// Insert adds a tuple to the named relation after validating it against the
-// schema. Nulls mentioned in the tuple are registered so that FreshBaseNull
-// and FreshNumNull never collide with them.
-func (d *Database) Insert(rel string, t value.Tuple) error {
+// checkInsert validates a tuple without mutating anything: schema arity
+// and sorts, null-ID ranges, and writability. Insert's atomicity hangs on
+// this running to completion before the first append.
+func (d *Database) checkInsert(rel string, t value.Tuple) (*schema.Relation, error) {
+	if d.frozen {
+		return nil, fmt.Errorf("db: relation %s: database is a read-only snapshot", rel)
+	}
 	r := d.schema.Relation(rel)
 	if r == nil {
-		return fmt.Errorf("db: unknown relation %s", rel)
+		return nil, fmt.Errorf("db: unknown relation %s", rel)
 	}
 	if err := r.CheckTuple(t); err != nil {
-		return err
+		return nil, err
 	}
 	for _, v := range t {
 		switch v.Kind() {
 		case value.BaseNull:
 			if v.NullID() >= maxID {
-				return fmt.Errorf("db: base null id %d out of range", v.NullID())
+				return nil, fmt.Errorf("db: base null id %d out of range", v.NullID())
 			}
+		case value.NumNull:
+			if v.NullID() >= maxID {
+				return nil, fmt.Errorf("db: numerical null id %d out of range", v.NullID())
+			}
+		}
+	}
+	return r, nil
+}
+
+// Insert adds a tuple to the named relation after validating it against
+// the schema. Nulls mentioned in the tuple are registered so that
+// FreshBaseNull and FreshNumNull never collide with them.
+//
+// Insert is atomic: a tuple that fails validation leaves the database
+// bit-identical — no partially appended columns, no touched caches or
+// inventories, no consumed null identifiers. On success the relation's
+// cached equality indexes (and their distinct-key statistics) and the
+// active-domain inventories are maintained incrementally, in place —
+// never dropped — and the database version advances. Published snapshots
+// are unaffected: structures they share are cloned copy-on-write before
+// the first in-place mutation.
+func (d *Database) Insert(rel string, t value.Tuple) error {
+	r, err := d.checkInsert(rel, t)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.insertLocked(r, t)
+	d.version.Add(1)
+	return nil
+}
+
+// InsertBatch inserts tuples into the named relation atomically: every
+// tuple is validated before the first one is appended, so an invalid
+// tuple anywhere in the batch leaves the database bit-identical. The
+// batch commits as one version step.
+func (d *Database) InsertBatch(rel string, tuples []value.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	var r *schema.Relation
+	for _, t := range tuples {
+		var err error
+		if r, err = d.checkInsert(rel, t); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range tuples {
+		d.insertLocked(r, t)
+	}
+	d.version.Add(1)
+	return nil
+}
+
+// insertLocked appends one fully validated tuple and maintains the
+// caches in place. Callers hold d.mu.
+func (d *Database) insertLocked(r *schema.Relation, t value.Tuple) {
+	for _, v := range t {
+		switch v.Kind() {
+		case value.BaseNull:
 			if v.NullID() >= d.nextBaseNull {
 				d.nextBaseNull = v.NullID() + 1
 			}
 		case value.NumNull:
-			if v.NullID() >= maxID {
-				return fmt.Errorf("db: numerical null id %d out of range", v.NullID())
-			}
 			if v.NullID() >= d.nextNumNull {
 				d.nextNumNull = v.NullID() + 1
 			}
 		}
 	}
-	tb := d.ensureTable(rel, r)
+	tb := d.ensureTable(r.Name, r)
+	row := int32(tb.n)
 	for j, v := range t {
 		c := &tb.cols[j]
 		c.kinds = append(c.kinds, v.Kind())
+		var code int32
 		switch v.Kind() {
 		case value.BaseConst:
-			c.codes = append(c.codes, d.dict.intern(v.Str())<<1)
+			code = d.dict.intern(v.Str()) << 1
+			c.codes = append(c.codes, code)
 		case value.BaseNull:
-			c.codes = append(c.codes, int32(v.NullID())<<1|1)
+			code = int32(v.NullID())<<1 | 1
+			c.codes = append(c.codes, code)
 		case value.NumConst:
 			c.codes = append(c.codes, 0)
 			c.nums = append(c.nums, v.Float())
 		case value.NumNull:
-			c.codes = append(c.codes, int32(v.NullID()))
+			code = int32(v.NullID())
+			c.codes = append(c.codes, code)
 			c.nums = append(c.nums, 0)
 		}
+		if ix := d.writableIndex(r.Name, j); ix != nil {
+			ix.addRow(v, code, row)
+		}
+		d.addInventory(v)
 	}
 	tb.n++
-	d.invalidateCaches(rel)
-	return nil
 }
 
 // MustInsert is Insert that panics on error, for tests and examples.
@@ -164,14 +302,30 @@ func (d *Database) MustInsert(rel string, vals ...value.Value) {
 }
 
 // FreshBaseNull allocates a base null unused anywhere in the database.
+// Like Insert it is a writer-side operation: safe concurrently with
+// snapshot readers, serialized against other writers by d.mu, and
+// rejected (panic, like any write to a read-only view) on snapshots —
+// a snapshot's counter is frozen, so an ID it handed out could collide
+// with one the live writer allocates.
 func (d *Database) FreshBaseNull() value.Value {
+	if d.frozen {
+		panic("db: FreshBaseNull on a read-only snapshot")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v := value.NullBase(d.nextBaseNull)
 	d.nextBaseNull++
 	return v
 }
 
 // FreshNumNull allocates a numerical null unused anywhere in the database.
+// Writer-side; see FreshBaseNull.
 func (d *Database) FreshNumNull() value.Value {
+	if d.frozen {
+		panic("db: FreshNumNull on a read-only snapshot")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v := value.NullNum(d.nextNumNull)
 	d.nextNumNull++
 	return v
@@ -285,76 +439,179 @@ func (d *Database) Size() int {
 	return n
 }
 
-// invalidateCaches drops the cached indexes of a relation and the
-// active-domain inventories after a mutation.
-func (d *Database) invalidateCaches(rel string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for k := range d.indexes {
-		if k.rel == rel {
-			delete(d.indexes, k)
-		}
-	}
-	d.invValid = false
-}
-
-// buildInventories computes the cached null/constant summaries with one
-// sequential scan per column. Callers hold d.mu.
-func (d *Database) buildInventories() {
-	if d.invValid {
+// DropCaches discards every cached equality index and inventory, forcing
+// full sequential-scan rebuilds on next access. This is the wholesale
+// invalidation Insert performed before incremental maintenance; it is
+// kept as the drop-and-rebuild baseline of BenchmarkMixedInsertQuery and
+// as an escape hatch. No-op on snapshots.
+func (d *Database) DropCaches() {
+	if d.frozen {
 		return
 	}
-	baseSet := make(map[int]bool)
-	numSet := make(map[int]bool)
-	constSet := make(map[float64]bool)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.indexes = nil
+	d.sharedIx = nil
+	d.invValid = false
+	d.invShared = false
+	d.baseNullSet, d.numNullSet, d.numConstSet = nil, nil, nil
+	d.pendBase, d.pendNum, d.pendConst = nil, nil, nil
+	d.baseNulls, d.numNulls, d.numNullIndex, d.numConsts = nil, nil, nil, nil
+	d.baseConsts, d.baseConstsLen = nil, 0
+	d.version.Add(1)
+}
+
+// addInventory folds one inserted value into the live inventory state:
+// the membership sets update in place and genuinely new elements queue
+// for the next sorted merge (buildInventories). While the inventories
+// have never been built the sets are nil and the value is ignored — the
+// first accessor still performs its single full scan.
+func (d *Database) addInventory(v value.Value) {
+	switch v.Kind() {
+	case value.BaseNull:
+		if d.baseNullSet != nil && !d.baseNullSet[v.NullID()] {
+			d.baseNullSet[v.NullID()] = true
+			d.pendBase = append(d.pendBase, v.NullID())
+			d.invValid = false
+		}
+	case value.NumNull:
+		if d.numNullSet != nil && !d.numNullSet[v.NullID()] {
+			d.numNullSet[v.NullID()] = true
+			d.pendNum = append(d.pendNum, v.NullID())
+			d.invValid = false
+		}
+	case value.NumConst:
+		if d.numConstSet != nil && !d.numConstSet[v.Float()] {
+			d.numConstSet[v.Float()] = true
+			d.pendConst = append(d.pendConst, v.Float())
+			d.invValid = false
+		}
+	}
+}
+
+// scanInventories seeds the membership sets with one sequential scan per
+// column, queueing every element for the first sorted merge. It runs at
+// most once per database (and once more after DropCaches); all later
+// maintenance is incremental. Callers hold d.mu.
+func (d *Database) scanInventories() {
+	d.baseNullSet = make(map[int]bool)
+	d.numNullSet = make(map[int]bool)
+	d.numConstSet = make(map[float64]bool)
 	for _, tb := range d.tables {
 		for j := range tb.cols {
 			c := &tb.cols[j]
 			if tb.rel.Columns[j].Type == schema.Base {
 				for i, k := range c.kinds {
 					if k == value.BaseNull {
-						baseSet[int(c.codes[i]>>1)] = true
+						if id := int(c.codes[i] >> 1); !d.baseNullSet[id] {
+							d.baseNullSet[id] = true
+							d.pendBase = append(d.pendBase, id)
+						}
 					}
 				}
 				continue
 			}
 			for i, k := range c.kinds {
 				if k == value.NumNull {
-					numSet[int(c.codes[i])] = true
-				} else {
-					constSet[c.nums[i]] = true
+					if id := int(c.codes[i]); !d.numNullSet[id] {
+						d.numNullSet[id] = true
+						d.pendNum = append(d.pendNum, id)
+					}
+				} else if x := c.nums[i]; !d.numConstSet[x] {
+					d.numConstSet[x] = true
+					d.pendConst = append(d.pendConst, x)
 				}
 			}
 		}
 	}
-	d.baseNulls = sortedInts(baseSet)
-	d.numNulls = sortedInts(numSet)
-	d.numNullIndex = make(map[int]int, len(d.numNulls))
-	for i, id := range d.numNulls {
-		d.numNullIndex[id] = i
+}
+
+// buildInventories brings the published inventory slices up to date with
+// the membership sets. After the one-time seeding scan this only merges
+// the queued new elements: sorted slices either grow append-only (new
+// elements above the current maximum — snapshot readers, bounded by their
+// own slice lengths, never observe the appended tail) or are replaced by
+// freshly allocated merges; the numNullIndex inverse map is cloned first
+// when a snapshot shares it. It never rescans the relations and never
+// mutates storage a snapshot can reach. Callers hold d.mu.
+func (d *Database) buildInventories() {
+	if d.invValid {
+		return
 	}
-	// Fresh slice every rebuild: the previous one may still be held by a
-	// NumConstants caller (the accessors hand out the cached slices).
-	d.numConsts = make([]float64, 0, len(constSet))
-	for x := range constSet {
-		d.numConsts = append(d.numConsts, x)
+	if d.baseNullSet == nil {
+		d.scanInventories()
 	}
-	sort.Float64s(d.numConsts)
+	if len(d.pendBase) > 0 {
+		d.baseNulls = mergeSorted(d.baseNulls, d.pendBase)
+		d.pendBase = nil
+	}
+	if len(d.pendConst) > 0 {
+		d.numConsts = mergeSorted(d.numConsts, d.pendConst)
+		d.pendConst = nil
+	}
+	if len(d.pendNum) > 0 {
+		sort.Ints(d.pendNum)
+		if n := len(d.numNulls); n == 0 || d.pendNum[0] > d.numNulls[n-1] {
+			// Fresh nulls above the current maximum — the common case
+			// (FreshNumNull allocates ascending IDs): extend the sorted
+			// slice and its inverse map in place.
+			if d.invShared {
+				d.numNullIndex = maps.Clone(d.numNullIndex)
+				d.invShared = false
+			}
+			if d.numNullIndex == nil {
+				d.numNullIndex = make(map[int]int, len(d.pendNum))
+			}
+			for _, id := range d.pendNum {
+				d.numNulls = append(d.numNulls, id)
+				d.numNullIndex[id] = len(d.numNulls) - 1
+			}
+		} else {
+			// Out-of-order IDs shift positions: rebuild slice and map fresh.
+			d.numNulls = mergeSorted(d.numNulls, d.pendNum)
+			d.numNullIndex = make(map[int]int, len(d.numNulls))
+			for i, id := range d.numNulls {
+				d.numNullIndex[id] = i
+			}
+			d.invShared = false
+		}
+		d.pendNum = nil
+	}
 	d.invValid = true
 }
 
-func sortedInts(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+// mergeSorted merges unsorted new elements into a sorted slice. The
+// append fast path may extend dst's backing array past every published
+// length; the interleaving path allocates fresh, so published slices are
+// never changed within their bounds. cmp.Less orders float NaNs first,
+// exactly like the full sort a rebuild runs, so incremental maintenance
+// and rebuilds produce byte-identical slices.
+func mergeSorted[T cmp.Ordered](dst, add []T) []T {
+	slices.Sort(add)
+	if len(dst) == 0 {
+		return add
 	}
-	sort.Ints(out)
-	return out
+	if cmp.Less(dst[len(dst)-1], add[0]) {
+		return append(dst, add...)
+	}
+	out := make([]T, 0, len(dst)+len(add))
+	i, j := 0, 0
+	for i < len(dst) && j < len(add) {
+		if cmp.Less(add[j], dst[i]) {
+			out = append(out, add[j])
+			j++
+		} else {
+			out = append(out, dst[i])
+			i++
+		}
+	}
+	out = append(out, dst[i:]...)
+	return append(out, add[j:]...)
 }
 
 // BaseNulls returns the identifiers of all base nulls occurring in the
 // database, sorted ascending. This is the set Nbase(D) of the paper. The
-// result is cached until the next mutation and must not be modified.
+// result is valid until the next mutation and must not be modified.
 func (d *Database) BaseNulls() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -364,7 +621,7 @@ func (d *Database) BaseNulls() []int {
 
 // NumNulls returns the identifiers of all numerical nulls occurring in the
 // database, sorted ascending. This is the set Nnum(D) of the paper. The
-// result is cached until the next mutation and must not be modified.
+// result is valid until the next mutation and must not be modified.
 func (d *Database) NumNulls() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -374,7 +631,7 @@ func (d *Database) NumNulls() []int {
 
 // NumNullIndex returns NumNulls together with its inverse (null ID →
 // position), the formula-variable indexing of the SQL pipeline. Both are
-// cached until the next mutation and must not be modified.
+// valid until the next mutation and must not be modified.
 func (d *Database) NumNullIndex() ([]int, map[int]int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -399,7 +656,7 @@ func (d *Database) BaseConstants() []string {
 }
 
 // NumConstants returns the set Cnum(D): all numerical constants occurring
-// in the database, sorted ascending. The result is cached until the next
+// in the database, sorted ascending. The result is valid until the next
 // mutation and must not be modified.
 func (d *Database) NumConstants() []float64 {
 	d.mu.Lock()
@@ -444,7 +701,9 @@ func (d *Database) IsComplete() bool {
 	return len(d.BaseNulls()) == 0 && len(d.NumNulls()) == 0
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database: a fresh writable database
+// with independent storage and no caches, regardless of whether d is a
+// writer or a snapshot.
 func (d *Database) Clone() *Database {
 	c := New(d.schema)
 	c.nextBaseNull = d.nextBaseNull

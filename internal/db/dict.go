@@ -1,53 +1,80 @@
 package db
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // dict is the per-database string dictionary: every base constant occurring
 // anywhere in the database is interned once and referred to by a dense
 // int32 id. The dictionary is append-only (the data model has no deletes),
 // which makes it double as the Cbase(D) inventory and keeps codes stable
-// for the lifetime of the database. Interning happens only on Insert;
-// query literals are looked up read-only, so concurrent read-only sessions
-// never mutate it.
+// for the lifetime of the database. Interning happens only on Insert.
+//
+// The string→id map is a sync.Map shared by the writer and every
+// snapshot: it is append-only and read-mostly, exactly sync.Map's sweet
+// spot, so snapshot readers probe it lock-free while the writer keeps
+// interning — no copy-on-write clone of a potentially huge map per
+// snapshot cycle. A view's identity is its strs length: ids interned
+// after a view froze are ≥ its length and filtered out on lookup, so a
+// snapshot's dictionary is exactly the prefix it was taken at.
 type dict struct {
-	codes map[string]int32
-	strs  []string
+	codes *sync.Map // string → int32, append-only
+	strs  []string  // id → string; cut per view
 }
 
 // intern returns the id of s, assigning the next free id on first sight.
+// Only the live writer interns; snapshots never reach here.
 func (d *dict) intern(s string) int32 {
-	if id, ok := d.codes[s]; ok {
-		return id
+	if d.codes == nil {
+		d.codes = &sync.Map{}
+	}
+	if v, ok := d.codes.Load(s); ok {
+		return v.(int32)
 	}
 	if len(d.strs) >= maxID {
 		panic(fmt.Sprintf("db: dictionary overflow at %d distinct base constants", len(d.strs)))
 	}
-	if d.codes == nil {
-		d.codes = make(map[string]int32)
-	}
 	id := int32(len(d.strs))
-	d.codes[s] = id
 	d.strs = append(d.strs, s)
+	d.codes.Store(s, id)
 	return id
 }
 
 // code returns the id of s without interning, ok=false when s was never
-// inserted.
+// inserted — or was interned only after this view froze.
 func (d *dict) code(s string) (int32, bool) {
-	id, ok := d.codes[s]
-	return id, ok
+	if d.codes == nil {
+		return 0, false
+	}
+	v, ok := d.codes.Load(s)
+	if !ok {
+		return 0, false
+	}
+	id := v.(int32)
+	if int(id) >= len(d.strs) {
+		return 0, false
+	}
+	return id, true
 }
 
 // str returns the string interned under id.
 func (d *dict) str(id int32) string { return d.strs[id] }
 
+// share returns the snapshot view of the dictionary: the same shared
+// code map and the string slice cut (and capacity-capped) at its current
+// length.
+func (d *dict) share() dict {
+	return dict{codes: d.codes, strs: d.strs[:len(d.strs):len(d.strs)]}
+}
+
 // clone returns an independent copy.
 func (d *dict) clone() dict {
 	c := dict{strs: append([]string(nil), d.strs...)}
-	if d.codes != nil {
-		c.codes = make(map[string]int32, len(d.codes))
-		for s, id := range d.codes {
-			c.codes[s] = id
+	if len(c.strs) > 0 {
+		c.codes = &sync.Map{}
+		for i, s := range c.strs {
+			c.codes.Store(s, int32(i))
 		}
 	}
 	return c

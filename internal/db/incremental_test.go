@@ -1,0 +1,409 @@
+package db
+
+// Tests of incremental index/inventory maintenance and copy-on-write
+// snapshots: a database grown by incremental inserts (with caches kept
+// hot the whole time) must be bit-identical, in every observable, to one
+// rebuilt from scratch; failed inserts must leave no trace; snapshot
+// readers must keep seeing their version while a writer commits.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// stateFingerprint captures every observable of a database: row counts,
+// materialized tuples, inventories (slices and inverse map), dictionary
+// order, and every equality index probed at every distinct value.
+type stateFingerprint struct {
+	lens      map[string]int
+	tuples    map[string][]string
+	baseNulls []int
+	numNulls  []int
+	nnIndex   map[int]int
+	baseConst []string
+	numConst  []float64
+	indexes   map[string]map[string][]int
+	nextBase  int
+	nextNum   int
+}
+
+func fingerprint(d *Database) stateFingerprint {
+	fp := stateFingerprint{
+		lens:      map[string]int{},
+		tuples:    map[string][]string{},
+		baseNulls: append([]int(nil), d.BaseNulls()...),
+		numNulls:  append([]int(nil), d.NumNulls()...),
+		nnIndex:   map[int]int{},
+		baseConst: append([]string(nil), d.BaseConstants()...),
+		numConst:  append([]float64(nil), d.NumConstants()...),
+		indexes:   map[string]map[string][]int{},
+		nextBase:  d.nextBaseNull,
+		nextNum:   d.nextNumNull,
+	}
+	_, idx := d.NumNullIndex()
+	for id, i := range idx {
+		fp.nnIndex[id] = i
+	}
+	for _, rel := range d.schema.Relations() {
+		fp.lens[rel.Name] = d.Len(rel.Name)
+		for _, tup := range d.Tuples(rel.Name) {
+			fp.tuples[rel.Name] = append(fp.tuples[rel.Name], tup.String())
+		}
+		for col := range rel.Columns {
+			key := fmt.Sprintf("%s.%d", rel.Name, col)
+			probes := map[string][]int{}
+			ix := d.Index(rel.Name, col)
+			seen := map[string]bool{}
+			for _, tup := range d.Tuples(rel.Name) {
+				v := tup[col]
+				if seen[v.String()] {
+					continue
+				}
+				seen[v.String()] = true
+				probes[v.String()] = ords(ix.Lookup(d, v))
+			}
+			fp.indexes[key] = probes
+		}
+	}
+	return fp
+}
+
+func mustEqualState(t *testing.T, label string, got, want stateFingerprint) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: state diverged:\ngot  %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestInsertAtomicOnFailure: a tuple failing validation partway must not
+// leave partially appended columns, spuriously touched caches, or
+// consumed null identifiers — the database stays bit-identical.
+func TestInsertAtomicOnFailure(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("R", value.Base("a"), value.Num(1), value.NullBase(3))
+	d.MustInsert("R", value.NullBase(1), value.NullNum(2), value.Base("b"))
+	d.MustInsert("S", value.Num(7), value.Base("a"))
+	before := fingerprint(d) // also warms every cache
+	version := d.Version()
+
+	bad := []struct {
+		rel string
+		tup value.Tuple
+	}{
+		{"T", value.Tuple{value.Num(1)}},                                       // unknown relation
+		{"R", value.Tuple{value.Base("x"), value.Num(1)}},                      // arity
+		{"R", value.Tuple{value.Num(1), value.Num(1), value.Base("y")}},        // sort mismatch col 0
+		{"R", value.Tuple{value.Base("x"), value.Base("y"), value.Base("z")}},  // sort mismatch col 1
+		{"R", value.Tuple{value.Base("x"), value.Num(1), value.NullBase(1 << 30)}}, // null id range
+		{"S", value.Tuple{value.NullNum(1 << 30), value.Base("q")}},            // null id range, first col
+	}
+	for _, b := range bad {
+		if err := d.Insert(b.rel, b.tup); err == nil {
+			t.Fatalf("Insert(%s, %v) unexpectedly succeeded", b.rel, b.tup)
+		}
+		mustEqualState(t, fmt.Sprintf("after failed insert %v", b.tup), fingerprint(d), before)
+		if d.Version() != version {
+			t.Fatalf("failed insert advanced version %d -> %d", version, d.Version())
+		}
+	}
+
+	// InsertBatch with a bad tuple anywhere applies nothing.
+	batch := []value.Tuple{
+		{value.Base("ok"), value.Num(2), value.Base("ok2")},
+		{value.Base("ok3"), value.Base("bad"), value.Base("ok4")},
+	}
+	if err := d.InsertBatch("R", batch); err == nil {
+		t.Fatal("InsertBatch with invalid tuple succeeded")
+	}
+	mustEqualState(t, "after failed batch", fingerprint(d), before)
+
+	// The database still accepts valid work afterwards.
+	if err := d.Insert("R", value.Tuple{value.Base("x"), value.Num(3), value.Base("y")}); err != nil {
+		t.Fatalf("valid insert after failures: %v", err)
+	}
+	if d.Version() != version+1 {
+		t.Fatalf("version = %d, want %d", d.Version(), version+1)
+	}
+}
+
+// TestIncrementalParityFuzz: after N random inserts with every cache kept
+// hot (indexes probed, inventories read, snapshots taken between
+// inserts), all observables are bit-identical to a from-scratch rebuild
+// of the same tuples.
+func TestIncrementalParityFuzz(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSchema()
+		d := New(s)
+		rels := s.Relations()
+		var snaps []*Database
+
+		n := 30 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			rel := rels[rng.Intn(len(rels))]
+			tup := make(value.Tuple, len(rel.Columns))
+			for j, c := range rel.Columns {
+				tup[j] = randValue(rng, c.Type)
+			}
+			if err := d.Insert(rel.Name, tup); err != nil {
+				t.Fatal(err)
+			}
+			// Interleave accesses so maintenance runs against hot caches:
+			// indexes exist, inventories are built, snapshots share state.
+			switch rng.Intn(5) {
+			case 0:
+				d.Index(rel.Name, rng.Intn(len(rel.Columns)))
+			case 1:
+				d.NumNullIndex()
+				d.NumConstants()
+			case 2:
+				snaps = append(snaps, d.Snapshot())
+			}
+		}
+
+		rebuilt := d.Clone() // deep copy with cold caches: from-scratch builds
+		mustEqualState(t, fmt.Sprintf("seed %d", seed), fingerprint(d), fingerprint(rebuilt))
+
+		// Snapshots taken along the way still verify against a rebuild of
+		// their own prefix of the data.
+		for si, snap := range snaps {
+			mustEqualState(t, fmt.Sprintf("seed %d snapshot %d", seed, si),
+				fingerprint(snap), fingerprint(snap.Clone()))
+		}
+	}
+}
+
+// TestSnapshotVersioning: unchanged databases hand out the same snapshot;
+// commits produce new ones; snapshots are immutable views.
+func TestSnapshotVersioning(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("R", value.Base("a"), value.Num(1), value.Base("b"))
+	s1 := d.Snapshot()
+	if s2 := d.Snapshot(); s2 != s1 {
+		t.Fatal("Snapshot of unchanged database returned a new view")
+	}
+	if s1.Snapshot() != s1 {
+		t.Fatal("Snapshot of a snapshot is not itself")
+	}
+	if !s1.ReadOnly() || d.ReadOnly() {
+		t.Fatal("ReadOnly flags wrong")
+	}
+	if err := s1.Insert("R", value.Tuple{value.Base("x"), value.Num(2), value.Base("y")}); err == nil {
+		t.Fatal("insert into a snapshot succeeded")
+	}
+	d.MustInsert("R", value.Base("c"), value.NullNum(0), value.Base("d"))
+	s2 := d.Snapshot()
+	if s2 == s1 {
+		t.Fatal("Snapshot after a commit returned the stale view")
+	}
+	if s1.Len("R") != 1 || s2.Len("R") != 2 || d.Len("R") != 2 {
+		t.Fatalf("lengths: s1=%d s2=%d d=%d", s1.Len("R"), s2.Len("R"), d.Len("R"))
+	}
+	if s1.Version() == s2.Version() {
+		t.Fatal("snapshot versions equal across a commit")
+	}
+	// The old snapshot still verifies in full against its own rebuild.
+	mustEqualState(t, "old snapshot", fingerprint(s1), fingerprint(s1.Clone()))
+}
+
+// TestSnapshotReadersUnderWrites runs concurrent readers pinned to
+// snapshots while a writer keeps committing — the RCU regime of the
+// server. Run with -race: readers must never observe a mutation, and
+// every pinned view must stay bit-stable.
+func TestSnapshotReadersUnderWrites(t *testing.T) {
+	s := randSchema()
+	d := New(s)
+	rng := rand.New(rand.NewSource(42))
+	insert := func() {
+		rel := s.Relations()[rng.Intn(2)]
+		tup := make(value.Tuple, len(rel.Columns))
+		for j, c := range rel.Columns {
+			tup[j] = randValue(rng, c.Type)
+		}
+		if err := d.Insert(rel.Name, tup); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		insert()
+	}
+	// Warm the caches so the writer exercises the COW paths.
+	fingerprint(d)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := d.Snapshot()
+				n := snap.Len("R")
+				fp := fingerprint(snap)
+				// Re-read everything: a pinned snapshot must not move.
+				if snap.Len("R") != n {
+					t.Errorf("reader %d: snapshot length moved %d -> %d", r, n, snap.Len("R"))
+					return
+				}
+				fp2 := fingerprint(snap)
+				if !reflect.DeepEqual(fp, fp2) {
+					t.Errorf("reader %d: snapshot state moved", r)
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 60; i++ {
+		insert()
+		if i%5 == 0 {
+			d.Snapshot() // publish mid-write versions for readers to pin
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	mustEqualState(t, "writer after concurrent readers", fingerprint(d), fingerprint(d.Clone()))
+}
+
+// TestInsertIntoIndexedEmptyRelation: caching an index on a relation
+// that has no rows yet (any query touching it does this) must not break
+// later inserts — the cached index's group maps are extended in place
+// like any other.
+func TestInsertIntoIndexedEmptyRelation(t *testing.T) {
+	d := New(randSchema())
+	for col := 0; col < 2; col++ {
+		d.Index("S", col) // cache indexes while S is empty
+	}
+	d.MustInsert("S", value.Num(4), value.Base("a"))
+	d.MustInsert("S", value.NullNum(2), value.Base("a"))
+	if got := ords(d.Index("S", 1).Lookup(d, value.Base("a"))); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Lookup(a) = %v, want [0 1]", got)
+	}
+	if got := ords(d.Index("S", 0).Lookup(d, value.Num(4))); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Lookup(4) = %v, want [0]", got)
+	}
+	if got := ords(d.Index("S", 0).Lookup(d, value.NullNum(2))); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Lookup(⊤2) = %v, want [1]", got)
+	}
+	mustEqualState(t, "indexed-empty-relation inserts", fingerprint(d), fingerprint(d.Clone()))
+}
+
+// TestSnapshotIndexAdoption: the server regime only ever queries
+// snapshots, so indexes built lazily on a snapshot must flow back to
+// the writer (and stay incrementally maintained for later snapshots) —
+// otherwise every insert would force a full rebuild on the next
+// snapshot.
+func TestSnapshotIndexAdoption(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("S", value.Num(1), value.Base("a"))
+	d.MustInsert("S", value.Num(2), value.Base("b"))
+
+	s1 := d.Snapshot()
+	s1.Index("S", 1) // built on the snapshot, adopted by the writer
+	d.mu.Lock()
+	adopted := d.indexes[indexKey{"S", 1}] != nil && d.sharedIx[indexKey{"S", 1}]
+	d.mu.Unlock()
+	if !adopted {
+		t.Fatal("snapshot-built index was not adopted by the writer")
+	}
+
+	// The writer extends the adopted index in place (COW off the shared
+	// copy); the next snapshot sees the extended groups without a rebuild,
+	// and the old snapshot keeps its version.
+	d.MustInsert("S", value.Num(3), value.Base("a"))
+	s2 := d.Snapshot()
+	if got := ords(s2.Index("S", 1).Lookup(s2, value.Base("a"))); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("s2 Lookup(a) = %v, want [0 2]", got)
+	}
+	if got := ords(s1.Index("S", 1).Lookup(s1, value.Base("a"))); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("s1 Lookup(a) = %v, want [0]", got)
+	}
+
+	// Adoption must refuse stale indexes: one built on an old snapshot
+	// after the writer moved on stays snapshot-local.
+	s1.Index("S", 0)
+	d.mu.Lock()
+	stale := d.indexes[indexKey{"S", 0}]
+	d.mu.Unlock()
+	if stale != nil {
+		t.Fatal("stale snapshot index adopted by a writer that moved on")
+	}
+}
+
+// TestFreshNullsRejectedOnSnapshots: the allocation counters of a
+// snapshot are frozen, so handing out "fresh" IDs from one could collide
+// with the live writer's.
+func TestFreshNullsRejectedOnSnapshots(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("S", value.Num(1), value.Base("a"))
+	s := d.Snapshot()
+	for _, f := range []func() value.Value{s.FreshBaseNull, s.FreshNumNull} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("fresh-null allocation on a snapshot did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestIncrementalNaNParity: NaN numerical constants (insertable over the
+// wire) must land in the inventories exactly where a from-scratch sort
+// puts them — sort.Float64s and cmp.Less order NaNs first, and the
+// incremental sorted merge must agree bit for bit.
+func TestIncrementalNaNParity(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("S", value.Num(1), value.Base("a"))
+	d.MustInsert("S", value.Num(2), value.Base("b"))
+	if got := d.NumConstants(); len(got) != 2 { // warm the inventories
+		t.Fatalf("NumConstants = %v", got)
+	}
+	d.MustInsert("S", value.Num(math.NaN()), value.Base("c"))
+	d.MustInsert("S", value.Num(0.5), value.Base("d"))
+	got := d.NumConstants()
+	want := d.Clone().NumConstants()
+	if len(got) != len(want) {
+		t.Fatalf("NumConstants: %v vs rebuild %v", got, want)
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("NumConstants diverged at %d: %v vs rebuild %v", i, got, want)
+		}
+	}
+	if !math.IsNaN(got[0]) {
+		t.Fatalf("NaN not sorted first: %v", got)
+	}
+}
+
+// TestIncrementalDistinctStats: planner statistics (EqIndex.Distinct)
+// track inserts without a rebuild.
+func TestIncrementalDistinctStats(t *testing.T) {
+	d := New(randSchema())
+	d.MustInsert("S", value.Num(1), value.Base("a"))
+	ix := d.Index("S", 1)
+	if got := ix.Distinct(); got != 1 {
+		t.Fatalf("Distinct = %d, want 1", got)
+	}
+	d.MustInsert("S", value.Num(2), value.Base("b"))
+	d.MustInsert("S", value.Num(3), value.Base("a"))
+	if got := d.Index("S", 1).Distinct(); got != 2 {
+		t.Fatalf("Distinct after inserts = %d, want 2", got)
+	}
+	if got := ords(d.Index("S", 1).Lookup(d, value.Base("a"))); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Lookup(a) = %v, want [0 2]", got)
+	}
+}

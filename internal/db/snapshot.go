@@ -1,0 +1,96 @@
+package db
+
+// Copy-on-write snapshots: Snapshot publishes an immutable view of the
+// database that concurrent readers keep using while later inserts land.
+//
+// Everything the store holds is append-only — column arrays, the string
+// dictionary, equality-index group slices, the sorted inventory slices —
+// so a snapshot is just a bundle of slice headers cut at the current
+// lengths plus references to the current index and inventory maps. The
+// writer never mutates memory a snapshot can reach:
+//
+//   - appends to shared backing arrays only write past every published
+//     length, which no reader bounded by its own headers can access;
+//   - map-shaped state (equality-index groups, the dictionary's code map,
+//     numNullIndex) is cloned copy-on-write before the writer's first
+//     mutation after publishing — sharedIx / dict.shared / invShared mark
+//     what a snapshot still references;
+//   - rebuilt inventory slices are always freshly allocated.
+//
+// Snapshot itself is RCU-shaped: the published view lives in an atomic
+// pointer, the fast path is one atomic load plus a version compare, and
+// the slow path (first Snapshot after a commit) materializes a fresh view
+// under the writer lock and swaps it in. Old snapshots stay valid for as
+// long as anyone holds them; abandoned ones are garbage collected.
+
+// Snapshot returns an immutable view of the database's current contents.
+// The view is itself a *Database — every read accessor works on it and
+// Insert is rejected — so planners, executors and engines run on it
+// unchanged. Any number of goroutines may read one snapshot (or many
+// different ones) concurrently with a writer inserting and publishing new
+// versions; a reader's snapshot never changes underneath it.
+//
+// Calling Snapshot on an unchanged database returns the same view (one
+// atomic load); the first call after a commit materializes a new view,
+// which costs O(#tables + #columns + #cached indexes) header copies —
+// never a scan — plus, on the next insert, a copy-on-write clone of each
+// index map the snapshot shares. Snapshot on a snapshot returns itself.
+func (d *Database) Snapshot() *Database {
+	if d.frozen {
+		return d
+	}
+	if s := d.snap.Load(); s != nil && s.version.Load() == d.version.Load() {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s := d.snap.Load(); s != nil && s.version.Load() == d.version.Load() {
+		return s
+	}
+	s := d.freezeLocked()
+	d.snap.Store(s)
+	return s
+}
+
+// freezeLocked materializes the frozen view of the current state and
+// marks the shared mutable structures for copy-on-write. Callers hold
+// d.mu.
+func (d *Database) freezeLocked() *Database {
+	// Queries need the null-variable indexing; building it here (still
+	// incremental) keeps the snapshot allocation-free on the read side.
+	d.buildInventories()
+	s := &Database{
+		schema:       d.schema,
+		tables:       make(map[string]*table, len(d.tables)),
+		nextBaseNull: d.nextBaseNull,
+		nextNumNull:  d.nextNumNull,
+		frozen:       true,
+		origin:       d,
+
+		invValid:     true,
+		baseNulls:    d.baseNulls,
+		numNulls:     d.numNulls,
+		numNullIndex: d.numNullIndex,
+		numConsts:    d.numConsts,
+
+		baseConstsLen: d.baseConstsLen,
+		baseConsts:    d.baseConsts,
+	}
+	s.version.Store(d.version.Load())
+	s.dict = d.dict.share()
+	for rel, tb := range d.tables {
+		s.tables[rel] = tb.view()
+	}
+	if len(d.indexes) > 0 {
+		s.indexes = make(map[indexKey]*EqIndex, len(d.indexes))
+		if d.sharedIx == nil {
+			d.sharedIx = make(map[indexKey]bool, len(d.indexes))
+		}
+		for k, ix := range d.indexes {
+			s.indexes[k] = ix
+			d.sharedIx[k] = true
+		}
+	}
+	d.invShared = true
+	return s
+}

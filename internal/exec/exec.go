@@ -24,6 +24,13 @@
 // pre-planner evaluator regardless of the join order executed; when the
 // planner reordered joins, Run restores the original derivation order
 // before emitting.
+//
+// The executor is snapshot-ready: a cursor resolves its column views,
+// equality indexes and row counts once at construction, so running it
+// over db.Snapshot() — an immutable view — is safe concurrently with a
+// writer committing new versions. Running over the live writer database
+// is only safe while no insert is in flight (the single-goroutine
+// Session regime).
 package exec
 
 import (

@@ -392,7 +392,10 @@ func (b *builder) chooseOrder(identity []int, edges [][]bool, jedges []joinEdge,
 	// fanout estimates the per-outer-row match count of joining position
 	// t through its local column c: |t| / distinct(t.c). The distinct
 	// count is one Index call — a sequential scan over the columnar
-	// layout on first use, cached on the database afterwards (or a
+	// layout on first use, cached on the database afterwards and kept
+	// fresh by incremental index maintenance: an insert extends the
+	// cached groups in place, so the estimate tracks the live relation
+	// without a rebuild (or a
 	// transient build when persistent indexes are disabled).
 	distinct := make(map[[2]int]float64)
 	fanout := func(t, c int) float64 {

@@ -1,0 +1,181 @@
+package server
+
+// Tests of the write path: POST /v1/insert with atomic batches, snapshot
+// pinning for in-flight queries, and parity between a mutated server and
+// a direct Session over the same data.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/sqlfront"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+const insertTestQuery = `SELECT P.seg FROM Products P, Market M
+	WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 6`
+
+func TestInsertEndToEnd(t *testing.T) {
+	d := testDB().Clone()
+	_, c, _ := newTestServer(t, Config{DB: d, Engine: core.Options{Seed: 7}})
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.MeasureSQL(ctx, insertTestQuery, 0.05, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert market rows that dominate every product so the join grows.
+	res, err := c.Insert(ctx, "Market", []value.Tuple{
+		{value.Base("seg0"), value.Num(10000), value.Num(1)},
+		{value.Base("seg1"), value.Num(10000), value.Num(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 {
+		t.Fatalf("inserted = %d, want 2", res.Inserted)
+	}
+	if res.Version == 0 {
+		t.Fatal("version did not advance")
+	}
+
+	info2, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Tuples != info.Tuples+2 {
+		t.Fatalf("tuples = %d, want %d", info2.Tuples, info.Tuples+2)
+	}
+
+	after, err := c.MeasureSQL(ctx, insertTestQuery, 0.05, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Derivations <= before.Derivations {
+		t.Fatalf("derivations %d -> %d: insert not visible to queries",
+			before.Derivations, after.Derivations)
+	}
+
+	// Parity: the mutated server must agree bit-for-bit with a direct
+	// session over the same (incrementally maintained) database.
+	q, err := sqlfront.Parse(insertTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(core.Options{Seed: 7, PoolWorkers: 1})
+	want, err := eng.MeasureSQL(q, d.Snapshot(), 0.05, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, "after insert", after, want)
+}
+
+func TestInsertRejectsInvalidBatchAtomically(t *testing.T) {
+	d := testDB().Clone()
+	_, c, _ := newTestServer(t, Config{DB: d})
+	ctx := context.Background()
+	n := d.Len("Market")
+	version := d.Version()
+
+	cases := []struct {
+		rel    string
+		tuples []value.Tuple
+	}{
+		{"Nope", []value.Tuple{{value.Num(1)}}},
+		{"Market", []value.Tuple{{value.Base("m")}}}, // arity
+		{"Market", []value.Tuple{
+			{value.Base("seg0"), value.Num(1), value.Num(1)},
+			{value.Num(3), value.Num(1), value.Num(1)}, // sort mismatch in tuple 2
+		}},
+	}
+	for _, tc := range cases {
+		_, err := c.Insert(ctx, tc.rel, tc.tuples)
+		se := &client.ServerError{}
+		if err == nil || !asServerError(err, &se) || se.Status != http.StatusBadRequest {
+			t.Fatalf("Insert(%s, %v): err = %v, want 400", tc.rel, tc.tuples, err)
+		}
+	}
+	if d.Len("Market") != n || d.Version() != version {
+		t.Fatalf("failed inserts changed the database: len %d->%d version %d->%d",
+			n, d.Len("Market"), version, d.Version())
+	}
+}
+
+func TestInsertReadOnly(t *testing.T) {
+	_, c, _ := newTestServer(t, Config{DB: testDB().Clone(), ReadOnly: true})
+	_, err := c.Insert(context.Background(), "Market", []value.Tuple{
+		{value.Base("m"), value.Base("s"), value.Num(1), value.Num(1)},
+	})
+	se := &client.ServerError{}
+	if err == nil || !asServerError(err, &se) || se.Status != http.StatusForbidden || se.Code != wire.CodeReadOnly {
+		t.Fatalf("read-only insert: err = %v, want 403 %s", err, wire.CodeReadOnly)
+	}
+}
+
+// TestInsertConcurrentWithQueries hammers the server with measuring
+// clients while a writer streams insert batches — the mixed workload the
+// snapshot layer exists for. Every response must be internally
+// consistent (derivations monotone over versions is not guaranteed per
+// response-order, but responses must never fail), and the final state
+// must match the writer's count. Run with -race.
+func TestInsertConcurrentWithQueries(t *testing.T) {
+	d := testDB().Clone()
+	_, c, _ := newTestServer(t, Config{DB: d, Engine: core.Options{Seed: 7}, MaxInflight: 4})
+	ctx := context.Background()
+
+	const (
+		readers = 3
+		queries = 6
+		batches = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*queries+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				if _, err := c.MeasureSQL(ctx, insertTestQuery, 0.1, 0.25); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			_, err := c.Insert(ctx, "Orders", []value.Tuple{
+				{value.Base("o-new"), value.Base("p0"), value.NullNum(100000 + i), value.Num(0.5)},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Size(); info.Tuples != want {
+		t.Fatalf("final tuples = %d, want %d", info.Tuples, want)
+	}
+}

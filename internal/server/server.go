@@ -1,7 +1,7 @@
 // Package server is the multi-user HTTP/JSON front of the arithdb
-// pipeline: one shared immutable Database whose indexes and inventories
-// are built once and shared by every request, one engine (the Session
-// unit) per request, and a wire protocol around MeasureSQL.
+// pipeline: one shared versioned Database, one engine (the Session unit)
+// per request pinned to a copy-on-write snapshot of the database, and a
+// wire protocol around MeasureSQL plus a write endpoint.
 //
 // Endpoints:
 //
@@ -10,15 +10,28 @@
 //	POST /v1/sql/measure       fused measure pipeline; set "stream": true
 //	                           for incremental top-k delivery (NDJSON, or
 //	                           SSE under Accept: text/event-stream)
+//	POST /v1/insert            atomic tuple-batch insert into one relation
+//	                           (rejected with 403 when Config.ReadOnly)
 //	GET  /v1/experiments       the paper's Figure 1 workloads
 //	POST /v1/experiments/run   run one workload, with wall time
 //
+// Writes are first-class: every measuring request pins db.Snapshot() —
+// an immutable copy-on-write view behind one atomic load — for its whole
+// lifetime, while inserts land on the writer through incremental index
+// and inventory maintenance (internal/db), so mixed insert/query traffic
+// never drops an index and never blocks a reader mid-query. Writes are
+// serialized by the server and each batch is atomic: validated in full
+// before the first append, committed as one version step.
+//
 // Responses are lossless (see package wire): a client reconstructs the
-// exact tuples and measures a direct Session call would return, bit for
-// bit, regardless of how many other clients are hammering the server —
-// per-candidate seeding makes measurement deterministic, and the shared
-// state (equality indexes, inventories, compiled-kernel cache) is
-// concurrency-safe and value-neutral.
+// exact tuples and measures a direct Session call over the same snapshot
+// would return, bit for bit, regardless of how many other clients are
+// hammering the server — per-candidate seeding makes measurement
+// deterministic, and the shared state (equality indexes, inventories,
+// compiled-kernel cache) is concurrency-safe and value-neutral. The
+// compiled-kernel cache is keyed by formula identity, not database
+// version, so it survives snapshot swaps: candidate constraints an
+// insert did not change stay compiled across versions.
 //
 // Admission control: the measuring endpoints pass through a counting
 // semaphore (MaxInflight) with a bounded queue wait (QueueTimeout);
@@ -47,15 +60,20 @@ import (
 	"repro/internal/db"
 	"repro/internal/sqlast"
 	"repro/internal/sqlfront"
+	"repro/internal/value"
 	"repro/internal/wire"
 )
 
 // Config configures a Server. DB is required; everything else has
 // production-safe defaults.
 type Config struct {
-	// DB is the shared database. The server never mutates it; its lazily
-	// built indexes and inventories are concurrency-safe.
+	// DB is the shared database: the writer the insert endpoint commits
+	// to, and the source of the per-request snapshots every read pins.
 	DB *db.Database
+	// ReadOnly disables POST /v1/insert (403 with code "read-only").
+	ReadOnly bool
+	// MaxInsertTuples bounds one insert batch. Default 4096.
+	MaxInsertTuples int
 	// Engine is the per-request engine configuration. A fixed Seed makes
 	// every response deterministic. PoolWorkers is the per-request
 	// measurement worker budget; 0 divides GOMAXPROCS by MaxInflight.
@@ -125,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRelations <= 0 {
 		c.MaxRelations = 16
 	}
+	if c.MaxInsertTuples <= 0 {
+		c.MaxInsertTuples = 4096
+	}
 	if c.StreamWriteTimeout <= 0 {
 		c.StreamWriteTimeout = 30 * time.Second
 	}
@@ -140,6 +161,10 @@ type Server struct {
 	kernels *core.Kernels
 	gate    *gate
 	mux     *http.ServeMux
+
+	// writeMu serializes inserts: the database requires one writer at a
+	// time (readers are unaffected — they hold snapshots).
+	writeMu sync.Mutex
 
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -165,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("POST /v1/sql/measure", s.handleMeasure)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/experiments/run", s.handleExperimentRun)
 	return s, nil
@@ -173,11 +199,20 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown stops admitting new measure requests (they get 503s) and
-// waits until the in-flight ones drain or ctx expires. The HTTP listener
-// itself is the caller's to close (http.Server.Shutdown).
+// Shutdown stops admitting new measure requests and inserts (they get
+// 503s) and waits until the in-flight ones drain or ctx expires: the
+// gate reclaims every measuring slot, and acquiring the write lock
+// flushes out any insert that passed its drain check before the gate
+// closed. The HTTP listener itself is the caller's to close
+// (http.Server.Shutdown).
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.shutdownOnce.Do(func() { s.shutdownErr = s.gate.shutdown(ctx) })
+	s.shutdownOnce.Do(func() {
+		s.shutdownErr = s.gate.shutdown(ctx)
+		s.writeMu.Lock()
+		//lint:ignore SA2001 acquiring the lock is the synchronization:
+		// it waits out the last in-flight insert.
+		s.writeMu.Unlock()
+	})
 	return s.shutdownErr
 }
 
@@ -222,7 +257,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	d := s.cfg.DB
+	d := s.cfg.DB.Snapshot()
 	info := wire.InfoResponse{
 		Tuples:    d.Size(),
 		BaseNulls: len(d.BaseNulls()),
@@ -337,9 +372,12 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release fu
 
 // measureSQL runs the fused pipeline for an admitted request, bound to
 // the request context: a client that disconnects mid-measurement frees
-// its slot promptly instead of computing results nobody reads.
+// its slot promptly instead of computing results nobody reads. The
+// request's engine is pinned to one database snapshot for its whole
+// life, so concurrent inserts never shift the data under a running
+// query.
 func (s *Server) measureSQL(w http.ResponseWriter, r *http.Request, q *sqlast.Query, eps, delta float64) (*core.SQLMeasured, bool) {
-	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.cfg.DB, eps, delta)
+	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.cfg.DB.Snapshot(), eps, delta)
 	switch {
 	case err == nil:
 		return res, true
@@ -410,7 +448,7 @@ func (s *Server) streamMeasure(w http.ResponseWriter, r *http.Request, q *sqlast
 	// admission slot frees promptly instead of measuring into the void.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	info, err := s.engine().MeasureSQLStream(ctx, q, s.cfg.DB, eps, delta,
+	info, err := s.engine().MeasureSQLStream(ctx, q, s.cfg.DB.Snapshot(), eps, delta,
 		func(idx int, c core.MeasuredCandidate) error {
 			wc := toWireCandidate(c, includePhi)
 			if err := ew.write(wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wc}); err != nil {
@@ -496,6 +534,66 @@ func (ew *eventWriter) close() {
 	if ew.started && ew.timeout > 0 {
 		_ = ew.rc.SetWriteDeadline(time.Time{})
 	}
+}
+
+// handleInsert commits one atomic tuple batch into a relation. Writes
+// bypass the measuring gate (they are cheap and never sample) but are
+// serialized among themselves, and the drain check runs under the write
+// lock — which Shutdown acquires after the gate drains — so once
+// Shutdown returns no insert is in flight and none can start: the
+// database is quiescent.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		s.writeError(w, http.StatusForbidden, wire.CodeReadOnly, "server is read-only")
+		return
+	}
+	var req wire.InsertRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Relation == "" {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "relation is required")
+		return
+	}
+	if len(req.Tuples) == 0 {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "tuples are required")
+		return
+	}
+	if len(req.Tuples) > s.cfg.MaxInsertTuples {
+		s.writeError(w, http.StatusRequestEntityTooLarge, wire.CodeBadRequest,
+			fmt.Sprintf("batch of %d tuples exceeds the server limit of %d", len(req.Tuples), s.cfg.MaxInsertTuples))
+		return
+	}
+	tuples := make([]value.Tuple, len(req.Tuples))
+	for i, wt := range req.Tuples {
+		t, err := wire.ToTuple(wt)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+				fmt.Sprintf("tuple %d: %v", i, err))
+			return
+		}
+		tuples[i] = t
+	}
+	s.writeMu.Lock()
+	if s.gate.closed.Load() {
+		s.writeMu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "shutting down")
+		return
+	}
+	err := s.cfg.DB.InsertBatch(req.Relation, tuples)
+	n := s.cfg.DB.Len(req.Relation)
+	version := s.cfg.DB.Version()
+	s.writeMu.Unlock()
+	if err != nil {
+		// InsertBatch validates before appending: nothing was applied.
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.InsertResponse{
+		Inserted: len(req.Tuples),
+		Tuples:   n,
+		Version:  version,
+	})
 }
 
 // Experiments are the paper's Figure 1 decision-support workloads, run

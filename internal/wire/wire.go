@@ -147,6 +147,26 @@ func (m Measure) Result() (core.Result, error) {
 	return r, nil
 }
 
+// InsertRequest is the body of POST /v1/insert: a batch of tuples for one
+// relation. The batch is atomic — the server validates every tuple before
+// appending the first one, so either the whole batch commits (as one
+// database version step) or nothing changes.
+type InsertRequest struct {
+	Relation string    `json:"relation"`
+	Tuples   [][]Value `json:"tuples"`
+}
+
+// InsertResponse reports a committed insert batch.
+type InsertResponse struct {
+	// Inserted is the number of tuples committed by this request.
+	Inserted int `json:"inserted"`
+	// Tuples is the relation's row count after the commit.
+	Tuples int `json:"tuples"`
+	// Version is the database version after the commit; queries admitted
+	// afterwards observe at least this version.
+	Version int64 `json:"version"`
+}
+
 // MeasureRequest is the body of POST /v1/sql/measure.
 type MeasureRequest struct {
 	SQL string `json:"sql"`
@@ -216,6 +236,7 @@ const (
 	CodeBusy         = "busy"
 	CodeShuttingDown = "shutting-down"
 	CodeInternal     = "internal"
+	CodeReadOnly     = "read-only"
 )
 
 // ColumnInfo / RelationInfo / InfoResponse describe the served database

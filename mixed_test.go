@@ -1,0 +1,183 @@
+package arithdb_test
+
+// Mixed insert/query workload tests: incrementally maintained indexes
+// and inventories must be invisible in query results — byte-identical to
+// a from-scratch rebuild after every insert — and snapshot-pinned
+// readers must see stable results while a writer commits (run the suite
+// with -race to check the latter).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	arithdb "repro"
+)
+
+// salesFixture builds a small sales database for mutation tests (the
+// shared figureWorkload database must stay immutable).
+func salesFixture(t testing.TB) *arithdb.Database {
+	t.Helper()
+	d, err := arithdb.GenerateSales(arithdb.SalesConfig{
+		Seed: 11, Products: 60, Orders: 45, Market: 20, Segments: 6,
+		NullRate: 0.3, MarketNullRate: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// randMarketTuple draws a Market(seg, rrp, dis) tuple; a third of the
+// rows carry fresh numerical nulls so the inventories and the formula
+// variable indexing keep shifting.
+func randMarketTuple(rng *rand.Rand, d *arithdb.Database) arithdb.Tuple {
+	rrp := arithdb.Value(arithdb.Num(float64(rng.Intn(200)) / 2))
+	if rng.Intn(3) == 0 {
+		rrp = d.FreshNumNull()
+	}
+	return arithdb.Tuple{
+		arithdb.Base(fmt.Sprintf("seg%d", rng.Intn(6))),
+		rrp,
+		arithdb.Num(float64(rng.Intn(10)) / 10),
+	}
+}
+
+// evalFingerprint renders a conditional evaluation byte-comparably.
+func evalFingerprint(t testing.TB, eng *arithdb.Engine, q *arithdb.SQLQuery, d *arithdb.Database) string {
+	t.Helper()
+	res, err := eng.EvaluateSQL(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fmt.Sprintf("derivations=%d nulls=%v\n", res.Derivations, res.NullIDs)
+	for _, c := range res.Candidates {
+		out += fmt.Sprintf("%s | %v\n", c.Tuple.Key(), c.Phi)
+	}
+	return out
+}
+
+// TestIncrementalQueryParity grows a database by incremental inserts
+// with hot caches and verifies, after every insert, that conditional
+// evaluation is byte-identical to a from-scratch rebuild (Clone starts
+// with cold caches), and that measured confidences agree bit-for-bit.
+func TestIncrementalQueryParity(t *testing.T) {
+	d := salesFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	query, err := arithdb.ParseSQL(arithdb.QueryCompetitiveAdvantage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := arithdb.NewEngine(arithdb.EngineOptions{Seed: 7})
+	sess := arithdb.NewSession(d, arithdb.EngineOptions{Seed: 7})
+
+	// Warm every cache the query touches, so inserts maintain them.
+	evalFingerprint(t, eng, query, d)
+
+	for i := 0; i < 25; i++ {
+		if err := sess.Insert("Market", randMarketTuple(rng, d)...); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			d.Snapshot() // exercise the copy-on-write paths too
+		}
+		got := evalFingerprint(t, eng, query, d)
+		want := evalFingerprint(t, eng, query, d.Clone())
+		if got != want {
+			t.Fatalf("insert %d: incremental evaluation diverged from rebuild:\n--- incremental\n%s--- rebuild\n%s", i, got, want)
+		}
+	}
+
+	// Measured confidences over the final state: incremental vs rebuilt,
+	// bit-identical.
+	res, err := sess.MeasureSQLQuery(query, 0.1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := arithdb.NewSession(d.Clone(), arithdb.EngineOptions{Seed: 7})
+	want, err := rebuilt.MeasureSQLQuery(query, 0.1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != len(want.Candidates) {
+		t.Fatalf("candidates %d vs %d", len(res.Candidates), len(want.Candidates))
+	}
+	for i := range res.Candidates {
+		g, w := res.Candidates[i], want.Candidates[i]
+		if !g.Tuple.Equal(w.Tuple) ||
+			math.Float64bits(g.Measure.Value) != math.Float64bits(w.Measure.Value) {
+			t.Fatalf("candidate %d: (%v, %v) vs (%v, %v)", i, g.Tuple, g.Measure.Value, w.Tuple, w.Measure.Value)
+		}
+	}
+}
+
+// TestSnapshotQueriesUnderConcurrentInserts pins snapshots in reader
+// goroutines and measures on them repeatedly while the writer keeps
+// inserting — results on one snapshot must be bit-identical no matter
+// how many commits land meanwhile. Run with -race.
+func TestSnapshotQueriesUnderConcurrentInserts(t *testing.T) {
+	d := salesFixture(t)
+	query, err := arithdb.ParseSQL(arithdb.QueryCompetitiveAdvantage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the caches so writers exercise incremental maintenance + COW.
+	arithdb.NewEngine(arithdb.EngineOptions{Seed: 7}).EvaluateSQL(query, d)
+
+	const readers = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eng := arithdb.NewEngine(arithdb.EngineOptions{Seed: 7, PoolWorkers: 1})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := d.Snapshot()
+				a, err := eng.MeasureSQL(query, snap, 0.1, 0.25)
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, err := eng.MeasureSQL(query, snap, 0.1, 0.25)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(a.Candidates) != len(b.Candidates) {
+					errs <- fmt.Errorf("reader %d: snapshot result moved: %d vs %d candidates",
+						r, len(a.Candidates), len(b.Candidates))
+					return
+				}
+				for j := range a.Candidates {
+					if math.Float64bits(a.Candidates[j].Measure.Value) != math.Float64bits(b.Candidates[j].Measure.Value) {
+						errs <- fmt.Errorf("reader %d: candidate %d measure moved", r, j)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	sess := arithdb.NewSession(d, arithdb.EngineOptions{Seed: 7})
+	for i := 0; i < 40; i++ {
+		if err := sess.Insert("Market", randMarketTuple(rng, d)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

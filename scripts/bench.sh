@@ -10,17 +10,20 @@
 #     the columnar executor (allocs/op guarded by scripts/alloc_check.sh);
 #   - BenchmarkSQLPipelineSweep: repeated-MeasureSQL ε-sweep showing the
 #     shared compiled-kernel cache of the fused measurement pool;
+#   - BenchmarkMixedInsertQuery: the write path — one insert + one
+#     indexed query per op under incremental index maintenance, with the
+#     snapshot (copy-on-write) and drop-and-rebuild regimes alongside;
 #   - BenchmarkServerThroughput: end-to-end HTTP requests/second through
 #     the multi-user server (internal/server), all clients sharing one
 #     database under admission control.
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
-#   scripts/bench.sh                 # -bench 'Figure1|SQLPipeline|ServerThroughput' -benchtime 1s
+#   scripts/bench.sh                 # the default family below, -benchtime 1s
 #   scripts/bench.sh Figure1a 5x     # quicker, single series
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline|ServerThroughput}"
+bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|ServerThroughput}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 

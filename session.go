@@ -33,6 +33,29 @@ func NewSession(d *Database, opts EngineOptions) *Session {
 // Database returns the session's database.
 func (s *Session) Database() *Database { return s.d }
 
+// Insert adds one tuple to the named relation. Inserts are atomic (a
+// tuple failing validation leaves the database bit-identical) and
+// incremental: cached equality indexes, distinct-key statistics and
+// active-domain inventories are updated in place, so interleaving
+// inserts with MeasureSQL keeps hardware speed instead of re-indexing
+// per query.
+func (s *Session) Insert(rel string, vals ...Value) error {
+	return s.d.Insert(rel, Tuple(vals))
+}
+
+// InsertBatch adds tuples to the named relation as one atomic batch:
+// every tuple is validated before the first is appended, and the batch
+// commits as a single database version step.
+func (s *Session) InsertBatch(rel string, tuples []Tuple) error {
+	return s.d.InsertBatch(rel, tuples)
+}
+
+// Snapshot returns an immutable view of the session's database for
+// concurrent readers: other goroutines (or other Sessions) can keep
+// querying the snapshot while this session inserts. See
+// Database.Snapshot.
+func (s *Session) Snapshot() *Database { return s.d.Snapshot() }
+
 // Engine returns the session's engine, for direct measurement calls
 // (e.g. ε-sweeps over previously evaluated candidates, which then share
 // the engine's compiled-formula cache).
