@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke
+.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -33,6 +33,17 @@ bench:
 # scripts/alloc_budget.txt (CI runs this alongside the race job).
 bench-check:
 	scripts/alloc_check.sh
+
+# crash-check is the durability gauntlet (CI runs it as its own job):
+# fault-injected WAL failures, crashes simulated at every record boundary
+# and at torn offsets inside records, recovery parity down to the
+# measure bits, and the degraded read-only server path. -count=1 defeats
+# the test cache so the fault injection actually reruns.
+crash-check:
+	$(GO) test ./internal/wal -count=1 -run 'TestLog|TestFaultFS|TestStore'
+	$(GO) test . -count=1 -run 'TestDurable'
+	$(GO) test ./internal/server -count=1 -run 'TestServerDegradesOnWALFault|TestServerDurableInsertRecovers'
+	$(GO) test ./internal/dbio -count=1 -run 'TestSave'
 
 # fuzz-smoke gives each wire-protocol fuzzer a short budget: malformed
 # requests and SQL must come back as structured errors, never panics

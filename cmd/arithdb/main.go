@@ -205,7 +205,7 @@ func runSQL(args []string) {
 // client. Responses are lossless, so the printed tuples and measures are
 // exactly what a local session over the server's database would print.
 func runSQLRemote(base, query string, eps, delta float64, stream bool) {
-	c := client.New(base)
+	c := client.New(base).WithRetry(client.DefaultRetry)
 	ctx := context.Background()
 	printWire := func(wc wire.MeasuredCandidate) {
 		tuple, err := wire.ToTuple(wc.Tuple)
@@ -358,7 +358,7 @@ func runInsert(args []string) {
 		log.Fatal("insert: exactly one of -data or -connect is required")
 	}
 	if *connect != "" {
-		res, err := client.New(*connect).Insert(context.Background(), *rel, tuples)
+		res, err := client.New(*connect).WithRetry(client.DefaultRetry).Insert(context.Background(), *rel, tuples)
 		if err != nil {
 			log.Fatal(err)
 		}

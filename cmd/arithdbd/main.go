@@ -9,6 +9,14 @@
 //	arithdbd -data DIR [-addr :8080] [-max-inflight N] [-workers N]
 //	         [-queue-timeout 2s] [-seed S] [-min-eps 0.005] [-read-only]
 //	arithdbd -gen 20000 ...       # synthetic sales database instead of -data
+//	arithdbd -data-dir DIR ...    # durable mode: WAL + checkpoints
+//
+// With -data-dir the server is durable: startup recovers the newest
+// checkpoint and replays the write-ahead log, every acknowledged insert
+// is fsync'd to the WAL before it is applied, a background checkpointer
+// (-checkpoint-every) folds the log into fresh checkpoints off immutable
+// snapshots, and a WAL failure degrades the server to read-only 503s
+// instead of crashing it. -data/-gen then only seed a fresh directory.
 //
 // Clients: `arithdb sql -connect http://host:8080 -query "SELECT ..."`,
 // or any HTTP client (see README "Server mode" for the endpoints).
@@ -29,6 +37,7 @@ import (
 
 	arithdb "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -49,33 +58,60 @@ func main() {
 		compileCache = flag.Int("compile-cache", 0, "cross-request compiled-kernel cache entries (0 = default 1024)")
 		readOnly     = flag.Bool("read-only", false, "disable POST /v1/insert (serve a frozen database)")
 		shutdownWait = flag.Duration("shutdown-wait", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+		dataDir      = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); -data/-gen seed it on first boot")
+		ckptEvery    = flag.Duration("checkpoint-every", time.Minute, "background checkpoint period in -data-dir mode (0 disables)")
+		noSync       = flag.Bool("no-sync", false, "skip the per-insert WAL fsync (benchmarks only: trades crash durability for throughput)")
 	)
 	flag.Parse()
 
-	var (
-		d   *arithdb.Database
-		err error
-	)
-	switch {
-	case *data != "" && *gen > 0:
+	if *data != "" && *gen > 0 {
 		log.Fatal("-data and -gen are mutually exclusive")
-	case *data != "":
-		d, err = arithdb.LoadDatabase(*data)
-	case *gen > 0:
-		d, err = arithdb.GenerateSales(arithdb.SalesConfig{
-			Seed: *genSeed, Products: *gen, Orders: *gen * 4 / 5, Market: *gen / 5,
-			Segments: *gen / 10, NullRate: *genNullRate,
-		})
-	default:
-		log.Fatal("one of -data or -gen is required")
 	}
-	if err != nil {
+	// seedDB builds the initial database from -data/-gen. In durable mode
+	// it only runs when the data directory holds no state yet.
+	seedDB := func() (*arithdb.Database, error) {
+		switch {
+		case *data != "":
+			return arithdb.LoadDatabase(*data)
+		case *gen > 0:
+			return arithdb.GenerateSales(arithdb.SalesConfig{
+				Seed: *genSeed, Products: *gen, Orders: *gen * 4 / 5, Market: *gen / 5,
+				Segments: *gen / 10, NullRate: *genNullRate,
+			})
+		}
+		return nil, errors.New("one of -data or -gen is required to seed a fresh database")
+	}
+
+	var (
+		d     *arithdb.Database
+		store *wal.Store
+		err   error
+	)
+	if *dataDir != "" {
+		store, err = wal.Open(*dataDir, wal.Options{
+			Seed:            seedDB,
+			CheckpointEvery: *ckptEvery,
+			NoSync:          *noSync,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = store.DB()
+		log.Printf("recovered %s: %d tuples, seq %d (checkpoint covers %d)",
+			*dataDir, d.Size(), store.Seq(), store.CheckpointSeq())
+	} else if d, err = seedDB(); err != nil {
 		log.Fatal(err)
 	}
 
+	var durable server.Durability
+	if store != nil {
+		durable = store
+	}
 	srv, err := server.New(server.Config{
 		DB:       d,
 		ReadOnly: *readOnly,
+		Durable:  durable,
 		Engine: arithdb.EngineOptions{
 			Seed:             *seed,
 			PoolWorkers:      *workers,
@@ -115,6 +151,17 @@ func main() {
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if store != nil {
+		// The server has drained: no insert is in flight. Fold the WAL tail
+		// into a final checkpoint (best effort — recovery replays the log
+		// either way), then sync and close the log.
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "arithdbd: bye")
 }

@@ -1,0 +1,76 @@
+package arithdb_test
+
+// BenchmarkInsertDurable prices durability on the write path: each op is
+// one committed batch through the WAL store — validate, encode, append,
+// fsync, apply — against the in-memory InsertBatch baseline. The nosync
+// variant isolates the fsync cost from the logging cost. The alloc
+// budget (scripts/alloc_budget.txt) guards the logging overhead: the
+// encode path reuses one buffer, so a committed batch should stay within
+// a few dozen allocations over the in-memory baseline no matter how the
+// storage stack evolves.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	arithdb "repro"
+	"repro/internal/wal"
+)
+
+func benchBatches(n int) [][]arithdb.Tuple {
+	rng := rand.New(rand.NewSource(9))
+	batches := make([][]arithdb.Tuple, n)
+	for i := range batches {
+		batch := make([]arithdb.Tuple, 4)
+		for j := range batch {
+			batch[j] = arithdb.Tuple{
+				arithdb.Base(fmt.Sprintf("seg%d", rng.Intn(6))),
+				arithdb.Num(float64(rng.Intn(200)) / 2),
+				arithdb.Num(float64(rng.Intn(10)) / 10),
+			}
+		}
+		batches[i] = batch
+	}
+	return batches
+}
+
+func BenchmarkInsertDurable(b *testing.B) {
+	seed := func() (*arithdb.Database, error) {
+		return arithdb.GenerateSales(arithdb.SalesConfig{
+			Seed: 11, Products: 60, Orders: 45, Market: 20, Segments: 6,
+			NullRate: 0.3, MarketNullRate: 0.6,
+		})
+	}
+	runStore := func(b *testing.B, noSync bool) {
+		s, err := wal.Open(b.TempDir(), wal.Options{Seed: seed, NoSync: noSync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		batches := benchBatches(b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.InsertBatch("Market", batches[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("wal", func(b *testing.B) { runStore(b, false) })
+	b.Run("wal-nosync", func(b *testing.B) { runStore(b, true) })
+	b.Run("memory", func(b *testing.B) {
+		d, err := seed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches := benchBatches(b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.InsertBatch("Market", batches[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

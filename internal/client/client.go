@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -21,8 +23,9 @@ import (
 
 // Client talks to one arithdbd server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy // zero: no retries (see WithRetry)
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8080").
@@ -45,6 +48,8 @@ type ServerError struct {
 	Status int
 	Code   string
 	Msg    string
+	// RetryAfter is the server's Retry-After hint, when present.
+	RetryAfter time.Duration
 }
 
 func (e *ServerError) Error() string {
@@ -62,7 +67,17 @@ func IsBusy(err error) bool {
 	return se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
 }
 
-func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+// roundTrip runs one request under the retry policy. idempotent marks
+// requests safe to re-run when a transport error hides the first
+// attempt's fate; structured pre-commit rejections (429, non-degraded
+// 503) are retried regardless — see retry.go.
+func (c *Client) roundTrip(ctx context.Context, method, path string, idempotent bool, in, out any) error {
+	return c.withRetries(ctx, idempotent, func() error {
+		return c.do(ctx, method, path, in, out)
+	})
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		blob, err := json.Marshal(in)
@@ -95,6 +110,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 
 func decodeError(resp *http.Response) error {
 	se := &ServerError{Status: resp.StatusCode, Code: wire.CodeInternal}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var er wire.ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
 		se.Msg = er.Error
@@ -109,13 +129,13 @@ func decodeError(resp *http.Response) error {
 
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", true, nil, nil)
 }
 
 // Info fetches the served database's schema and null inventory.
 func (c *Client) Info(ctx context.Context) (*wire.InfoResponse, error) {
 	var out wire.InfoResponse
-	if err := c.roundTrip(ctx, http.MethodGet, "/v1/info", nil, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/info", true, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -132,7 +152,7 @@ func (c *Client) Insert(ctx context.Context, relation string, tuples []value.Tup
 		req.Tuples[i] = wire.FromTuple(t)
 	}
 	var out wire.InsertResponse
-	if err := c.roundTrip(ctx, http.MethodPost, "/v1/insert", req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/insert", false, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -143,7 +163,7 @@ func (c *Client) Insert(ctx context.Context, relation string, tuples []value.Tup
 func (c *Client) MeasureSQL(ctx context.Context, sql string, eps, delta float64) (*wire.MeasureResponse, error) {
 	var out wire.MeasureResponse
 	req := wire.MeasureRequest{SQL: sql, Eps: eps, Delta: delta}
-	if err := c.roundTrip(ctx, http.MethodPost, "/v1/sql/measure", req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/sql/measure", true, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -158,20 +178,33 @@ func (c *Client) MeasureSQLStream(ctx context.Context, sql string, eps, delta fl
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sql/measure", bytes.NewReader(blob))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Accept", "application/x-ndjson")
-	resp, err := c.hc.Do(req)
+	// Only the connection phase retries: once the stream has begun, a
+	// failure mid-stream surfaces to the caller (re-running could replay
+	// candidates the caller already consumed).
+	var resp *http.Response
+	err = c.withRetries(ctx, true, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sql/measure", bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-ndjson")
+		r, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			err := decodeError(r)
+			r.Body.Close()
+			return err
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
 	for sc.Scan() {
@@ -208,7 +241,7 @@ func (c *Client) MeasureSQLStream(ctx context.Context, sql string, eps, delta fl
 // Experiments lists the server's Figure 1 workloads.
 func (c *Client) Experiments(ctx context.Context) (*wire.ExperimentsResponse, error) {
 	var out wire.ExperimentsResponse
-	if err := c.roundTrip(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/experiments", true, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -218,7 +251,7 @@ func (c *Client) Experiments(ctx context.Context) (*wire.ExperimentsResponse, er
 func (c *Client) RunExperiment(ctx context.Context, id string, eps, delta float64) (*wire.ExperimentRunResponse, error) {
 	var out wire.ExperimentRunResponse
 	req := wire.ExperimentRunRequest{ID: id, Eps: eps, Delta: delta}
-	if err := c.roundTrip(ctx, http.MethodPost, "/v1/experiments/run", req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/experiments/run", true, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

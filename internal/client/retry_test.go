@@ -1,0 +1,190 @@
+package client
+
+// Retry-policy tests: transient pushback (429, non-degraded 503) retries
+// with backoff for every endpoint, transport errors retry only for
+// idempotent requests — never for inserts, whose first attempt may have
+// committed — and sticky degraded 503s are never retried.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// fastRetry keeps test backoff tiny.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// flaky serves failures until `failures` requests have been seen, then
+// succeeds.
+type flaky struct {
+	calls    atomic.Int32
+	failures int32
+	status   int
+	code     string
+	ok       func(w http.ResponseWriter, r *http.Request)
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.calls.Add(1) <= f.failures {
+		w.Header().Set("Retry-After", "0")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "nope", Code: f.code})
+		return
+	}
+	f.ok(w, r)
+}
+
+func okJSON(v any) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	}
+}
+
+func TestRetryOnBusyThenSuccess(t *testing.T) {
+	h := &flaky{failures: 2, status: http.StatusTooManyRequests, code: wire.CodeBusy,
+		ok: okJSON(wire.InsertResponse{Inserted: 1, Tuples: 10, Version: 3})}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	// 429 is a pre-commit rejection, so even the non-idempotent insert
+	// retries through it.
+	res, err := c.Insert(context.Background(), "R", []value.Tuple{{value.Num(1)}})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if res.Version != 3 {
+		t.Fatalf("got %+v", res)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryExhaustionSurfacesError(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusServiceUnavailable, code: wire.CodeShuttingDown,
+		ok: okJSON(struct{}{})}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	err := c.Health(context.Background())
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want the final 503", err)
+	}
+	if got := h.calls.Load(); got != int32(fastRetry.MaxAttempts) {
+		t.Fatalf("server saw %d attempts, want %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+func TestNoRetryOnDegraded(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusServiceUnavailable, code: wire.CodeDegraded,
+		ok: okJSON(struct{}{})}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	_, err := c.Insert(context.Background(), "R", []value.Tuple{{value.Num(1)}})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeDegraded {
+		t.Fatalf("got %v, want degraded", err)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a sticky degraded 503, want 1", got)
+	}
+}
+
+func TestNoRetryOnBadRequest(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusBadRequest, code: wire.CodeBadRequest,
+		ok: okJSON(struct{}{})}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	if _, err := c.MeasureSQL(context.Background(), "SELECT", 0, 0); err == nil {
+		t.Fatal("bad request succeeded")
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// failingTransport fails the first n round trips at the transport layer
+// (connection reset shape), then delegates.
+type failingTransport struct {
+	calls atomic.Int32
+	fail  int32
+	inner http.RoundTripper
+}
+
+func (f *failingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if f.calls.Add(1) <= f.fail {
+		return nil, errors.New("read tcp: connection reset by peer")
+	}
+	return f.inner.RoundTrip(r)
+}
+
+func TestTransportErrorRetriesIdempotentOnly(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(okJSON(wire.InfoResponse{Tuples: 7})))
+	defer hs.Close()
+
+	ft := &failingTransport{fail: 2, inner: hs.Client().Transport}
+	c := NewWith(hs.URL, &http.Client{Transport: ft}).WithRetry(fastRetry)
+	info, err := c.Info(context.Background())
+	if err != nil {
+		t.Fatalf("info through flaky transport: %v", err)
+	}
+	if info.Tuples != 7 || ft.calls.Load() != 3 {
+		t.Fatalf("info %+v after %d attempts, want 3 attempts", info, ft.calls.Load())
+	}
+
+	// The same transport failure on an insert must surface immediately:
+	// the first attempt may have committed server-side.
+	ft2 := &failingTransport{fail: 99, inner: hs.Client().Transport}
+	c2 := NewWith(hs.URL, &http.Client{Transport: ft2}).WithRetry(fastRetry)
+	if _, err := c2.Insert(context.Background(), "R", []value.Tuple{{value.Num(1)}}); err == nil {
+		t.Fatal("insert through dead transport succeeded")
+	}
+	if got := ft2.calls.Load(); got != 1 {
+		t.Fatalf("insert made %d attempts over a transport error, want 1", got)
+	}
+}
+
+func TestRetryRespectsContextCancel(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusTooManyRequests, code: wire.CodeBusy,
+		ok: okJSON(struct{}{})}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour})
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health with canceled context succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("canceled context did not cut the backoff short")
+	}
+}
+
+func TestBackoffCapsAndJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	for attempt := 1; attempt <= 6; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, 0)
+			if d <= 0 || d > p.MaxDelay {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, p.MaxDelay)
+			}
+		}
+	}
+	if d := p.backoff(1, 300*time.Millisecond); d != 300*time.Millisecond {
+		t.Fatalf("Retry-After hint ignored: %v", d)
+	}
+}

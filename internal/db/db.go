@@ -226,6 +226,19 @@ func (d *Database) Insert(rel string, t value.Tuple) error {
 	return nil
 }
 
+// CheckBatch validates a batch against the schema without mutating
+// anything: the exact validation InsertBatch runs before its first
+// append. Write-ahead logging uses it to reject invalid batches before
+// they reach the log — a logged record must always replay cleanly.
+func (d *Database) CheckBatch(rel string, tuples []value.Tuple) error {
+	for _, t := range tuples {
+		if _, err := d.checkInsert(rel, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // InsertBatch inserts tuples into the named relation atomically: every
 // tuple is validated before the first one is appended, so an invalid
 // tuple anywhere in the batch leaves the database bit-identical. The

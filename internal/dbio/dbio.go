@@ -22,6 +22,13 @@ const schemaFile = "schema.txt"
 
 // Save writes the database into dir (created if missing): schema.txt plus
 // <Relation>.csv per relation with a header row of column names.
+//
+// Save is crash-safe: every file is written to a temp file in the same
+// directory, fsync'd, and atomically renamed into place, and the
+// directory itself is fsync'd once at the end. A crash mid-save leaves
+// each file either in its previous state or fully written — never torn —
+// which is what lets the WAL checkpointer (internal/wal) treat a saved
+// directory as a recovery point.
 func Save(d *db.Database, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dbio: %w", err)
@@ -37,25 +44,77 @@ func Save(d *db.Database, dir string) error {
 			return err
 		}
 	}
-	if err := os.WriteFile(filepath.Join(dir, schemaFile), []byte(manifest.String()), 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, schemaFile), func(f *os.File) error {
+		_, err := f.WriteString(manifest.String())
+		return err
+	}); err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// writeFileAtomic writes name via a same-directory temp file that is
+// fsync'd and renamed over the target, so the target is never observed
+// torn. The caller fsyncs the directory (once, after all its renames) to
+// make the new entries durable.
+func writeFileAtomic(name string, write func(*os.File) error) error {
+	tmp := name + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making the renames within it durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dbio: %w", err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return fmt.Errorf("dbio: %w", err)
 	}
 	return nil
 }
 
 func saveRelation(d *db.Database, rel *schema.Relation, dir string) error {
-	f, err := os.Create(filepath.Join(dir, rel.Name+".csv"))
-	if err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, rel.Name+".csv"), func(f *os.File) error {
+		return writeRelationCSV(d, rel, f)
+	}); err != nil {
 		return fmt.Errorf("dbio: %w", err)
 	}
-	defer f.Close()
+	return nil
+}
+
+func writeRelationCSV(d *db.Database, rel *schema.Relation, f *os.File) error {
 	w := csv.NewWriter(f)
 	header := make([]string, len(rel.Columns))
 	for i, c := range rel.Columns {
 		header[i] = c.Name
 	}
 	if err := w.Write(header); err != nil {
-		return fmt.Errorf("dbio: %w", err)
+		return err
 	}
 	// Encode straight off the columnar arrays — no tuple materialization.
 	cols := make([]db.ColView, len(rel.Columns))
@@ -77,14 +136,11 @@ func saveRelation(d *db.Database, rel *schema.Relation, dir string) error {
 			}
 		}
 		if err := w.Write(row); err != nil {
-			return fmt.Errorf("dbio: %w", err)
+			return err
 		}
 	}
 	w.Flush()
-	if err := w.Error(); err != nil {
-		return fmt.Errorf("dbio: %w", err)
-	}
-	return f.Close()
+	return w.Error()
 }
 
 // Load reads a database previously written by Save.

@@ -155,3 +155,67 @@ func TestRoundTripRandomColumnar(t *testing.T) {
 		}
 	}
 }
+
+// TestSaveAtomicOverExisting: Save over a directory holding a previous
+// version must never leave a torn file — every target is either the old
+// content or the new, and no *.tmp debris survives a successful save.
+func TestSaveAtomicOverExisting(t *testing.T) {
+	dir := t.TempDir()
+	d1 := db.New(roundtripSchema())
+	d1.MustInsert("R", value.Base("old"), value.Num(1))
+	if err := Save(d1, dir); err != nil {
+		t.Fatal(err)
+	}
+	d2 := db.New(roundtripSchema())
+	for i := 0; i < 50; i++ {
+		d2.MustInsert("R", value.Base("new"), value.Num(float64(i)))
+	}
+	if err := Save(d2, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp debris %s survived a successful save", e.Name())
+		}
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Len("R"); got != 50 {
+		t.Fatalf("reloaded %d rows, want the new 50", got)
+	}
+}
+
+// TestSaveFailureKeepsOldVersion: when writing the new version fails
+// mid-way (target directory entry replaced by an unwritable path), the
+// previously saved files still load.
+func TestSaveFailureKeepsOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	d1 := db.New(roundtripSchema())
+	d1.MustInsert("R", value.Base("old"), value.Num(1))
+	if err := Save(d1, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Make the temp path of R.csv un-creatable: a directory squats on it.
+	if err := os.Mkdir(filepath.Join(dir, "R.csv.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d2 := db.New(roundtripSchema())
+	d2.MustInsert("R", value.Base("new"), value.Num(2))
+	if err := Save(d2, dir); err == nil {
+		t.Fatal("save succeeded despite the blocked temp path")
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("old version no longer loads: %v", err)
+	}
+	tup := back.Tuples("R")
+	if len(tup) != 1 || tup[0][0].Str() != "old" {
+		t.Fatalf("old version corrupted: %v", tup)
+	}
+}

@@ -72,6 +72,14 @@ type Config struct {
 	DB *db.Database
 	// ReadOnly disables POST /v1/insert (403 with code "read-only").
 	ReadOnly bool
+	// Durable, when set, is the durability layer (internal/wal) inserts
+	// commit through instead of writing DB directly: the batch is WAL-
+	// appended and fsync'd before it is applied to DB (which must be the
+	// store's own database, store.DB()). When the layer reports itself
+	// degraded — a WAL append or fsync failed — the server turns
+	// read-only: inserts get structured 503s with code "degraded" while
+	// reads keep flowing off the in-memory snapshots.
+	Durable Durability
 	// MaxInsertTuples bounds one insert batch. Default 4096.
 	MaxInsertTuples int
 	// Engine is the per-request engine configuration. A fixed Seed makes
@@ -105,6 +113,18 @@ type Config struct {
 	// reach the client before the stream is aborted (a stalled reader
 	// would otherwise pin its admission slot forever). Default 30s.
 	StreamWriteTimeout time.Duration
+}
+
+// Durability is what the server needs from a durable write path. It is
+// satisfied by *wal.Store; the interface keeps the server free of a wal
+// dependency so purely in-memory deployments pay nothing.
+type Durability interface {
+	// InsertBatch durably commits one atomic batch: validated in full,
+	// WAL-appended and fsync'd, then applied in memory.
+	InsertBatch(rel string, tuples []value.Tuple) error
+	// Degraded reports whether the durability layer has tripped to
+	// read-only, and why.
+	Degraded() (reason string, degraded bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -253,7 +273,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "draining")
 		return
 	}
+	// A degraded server is still alive — reads keep working — so healthz
+	// stays 200, but the status flips so operators and load balancers can
+	// route writes elsewhere.
+	if reason, degraded := s.degraded(); degraded {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "reason": reason})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// degraded reports the durability layer's read-only trip, if any.
+func (s *Server) degraded() (string, bool) {
+	if s.cfg.Durable == nil {
+		return "", false
+	}
+	return s.cfg.Durable.Degraded()
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +297,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Tuples:    d.Size(),
 		BaseNulls: len(d.BaseNulls()),
 		NumNulls:  len(d.NumNulls()),
+		ReadOnly:  s.cfg.ReadOnly,
+	}
+	if reason, degraded := s.degraded(); degraded {
+		info.ReadOnly = true
+		info.Degraded = reason
 	}
 	for _, rel := range d.Schema().Relations() {
 		ri := wire.RelationInfo{Name: rel.Name}
@@ -547,6 +587,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusForbidden, wire.CodeReadOnly, "server is read-only")
 		return
 	}
+	if reason, degraded := s.degraded(); degraded {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDegraded,
+			"server is degraded (read-only): "+reason)
+		return
+	}
 	var req wire.InsertRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -580,12 +625,27 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "shutting down")
 		return
 	}
-	err := s.cfg.DB.InsertBatch(req.Relation, tuples)
+	var err error
+	if s.cfg.Durable != nil {
+		// The durable path: WAL append + fsync before the in-memory apply
+		// (the store writes into s.cfg.DB). A durability failure trips the
+		// store to read-only; the batch was never acknowledged.
+		err = s.cfg.Durable.InsertBatch(req.Relation, tuples)
+	} else {
+		err = s.cfg.DB.InsertBatch(req.Relation, tuples)
+	}
 	n := s.cfg.DB.Len(req.Relation)
 	version := s.cfg.DB.Version()
 	s.writeMu.Unlock()
 	if err != nil {
-		// InsertBatch validates before appending: nothing was applied.
+		// Either validation failed (nothing was applied) or the WAL did:
+		// degraded turns into a structured 503 so clients can tell "this
+		// server can no longer write" from "this batch is malformed".
+		if reason, degraded := s.degraded(); degraded {
+			s.writeError(w, http.StatusServiceUnavailable, wire.CodeDegraded,
+				"server is degraded (read-only): "+reason)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}

@@ -1,0 +1,131 @@
+package wal
+
+// FaultFS is the injectable FS of the fault-injection harness: it proxies
+// an inner FS and fails chosen operations — the Nth write, the Nth sync,
+// a short write, or everything past a byte budget (a simulated crash
+// point mid-record). The counters are process-wide across every file the
+// FS opens, matching how a real disk fails underneath whichever file
+// happens to be writing.
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error FaultFS returns from injected failures.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps Inner with injectable write/sync failures. The zero
+// counters disable each fault. Configure before use; the fault state is
+// internally locked so faulted files may be driven from tests and
+// background goroutines alike.
+type FaultFS struct {
+	Inner FS
+
+	// FailWriteAt fails the Nth Write call (1-based) across all files.
+	FailWriteAt int
+	// ShortWriteAt makes the Nth Write call (1-based) write only
+	// ShortWriteBytes bytes and report an error.
+	ShortWriteAt    int
+	ShortWriteBytes int
+	// FailSyncAt fails the Nth Sync call (1-based).
+	FailSyncAt int
+	// CrashAfterBytes, when positive, lets writes through until that many
+	// bytes have been written in total, truncates the write that crosses
+	// the boundary (the bytes up to the budget still land — a torn
+	// record), and fails every write and sync after it: the process is
+	// "gone" at that byte offset.
+	CrashAfterBytes int64
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	written int64
+	crashed bool
+}
+
+// Writes reports how many Write calls the FS has seen.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Syncs reports how many Sync calls the FS has seen.
+func (f *FaultFS) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error)   { return f.Inner.ReadFile(name) }
+func (f *FaultFS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
+func (f *FaultFS) Rename(oldpath, newpath string) error   { return f.Inner.Rename(oldpath, newpath) }
+func (f *FaultFS) RemoveAll(path string) error            { return f.Inner.RemoveAll(path) }
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.Inner.MkdirAll(path, perm)
+}
+func (f *FaultFS) ReadDir(name string) ([]string, error) { return f.Inner.ReadDir(name) }
+func (f *FaultFS) SyncDir(name string) error             { return f.Inner.SyncDir(name) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+func (ff *faultFile) Close() error               { return ff.inner.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	short := -1
+	switch {
+	case f.crashed:
+		f.mu.Unlock()
+		return 0, ErrInjected
+	case f.FailWriteAt > 0 && n == f.FailWriteAt:
+		f.mu.Unlock()
+		return 0, ErrInjected
+	case f.ShortWriteAt > 0 && n == f.ShortWriteAt:
+		short = min(f.ShortWriteBytes, len(p))
+	case f.CrashAfterBytes > 0 && f.written+int64(len(p)) > f.CrashAfterBytes:
+		short = int(f.CrashAfterBytes - f.written)
+		f.crashed = true
+	}
+	if short >= 0 {
+		f.written += int64(short)
+		f.mu.Unlock()
+		m, err := ff.inner.Write(p[:short])
+		if err != nil {
+			return m, err
+		}
+		return m, ErrInjected
+	}
+	f.written += int64(len(p))
+	f.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	f.syncs++
+	fail := f.crashed || (f.FailSyncAt > 0 && f.syncs == f.FailSyncAt)
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return ff.inner.Sync()
+}

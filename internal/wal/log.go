@@ -1,0 +1,151 @@
+package wal
+
+// Log is the append side of the write-ahead log: one file of framed
+// records (record.go), opened with a torn-tail scan and truncation, then
+// appended to and fsync'd record by record.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// logName is the WAL file inside a data directory.
+const logName = "wal.log"
+
+// Record is one valid log record surfaced by recovery.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Log appends framed records to the WAL file. It is not goroutine-safe;
+// the Store serializes access.
+type Log struct {
+	fs   FS
+	dir  string
+	path string
+	f    File
+	size int64 // valid bytes on disk (post torn-tail truncation)
+	buf  []byte
+}
+
+// OpenLog opens (creating if missing) the WAL of a data directory and
+// recovers its valid records: the file is scanned record by record and
+// cut at the first torn or corrupted one — acknowledged records are never
+// dropped, unacknowledged tails never survive. The valid records are
+// returned in log order for replay.
+func OpenLog(fs FS, dir string) (*Log, []Record, error) {
+	l := &Log{fs: fs, dir: dir, path: filepath.Join(dir, logName)}
+	data, err := fs.ReadFile(l.path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		seq, payload, n, ok := parseRecord(data[off:])
+		if !ok {
+			break
+		}
+		recs = append(recs, Record{Seq: seq, Payload: payload})
+		off += n
+	}
+	if off < len(data) {
+		// Torn tail: truncate to the last good record so the next append
+		// lands on a clean boundary.
+		if err := fs.Truncate(l.path, int64(off)); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := fs.SyncDir(dir); err != nil {
+			return nil, nil, fmt.Errorf("wal: sync dir after truncation: %w", err)
+		}
+	}
+	l.size = int64(off)
+	if err := l.openAppend(); err != nil {
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+func (l *Log) openAppend() error {
+	f, err := l.fs.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open log for append: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// Append frames one record and writes it. The record is not durable —
+// and must not be acknowledged — until Sync returns.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	l.buf = appendRecord(l.buf[:0], seq, payload)
+	n, err := l.f.Write(l.buf)
+	l.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if n < len(l.buf) {
+		return fmt.Errorf("wal: append: short write (%d of %d bytes)", n, len(l.buf))
+	}
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the valid byte length of the log. Records wholly below a
+// recorded Size were appended before the point it was taken.
+func (l *Log) Size() int64 { return l.size }
+
+// TruncatePrefix drops the first keepFrom bytes of the log — the prefix a
+// committed checkpoint covers — by writing the tail to a fresh file and
+// atomically renaming it over the log. Crash-safe: until the rename the
+// old log is intact, after it the new one is, and replay's sequence
+// filter tolerates either. The caller must guarantee no append runs
+// concurrently.
+func (l *Log) TruncatePrefix(keepFrom int64) error {
+	if keepFrom <= 0 {
+		return nil
+	}
+	if keepFrom > l.size {
+		return fmt.Errorf("wal: truncate prefix %d beyond size %d", keepFrom, l.size)
+	}
+	data, err := l.fs.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: truncate prefix: %w", err)
+	}
+	if int64(len(data)) < keepFrom {
+		return fmt.Errorf("wal: log shrank under truncation: %d < %d", len(data), keepFrom)
+	}
+	tail := data[keepFrom:l.size]
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: truncate prefix: close: %w", err)
+	}
+	l.f = nil
+	if err := writeFileSync(l.fs, l.path, tail); err != nil {
+		return fmt.Errorf("wal: truncate prefix: %w", err)
+	}
+	l.size = int64(len(tail))
+	return l.openAppend()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

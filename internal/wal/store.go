@@ -1,0 +1,408 @@
+package wal
+
+// Store couples the in-memory versioned database with the write-ahead
+// log: the durable commit path, crash recovery, the background
+// checkpointer, and the fail-safe degraded mode.
+//
+// Commit protocol (InsertBatch): validate the batch against the schema,
+// frame it as one WAL record, append and fsync, then apply it to the
+// in-memory store. The fsync happens strictly before the new version is
+// published, so an acknowledged batch survives any crash; a batch that
+// dies before the fsync returns was never acknowledged and may or may not
+// replay, which is exactly the contract of a write-ahead log.
+//
+// Recovery (Open): load the newest checkpoint (an internal/dbio directory
+// plus a CHECKPOINT manifest naming it and the sequence number it
+// covers), then replay the WAL records with higher sequence numbers in
+// order. The log scan truncates a torn tail at the first bad record;
+// sequence numbers make replay idempotent across the crash window between
+// a manifest commit and the WAL prefix truncation.
+//
+// Checkpoints are free reads: the checkpointer serializes an immutable
+// db.Snapshot() — the writer is never stalled — into a fresh
+// checkpoint-<seq> directory with crash-safe file writes, commits the
+// manifest atomically, truncates the WAL prefix the checkpoint covers,
+// and removes the previous checkpoint. A crash anywhere in that sequence
+// recovers: either the old manifest still governs (orphan directories are
+// swept on the next Open) or the new one does (stale WAL records are
+// skipped by sequence number).
+//
+// Degraded mode: when a WAL append or fsync fails, the store trips into
+// read-only — every later InsertBatch fails with ErrDegraded and the
+// reason is surfaced through Degraded() — instead of crashing or letting
+// unlogged writes into memory. Reads keep working; the machine drops to a
+// safe restricted mode rather than dying.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/dbio"
+	"repro/internal/value"
+)
+
+const (
+	manifestName   = "CHECKPOINT"
+	checkpointPref = "checkpoint-"
+)
+
+// ErrDegraded marks writes rejected because the store tripped into
+// read-only mode after a WAL failure. errors.Is(err, ErrDegraded) holds
+// for every such rejection.
+var ErrDegraded = errors.New("wal: store is degraded (read-only)")
+
+// Options configures a Store.
+type Options struct {
+	// FS is the filesystem; nil uses the real one. Tests inject FaultFS.
+	FS FS
+	// Seed builds the initial database when the directory holds no state
+	// yet (first boot). Opening an empty directory without a Seed fails.
+	Seed func() (*db.Database, error)
+	// CheckpointEvery starts a background checkpointer with that period.
+	// Zero disables it; Checkpoint can still be called manually.
+	CheckpointEvery time.Duration
+	// NoSync skips the per-batch fsync (the append still happens). This
+	// trades crash durability of the last batches for throughput and
+	// exists for benchmarks; production keeps it false.
+	NoSync bool
+	// Logf, when set, receives operational log lines (checkpoint errors,
+	// degradation). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Store is a durably-logged database: the write path of a data directory.
+type Store struct {
+	fs   FS
+	dir  string
+	opts Options
+	db   *db.Database
+
+	// mu serializes the commit path and WAL file swaps: one InsertBatch
+	// at a time, and never concurrently with a prefix truncation.
+	mu     sync.Mutex
+	log    *Log
+	seq    uint64 // sequence number of the last committed batch
+	closed bool
+	encBuf []byte
+
+	// degraded, once set, holds the reason the store went read-only.
+	degraded atomic.Pointer[string]
+
+	// ckptMu serializes checkpoints (background and manual).
+	ckptMu   sync.Mutex
+	ckptSeq  uint64
+	ckptDir  string
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Open opens (or initializes) the data directory and recovers the
+// database: newest checkpoint plus WAL replay. The returned store's DB()
+// is the live writer the server snapshots per request.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	s := &Store{fs: opts.FS, dir: dir, opts: opts}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	seq, ckptDir, err := s.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	if ckptDir == "" {
+		// First boot: persist the seed as checkpoint zero before any WAL
+		// record exists, so recovery always has a base to replay onto. A
+		// crash before the manifest rename leaves only sweepable temp
+		// state and the next Open initializes again.
+		if opts.Seed == nil {
+			return nil, fmt.Errorf("wal: %s holds no database and no seed was provided", dir)
+		}
+		seed, err := opts.Seed()
+		if err != nil {
+			return nil, fmt.Errorf("wal: seed: %w", err)
+		}
+		s.db = seed
+		if err := s.writeCheckpoint(seed.Snapshot(), 0); err != nil {
+			return nil, err
+		}
+		s.ckptDir = ckptName(0)
+	} else {
+		d, err := dbio.Load(filepath.Join(dir, ckptDir))
+		if err != nil {
+			return nil, fmt.Errorf("wal: load checkpoint %s: %w", ckptDir, err)
+		}
+		s.db = d
+		s.seq, s.ckptSeq, s.ckptDir = seq, seq, ckptDir
+	}
+	s.sweepOrphans()
+	log, recs, err := OpenLog(s.fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	for _, rec := range recs {
+		if rec.Seq <= s.ckptSeq {
+			continue // the checkpoint already covers it
+		}
+		if rec.Seq != s.seq+1 {
+			return nil, fmt.Errorf("wal: sequence gap: record %d after %d", rec.Seq, s.seq)
+		}
+		b, err := decodeBatch(rec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: record %d: %w", rec.Seq, err)
+		}
+		if err := s.db.InsertBatch(b.Relation, b.Tuples); err != nil {
+			return nil, fmt.Errorf("wal: replay record %d: %w", rec.Seq, err)
+		}
+		s.seq = rec.Seq
+	}
+	if opts.CheckpointEvery > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// DB returns the live writer database recovered by Open. Readers snapshot
+// it; all writes must go through Store.InsertBatch so they hit the log.
+func (s *Store) DB() *db.Database { return s.db }
+
+// Seq returns the sequence number of the last committed batch.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// CheckpointSeq returns the sequence number the newest durable checkpoint
+// covers.
+func (s *Store) CheckpointSeq() uint64 {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.ckptSeq
+}
+
+// Degraded reports whether the store tripped into read-only mode, and
+// why.
+func (s *Store) Degraded() (reason string, degraded bool) {
+	if r := s.degraded.Load(); r != nil {
+		return *r, true
+	}
+	return "", false
+}
+
+// trip records the first degradation reason; later writes keep failing
+// with it.
+func (s *Store) trip(reason string) {
+	if s.degraded.CompareAndSwap(nil, &reason) && s.opts.Logf != nil {
+		s.opts.Logf("wal: degrading to read-only: %s", reason)
+	}
+}
+
+// InsertBatch durably commits one atomic batch: validate, log, fsync,
+// apply. On a log or fsync failure nothing is applied in memory, the
+// store degrades to read-only, and the error is returned; the batch was
+// never acknowledged and recovery applies it only if its record made it
+// to disk whole.
+func (s *Store) InsertBatch(rel string, tuples []value.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: store is closed")
+	}
+	if r := s.degraded.Load(); r != nil {
+		return fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
+	if err := s.db.CheckBatch(rel, tuples); err != nil {
+		return err // invalid batch: rejected before it reaches the log
+	}
+	s.encBuf = encodeBatch(s.encBuf[:0], rel, tuples)
+	seq := s.seq + 1
+	if err := s.log.Append(seq, s.encBuf); err != nil {
+		s.trip(err.Error())
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := s.log.Sync(); err != nil {
+			s.trip(err.Error())
+			return err
+		}
+	}
+	if err := s.db.InsertBatch(rel, tuples); err != nil {
+		// CheckBatch passed, so this cannot be a validation failure; the
+		// in-memory store now disagrees with the log. Fail safe.
+		s.trip(fmt.Sprintf("apply after logged commit: %v", err))
+		return err
+	}
+	s.seq = seq
+	return nil
+}
+
+// Checkpoint serializes the current snapshot into a fresh checkpoint
+// directory, commits the manifest, truncates the covered WAL prefix and
+// removes the previous checkpoint. The writer is only paused for the WAL
+// file swap, never for the serialization. No-op when nothing was
+// committed since the last checkpoint or the store is degraded.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if _, bad := s.Degraded(); bad {
+		return fmt.Errorf("%w: refusing to checkpoint", ErrDegraded)
+	}
+	s.mu.Lock()
+	snap := s.db.Snapshot()
+	seq := s.seq
+	startOff := s.log.Size()
+	s.mu.Unlock()
+	if seq == s.ckptSeq {
+		return nil
+	}
+	if err := s.writeCheckpoint(snap, seq); err != nil {
+		return err
+	}
+	old := s.ckptDir
+	s.ckptSeq, s.ckptDir = seq, ckptName(seq)
+	// Every record before startOff has seq <= seq and is covered; records
+	// appended since land after it and survive the swap.
+	s.mu.Lock()
+	err := s.log.TruncatePrefix(startOff)
+	if err != nil {
+		// The append handle may be gone; without it the next commit
+		// cannot reach the disk. Fail safe rather than guess.
+		s.trip(fmt.Sprintf("wal truncation after checkpoint: %v", err))
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if old != "" && old != s.ckptDir {
+		if rmErr := s.fs.RemoveAll(filepath.Join(s.dir, old)); rmErr != nil && s.opts.Logf != nil {
+			s.opts.Logf("wal: removing old checkpoint %s: %v", old, rmErr)
+		}
+	}
+	return nil
+}
+
+// ckptName is the directory name of the checkpoint covering seq.
+func ckptName(seq uint64) string { return fmt.Sprintf("%s%016d", checkpointPref, seq) }
+
+// writeCheckpoint persists snap as checkpoint-<seq> and commits the
+// manifest pointing at it. Crash-safe: the directory is written first
+// (dbio.Save writes every file atomically), the data-directory entry is
+// fsync'd, and the manifest rename is the commit point.
+func (s *Store) writeCheckpoint(snap *db.Database, seq uint64) error {
+	name := ckptName(seq)
+	if err := dbio.Save(snap, filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	manifest := fmt.Sprintf("arithdb-checkpoint v1\nseq %d\ndir %s\n", seq, name)
+	if err := writeFileSync(s.fs, filepath.Join(s.dir, manifestName), []byte(manifest)); err != nil {
+		return fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest parses the CHECKPOINT manifest; a missing file means a
+// fresh directory.
+func (s *Store) readManifest() (seq uint64, dir string, err error) {
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, "", nil
+		}
+		return 0, "", fmt.Errorf("wal: read manifest: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 || lines[0] != "arithdb-checkpoint v1" {
+		return 0, "", fmt.Errorf("wal: malformed manifest %q", string(data))
+	}
+	if _, err := fmt.Sscanf(lines[1], "seq %d", &seq); err != nil {
+		return 0, "", fmt.Errorf("wal: malformed manifest seq %q", lines[1])
+	}
+	dir = strings.TrimPrefix(lines[2], "dir ")
+	if dir == lines[2] || dir == "" || strings.ContainsAny(dir, "/\\") {
+		return 0, "", fmt.Errorf("wal: malformed manifest dir %q", lines[2])
+	}
+	return seq, dir, nil
+}
+
+// sweepOrphans removes checkpoint directories and temp files a crash left
+// behind: everything checkpoint-shaped that the manifest does not name.
+func (s *Store) sweepOrphans() {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		orphanCkpt := strings.HasPrefix(name, checkpointPref) && name != s.ckptDir
+		tmp := strings.HasSuffix(name, ".tmp")
+		if orphanCkpt || tmp {
+			if err := s.fs.RemoveAll(filepath.Join(s.dir, name)); err != nil && s.opts.Logf != nil {
+				s.opts.Logf("wal: sweeping %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func (s *Store) checkpointLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil && s.opts.Logf != nil {
+				s.opts.Logf("wal: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background checkpointer, flushes and syncs the log, and
+// closes it. Safe to call once after the server has drained; later writes
+// fail.
+func (s *Store) Close() error {
+	if s.stop != nil {
+		s.stopOnce.Do(func() { close(s.stop) })
+		<-s.done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.log == nil {
+		return nil
+	}
+	// Sync before closing: under NoSync this is what makes the tail of
+	// the log durable on a graceful shutdown.
+	err := s.log.Sync()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	if _, bad := s.Degraded(); bad {
+		return nil // the log was already failing; nothing new to report
+	}
+	return err
+}

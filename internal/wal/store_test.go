@@ -1,0 +1,513 @@
+package wal
+
+// Store-level durability tests: recovery round-trips, crash simulation at
+// every record boundary and at random torn offsets (the recovered store
+// must be bit-identical to a reference that applied exactly the durable
+// prefix), checkpoint + replay interplay across the manifest/truncation
+// crash windows, degraded read-only mode on WAL faults, and the
+// background checkpointer under a committing writer (run with -race).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Column{Name: "a", Type: schema.Base},
+			schema.Column{Name: "x", Type: schema.Num},
+			schema.Column{Name: "b", Type: schema.Base}),
+		schema.MustRelation("S",
+			schema.Column{Name: "y", Type: schema.Num},
+			schema.Column{Name: "c", Type: schema.Base}),
+	)
+}
+
+func seedFn() (*db.Database, error) { return db.New(testSchema()), nil }
+
+// randBatch draws a small batch for one relation, reusing small pools of
+// strings, floats and null IDs so interning and indexing see duplicates.
+// NaN and -0 show up so recovery is checked on the bit-pattern edge
+// cases.
+func randBatch(rng *rand.Rand, s *schema.Schema) (string, []value.Tuple) {
+	rel := s.Relations()[rng.Intn(len(s.Relations()))]
+	n := 1 + rng.Intn(4)
+	tuples := make([]value.Tuple, n)
+	for i := range tuples {
+		t := make(value.Tuple, len(rel.Columns))
+		for j, c := range rel.Columns {
+			if c.Type == schema.Base {
+				if rng.Intn(4) == 0 {
+					t[j] = value.NullBase(rng.Intn(6))
+				} else {
+					t[j] = value.Base(fmt.Sprintf("s%d", rng.Intn(8)))
+				}
+				continue
+			}
+			switch rng.Intn(8) {
+			case 0:
+				t[j] = value.NullNum(rng.Intn(6))
+			case 1:
+				t[j] = value.Num(math.NaN())
+			case 2:
+				t[j] = value.Num(math.Copysign(0, -1))
+			default:
+				t[j] = value.Num(math.Round(rng.NormFloat64()*4) / 2)
+			}
+		}
+		tuples[i] = t
+	}
+	return rel.Name, tuples
+}
+
+// fingerprint captures every db-level observable through the exported
+// API: row counts, materialized tuples, inventories, the null-variable
+// indexing, dictionary order, and every equality index probed at every
+// occurring value.
+type fingerprint struct {
+	Lens      map[string]int
+	Tuples    map[string][]string
+	BaseNulls []int
+	NumNulls  []int
+	NNIndex   map[int]int
+	BaseConst []string
+	NumConst  []uint64 // bit patterns: NaN/-0 must round-trip exactly
+	Indexes   map[string]map[string][]int32
+}
+
+func fp(d *db.Database) fingerprint {
+	f := fingerprint{
+		Lens:      map[string]int{},
+		Tuples:    map[string][]string{},
+		BaseNulls: append([]int(nil), d.BaseNulls()...),
+		NumNulls:  append([]int(nil), d.NumNulls()...),
+		NNIndex:   map[int]int{},
+		BaseConst: append([]string(nil), d.BaseConstants()...),
+		Indexes:   map[string]map[string][]int32{},
+	}
+	// Cnum(D) is a set under float equality: whether +0 or -0 represents
+	// the zero element (and where NaNs land in the ordering) depends on
+	// scan order, so canonicalize -0 and compare as a sorted multiset.
+	for _, x := range d.NumConstants() {
+		b := math.Float64bits(x)
+		if b == math.Float64bits(math.Copysign(0, -1)) {
+			b = 0
+		}
+		f.NumConst = append(f.NumConst, b)
+	}
+	sort.Slice(f.NumConst, func(i, j int) bool { return f.NumConst[i] < f.NumConst[j] })
+	_, idx := d.NumNullIndex()
+	for id, i := range idx {
+		f.NNIndex[id] = i
+	}
+	for _, rel := range d.Schema().Relations() {
+		f.Lens[rel.Name] = d.Len(rel.Name)
+		for _, tup := range d.Tuples(rel.Name) {
+			f.Tuples[rel.Name] = append(f.Tuples[rel.Name], tup.String())
+		}
+		for col := range rel.Columns {
+			probes := map[string][]int32{}
+			ix := d.Index(rel.Name, col)
+			for _, tup := range d.Tuples(rel.Name) {
+				v := tup[col]
+				if _, dup := probes[v.String()]; dup {
+					continue
+				}
+				probes[v.String()] = append([]int32(nil), ix.Lookup(d, v)...)
+			}
+			f.Indexes[fmt.Sprintf("%s.%d", rel.Name, col)] = probes
+		}
+	}
+	return f
+}
+
+func mustEqualFP(t *testing.T, label string, got, want fingerprint) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: recovered state diverged:\ngot  %+v\nwant %+v", label, got, want)
+	}
+}
+
+func TestStoreOpenRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Seed: seedFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ref := db.New(testSchema())
+	for i := 0; i < 30; i++ {
+		rel, tuples := randBatch(rng, s.DB().Schema())
+		if err := s.InsertBatch(rel, tuples); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.InsertBatch(rel, tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Seq(); got != 30 {
+		t.Fatalf("seq = %d, want 30", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{}) // no seed needed: state exists
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Seq(); got != 30 {
+		t.Fatalf("recovered seq = %d, want 30", got)
+	}
+	mustEqualFP(t, "restart", fp(s2.DB()), fp(ref))
+
+	// An invalid batch is rejected before it reaches the log and changes
+	// nothing.
+	if err := s2.InsertBatch("R", []value.Tuple{{value.Num(1)}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if got := s2.Seq(); got != 30 {
+		t.Fatalf("seq moved to %d on invalid batch", got)
+	}
+	mustEqualFP(t, "after invalid batch", fp(s2.DB()), fp(ref))
+}
+
+// TestStoreCrashRecoveryFuzz is the core acceptance test: for a random
+// batch workload it simulates a crash at every record boundary and at
+// random torn offsets inside records, recovers from the surviving bytes,
+// and asserts the recovered store is bit-identical — tuples, indexes,
+// inventories, null indexing, dictionary — to a reference database that
+// applied exactly the batches whose records survive whole.
+func TestStoreCrashRecoveryFuzz(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			s, err := Open(dir, Options{Seed: seedFn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			type step struct {
+				rel    string
+				tuples []value.Tuple
+			}
+			var (
+				steps  []step
+				bounds = []int64{0} // WAL offset after each acknowledged batch
+			)
+			n := 10 + rng.Intn(15)
+			for i := 0; i < n; i++ {
+				rel, tuples := randBatch(rng, s.DB().Schema())
+				if err := s.InsertBatch(rel, tuples); err != nil {
+					t.Fatal(err)
+				}
+				steps = append(steps, step{rel, tuples})
+				s.mu.Lock()
+				bounds = append(bounds, s.log.Size())
+				s.mu.Unlock()
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			walData, err := os.ReadFile(filepath.Join(dir, logName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckpt, err := os.ReadFile(filepath.Join(dir, manifestName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckptDirName := ""
+			fmt.Sscanf(string(ckpt), "arithdb-checkpoint v1\nseq 0\ndir %s", &ckptDirName)
+			if ckptDirName == "" {
+				t.Fatalf("unexpected manifest: %q", ckpt)
+			}
+
+			// references[k] = fingerprint after exactly k durable batches.
+			references := make([]fingerprint, n+1)
+			ref := db.New(testSchema())
+			references[0] = fp(ref)
+			for k, st := range steps {
+				if err := ref.InsertBatch(st.rel, st.tuples); err != nil {
+					t.Fatal(err)
+				}
+				references[k+1] = fp(ref)
+			}
+
+			// Crash points: every record boundary, plus random torn offsets
+			// strictly inside records.
+			cuts := map[int64]bool{}
+			for _, b := range bounds {
+				cuts[b] = true
+			}
+			for i := 0; i < 20; i++ {
+				cuts[rng.Int63n(int64(len(walData))+1)] = true
+			}
+			for cut := range cuts {
+				crashDir := t.TempDir()
+				// The checkpoint (and manifest) were durable before the
+				// first append; the crash tears only the WAL.
+				if err := os.CopyFS(crashDir, os.DirFS(dir)); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(crashDir, logName), walData[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				rs, err := Open(crashDir, Options{})
+				if err != nil {
+					t.Fatalf("cut %d: recovery failed: %v", cut, err)
+				}
+				durable := 0
+				for _, b := range bounds[1:] {
+					if b <= cut {
+						durable++
+					}
+				}
+				if got := rs.Seq(); got != uint64(durable) {
+					t.Fatalf("cut %d: recovered seq %d, want %d", cut, got, durable)
+				}
+				mustEqualFP(t, fmt.Sprintf("cut %d (%d durable)", cut, durable),
+					fp(rs.DB()), references[durable])
+				// The recovered store accepts new durable work.
+				if err := rs.InsertBatch("S", []value.Tuple{{value.Num(7), value.Base("post")}}); err != nil {
+					t.Fatalf("cut %d: insert after recovery: %v", cut, err)
+				}
+				rs.Close()
+			}
+		})
+	}
+}
+
+// TestStoreCheckpointCoversPrefix: checkpoints truncate the covered WAL
+// prefix, recovery = checkpoint + tail replay, and the crash window
+// between manifest commit and WAL truncation (stale records on disk) is
+// idempotent thanks to sequence numbers.
+func TestStoreCheckpointCoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Seed: seedFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	ref := db.New(testSchema())
+	apply := func(k int) {
+		for i := 0; i < k; i++ {
+			rel, tuples := randBatch(rng, ref.Schema())
+			if err := s.InsertBatch(rel, tuples); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.InsertBatch(rel, tuples); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(12)
+	preSize := s.log.Size()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CheckpointSeq() != 12 {
+		t.Fatalf("checkpoint seq %d, want 12", s.CheckpointSeq())
+	}
+	if got := s.log.Size(); got >= preSize {
+		t.Fatalf("WAL not truncated: %d >= %d", got, preSize)
+	}
+	apply(7)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain recovery: checkpoint + the 7-record tail.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Seq(); got != 19 {
+		t.Fatalf("recovered seq %d, want 19", got)
+	}
+	mustEqualFP(t, "checkpoint+tail", fp(s2.DB()), fp(ref))
+
+	// Crash window: manifest committed but WAL truncation never ran —
+	// prepend stale pre-checkpoint records; replay must skip them.
+	tail, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale []byte
+	stale = appendRecord(stale, 3, encodeBatch(nil, "R", []value.Tuple{{value.Base("stale"), value.Num(0), value.Base("stale")}}))
+	stale = appendRecord(stale, 12, encodeBatch(nil, "S", []value.Tuple{{value.Num(-1), value.Base("stale")}}))
+	if err := os.WriteFile(filepath.Join(dir, logName), append(stale, tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Seq(); got != 19 {
+		t.Fatalf("seq with stale prefix %d, want 19", got)
+	}
+	mustEqualFP(t, "stale prefix skipped", fp(s3.DB()), fp(ref))
+}
+
+// TestStoreDegradedOnWALFault: a failed append or fsync flips the store
+// to read-only — the failed batch is not applied, later writes fail with
+// ErrDegraded, reads keep working, and checkpoints refuse to run.
+func TestStoreDegradedOnWALFault(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		arm  func(*FaultFS) // trip the very next matching operation
+	}{
+		{"append-fails", func(f *FaultFS) { f.FailWriteAt = f.Writes() + 1 }},
+		{"sync-fails", func(f *FaultFS) { f.FailSyncAt = f.Syncs() + 1 }},
+		{"short-write", func(f *FaultFS) { f.ShortWriteAt = f.Writes() + 1; f.ShortWriteBytes = 7 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := &FaultFS{Inner: OSFS{}}
+			s, err := Open(dir, Options{Seed: seedFn, FS: ffs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			good := []value.Tuple{{value.Num(1), value.Base("ok")}}
+			for i := 0; i < 2; i++ {
+				if err := s.InsertBatch("S", good); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tc.arm(ffs) // no store goroutines are running: safe to mutate
+			before := fp(s.DB())
+			err = s.InsertBatch("S", []value.Tuple{{value.Num(9), value.Base("doomed")}})
+			if err == nil {
+				t.Fatal("faulted insert succeeded")
+			}
+			reason, degraded := s.Degraded()
+			if !degraded || reason == "" {
+				t.Fatalf("store not degraded after WAL fault (reason %q)", reason)
+			}
+			// The failed batch never reached memory; reads still work.
+			mustEqualFP(t, "after fault", fp(s.DB()), before)
+			if err := s.InsertBatch("S", good); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("write after degradation: %v, want ErrDegraded", err)
+			}
+			if err := s.Checkpoint(); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("checkpoint while degraded: %v, want ErrDegraded", err)
+			}
+			if got := s.Seq(); got != 2 {
+				t.Fatalf("seq %d after degradation, want 2", got)
+			}
+		})
+	}
+}
+
+// TestStoreCheckpointerUnderWriter runs the background checkpointer at a
+// tiny period while a writer commits and readers fingerprint snapshots —
+// the -race regime — then recovers from the directory and checks parity
+// with a reference applying every batch.
+func TestStoreCheckpointerUnderWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Seed: seedFn, CheckpointEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.DB().Snapshot()
+				a, b := fp(snap), fp(snap)
+				if !reflect.DeepEqual(a, b) {
+					t.Error("snapshot moved under a reader")
+					return
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(77))
+	ref := db.New(testSchema())
+	for i := 0; i < 150; i++ {
+		rel, tuples := randBatch(rng, ref.Schema())
+		if err := s.InsertBatch(rel, tuples); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.InsertBatch(rel, tuples); err != nil {
+			t.Fatal(err)
+		}
+		if i%40 == 0 {
+			time.Sleep(3 * time.Millisecond) // let checkpoints interleave
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.CheckpointSeq() == 0 {
+		t.Fatal("background checkpointer never ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Seq(); got != 150 {
+		t.Fatalf("recovered seq %d, want 150", got)
+	}
+	mustEqualFP(t, "checkpointer under writer", fp(s2.DB()), fp(ref))
+}
+
+// TestStoreSweepsOrphans: half-written checkpoint directories and temp
+// files from a crashed checkpoint are removed on the next Open.
+func TestStoreSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Seed: seedFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InsertBatch("S", []value.Tuple{{value.Num(1), value.Base("a")}})
+	s.Close()
+	orphan := filepath.Join(dir, ckptName(99))
+	os.MkdirAll(orphan, 0o755)
+	os.WriteFile(filepath.Join(orphan, "junk"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, manifestName+".tmp"), []byte("torn"), 0o644)
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan checkpoint survived the sweep")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName+".tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp manifest survived the sweep")
+	}
+	if got := s2.Seq(); got != 1 {
+		t.Fatalf("seq %d after sweep, want 1", got)
+	}
+}

@@ -237,6 +237,12 @@ const (
 	CodeShuttingDown = "shutting-down"
 	CodeInternal     = "internal"
 	CodeReadOnly     = "read-only"
+	// CodeDegraded marks writes rejected because the durability layer
+	// tripped (WAL append or fsync failure): the server keeps serving
+	// reads but refuses to acknowledge writes it could not make durable.
+	// Unlike "busy" this does not clear on its own — an operator must
+	// restart the server — so clients should not retry it.
+	CodeDegraded = "degraded"
 )
 
 // ColumnInfo / RelationInfo / InfoResponse describe the served database
@@ -256,6 +262,12 @@ type InfoResponse struct {
 	Tuples    int            `json:"tuples"`
 	BaseNulls int            `json:"baseNulls"`
 	NumNulls  int            `json:"numNulls"`
+	// ReadOnly reports that the server rejects writes — either configured
+	// that way, or degraded after a durability failure.
+	ReadOnly bool `json:"readOnly,omitempty"`
+	// Degraded carries the durability-failure reason when the server
+	// tripped to read-only (see CodeDegraded); empty otherwise.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // Experiment is one of the paper's decision-support workloads

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
 budget_file="scripts/alloc_budget.txt"
 
-raw="$(go test -run '^$' -bench 'BenchmarkSQLPipeline$|BenchmarkMixedInsertQuery' -benchmem -benchtime "$benchtime" .)"
+raw="$(go test -run '^$' -bench 'BenchmarkSQLPipeline$|BenchmarkMixedInsertQuery|BenchmarkInsertDurable' -benchmem -benchtime "$benchtime" .)"
 printf '%s\n' "$raw"
 
 fail=0

@@ -13,6 +13,10 @@
 #   - BenchmarkMixedInsertQuery: the write path — one insert + one
 #     indexed query per op under incremental index maintenance, with the
 #     snapshot (copy-on-write) and drop-and-rebuild regimes alongside;
+#   - BenchmarkInsertDurable: the durable write path (internal/wal) —
+#     one committed batch per op through validate/encode/append/fsync/
+#     apply, with the nosync and in-memory baselines alongside, so the
+#     price of durability stays visible;
 #   - BenchmarkServerThroughput: end-to-end HTTP requests/second through
 #     the multi-user server (internal/server), all clients sharing one
 #     database under admission control.
@@ -23,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|ServerThroughput}"
+bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 
