@@ -28,11 +28,15 @@ bench-smoke:
 bench:
 	scripts/bench.sh
 
-# bench-check is the allocation-regression guard: the SQL pipeline
-# benchmarks must stay within the allocs/op budgets checked in at
-# scripts/alloc_budget.txt (CI runs this alongside the race job).
+# bench-check is the performance-regression guard (CI runs it alongside
+# the race job): the SQL pipeline benchmarks must stay within the
+# allocs/op budgets checked in at scripts/alloc_budget.txt, and the
+# adaptive top-k race must stay within the samples/op budgets of
+# scripts/sample_budget.txt (including the >= 3x skewed saving over the
+# fixed per-candidate budget).
 bench-check:
 	scripts/alloc_check.sh
+	scripts/sample_check.sh
 
 # crash-check is the durability gauntlet (CI runs it as its own job):
 # fault-injected WAL failures, crashes simulated at every record boundary

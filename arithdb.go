@@ -202,7 +202,14 @@ const (
 	MethodAFPRAS       = core.MethodAFPRAS
 	MethodAFPRASDirect = core.MethodAFPRASDirect
 	MethodFPRAS        = core.MethodFPRAS
+	MethodAFPRASRace   = core.MethodAFPRASRace
 )
+
+// TopKResult reports an adaptive top-k race (Engine.MeasureTopK): the
+// indices and measures of the k most certain candidates, plus the total
+// sampling spend. LIMIT-k MeasureSQL routes through the same race by
+// default; EngineOptions.NoAdaptive restores the fixed-budget semantics.
+type TopKResult = core.TopKResult
 
 // Interval is a range constraint on a numerical null (the paper's Section
 // 10 extension): Lo ≤ z ≤ Hi with ±Inf for open ends.

@@ -11,6 +11,7 @@ package arithdb_test
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -239,7 +240,10 @@ func BenchmarkSQLPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	const eps, delta = 0.05, 0.25
-	base := arithdb.EngineOptions{Seed: 7, PaperSampleCount: true, DisableExact: true, ForceSampling: true}
+	// NoAdaptive keeps the fused variant on the fixed-budget first-k path
+	// this benchmark has always measured (the adaptive LIMIT-k race has
+	// its own benchmark, BenchmarkAdaptiveTopK).
+	base := arithdb.EngineOptions{Seed: 7, PaperSampleCount: true, DisableExact: true, ForceSampling: true, NoAdaptive: true}
 
 	// Every variant hoists its engine out of the b.N loop, so compiled
 	// kernels amortize across iterations: the materializing variants
@@ -296,7 +300,7 @@ func BenchmarkSQLPipelineSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	base := arithdb.EngineOptions{Seed: 7, PaperSampleCount: true, DisableExact: true, ForceSampling: true}
+	base := arithdb.EngineOptions{Seed: 7, PaperSampleCount: true, DisableExact: true, ForceSampling: true, NoAdaptive: true}
 	sweep := func(b *testing.B, engine *arithdb.Engine) {
 		for _, eps := range []float64{0.1, 0.05, 0.02} {
 			if _, err := engine.MeasureSQL(q, w.db, eps, 0.25); err != nil {
@@ -693,4 +697,88 @@ func BenchmarkPartialSamplingAblation(b *testing.B) {
 			_ = hits
 		}
 	})
+}
+
+// benchSector builds a 2-variable conjunction whose asymptotic measure is
+// exactly theta/2π: y ≥ 0 ∧ y·cosθ − x·sinθ ≤ 0 carves the sector [0, θ]
+// out of the direction sphere. Dialing theta dials the true measure, so
+// the adaptive race benchmarks can pit dialed-in skewed and uniform
+// candidate fields against each other on the sampling path.
+func benchSector(theta float64) arithdb.Constraint {
+	return realfmla.And(
+		realfmla.FAtom{A: realfmla.Atom{P: poly.Var(2, 1), Rel: realfmla.GE}},
+		realfmla.FAtom{A: realfmla.Atom{
+			P:   poly.Var(2, 1).Scale(math.Cos(theta)).Sub(poly.Var(2, 0).Scale(math.Sin(theta))),
+			Rel: realfmla.LE,
+		}},
+	)
+}
+
+// BenchmarkAdaptiveTopK measures the adaptive top-k sampling race against
+// the fixed per-candidate budget it replaces, on two candidate fields:
+// "skewed" (20 near-zero losers, 4 clear winners — the race freezes the
+// losers out after the first rounds) and "uniform" (measures spread evenly,
+// so the ranking stays in doubt longer and the race degrades gracefully
+// toward the fixed budget). Each sub-benchmark reports samples/op — the
+// total directions drawn per top-k query — which scripts/sample_check.sh
+// holds against scripts/sample_budget.txt in `make bench-check`.
+func BenchmarkAdaptiveTopK(b *testing.B) {
+	const (
+		n, k       = 24, 4
+		eps, delta = 0.02, 0.25
+	)
+	shapes := []struct {
+		name string
+		mus  []float64
+	}{
+		{"skewed", func() []float64 {
+			mus := make([]float64, n)
+			for i := range mus {
+				mus[i] = 0.04 + 0.001*float64(i%7)
+			}
+			for w := 0; w < k; w++ {
+				mus[(w*n/k+3)%n] = 0.43 - 0.01*float64(w)
+			}
+			return mus
+		}()},
+		{"uniform", func() []float64 {
+			mus := make([]float64, n)
+			for i := range mus {
+				mus[i] = 0.05 + 0.9*float64(i)/float64(n)
+			}
+			return mus
+		}()},
+	}
+	for _, shape := range shapes {
+		phis := make([]arithdb.Constraint, len(shape.mus))
+		for i, mu := range shape.mus {
+			phis[i] = benchSector(mu * 2 * math.Pi)
+		}
+		opts := core.Options{Seed: 17, DisableExact: true}
+		b.Run(shape.name+"/adaptive", func(b *testing.B) {
+			e := core.New(opts)
+			var samples int64
+			for i := 0; i < b.N; i++ {
+				res, err := e.MeasureTopK(phis, k, eps, delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples += int64(res.SamplesDrawn)
+			}
+			b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+		})
+		b.Run(shape.name+"/fixed", func(b *testing.B) {
+			var samples int64
+			for i := 0; i < b.N; i++ {
+				results, errs := core.MeasureBatch(opts, phis, eps, delta)
+				for j, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+					samples += int64(results[j].Samples)
+				}
+			}
+			b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+		})
+	}
 }

@@ -56,9 +56,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   arithdb sql     -data DIR -query "SELECT ..." [-eps E] [-delta D] [-seed S]
-                  [-workers N] [-compile-cache N]
+                  [-workers N] [-compile-cache N] [-no-adaptive] [-stats]
                   [-no-join-reorder] [-no-db-indexes] [-no-hash-join]
-  arithdb sql     -connect URL -query "SELECT ..." [-eps E] [-delta D] [-stream]
+  arithdb sql     -connect URL -query "SELECT ..." [-eps E] [-delta D] [-stream] [-stats]
   arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N] [args...]
   arithdb insert  (-data DIR | -connect URL) -rel R -tuple "v1,v2,..." [-tuple ...]
@@ -132,6 +132,9 @@ func runSQL(args []string) {
 	fs.Var(ranges, "range", "column range constraint Relation.column=lo:hi (repeatable; empty bound = ±inf)")
 	connect := fs.String("connect", "", "arithdbd base URL (e.g. http://localhost:8080): run the query on a server instead of -data")
 	stream := fs.Bool("stream", false, "with -connect: print candidates as the server streams them")
+	fs.BoolVar(&opts.NoAdaptive, "no-adaptive", false,
+		"disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate, first-k distinct tuples)")
+	stats := fs.Bool("stats", false, "print sampling telemetry (samples drawn, adaptive race rounds) after the results")
 	_ = fs.Parse(args)
 	if *query == "" {
 		log.Fatal("sql: -query is required")
@@ -146,14 +149,14 @@ func runSQL(args []string) {
 		localOnly := map[string]bool{
 			"data": true, "range": true, "seed": true, "workers": true,
 			"compile-cache": true, "no-join-reorder": true,
-			"no-db-indexes": true, "no-hash-join": true,
+			"no-db-indexes": true, "no-hash-join": true, "no-adaptive": true,
 		}
 		fs.Visit(func(f *flag.Flag) {
 			if localOnly[f.Name] {
 				log.Fatalf("sql: -%s is not supported over -connect (the server's configuration governs it)", f.Name)
 			}
 		})
-		runSQLRemote(*connect, *query, *eps, *delta, *stream)
+		runSQLRemote(*connect, *query, *eps, *delta, *stream, *stats)
 		return
 	}
 	if *data == "" {
@@ -199,12 +202,30 @@ func runSQL(args []string) {
 	for _, c := range res.Candidates {
 		printMeasure(c.Tuple, c.Measure)
 	}
+	if *stats {
+		printSamplingStats(res.SamplesDrawn, res.Rounds)
+	}
+}
+
+// printSamplingStats renders the -stats summary line: the adaptive
+// race's total spend, or a marker that the query ran on the fixed-budget
+// path (no LIMIT, -no-adaptive, or the server's configuration).
+func printSamplingStats(samples, rounds int) {
+	if rounds > 0 {
+		unit := "rounds"
+		if rounds == 1 {
+			unit = "round"
+		}
+		fmt.Printf("sampling: %d samples drawn in %d adaptive %s\n", samples, rounds, unit)
+		return
+	}
+	fmt.Println("sampling: fixed budget (no adaptive race)")
 }
 
 // runSQLRemote runs the query on an arithdbd server through the wire
 // client. Responses are lossless, so the printed tuples and measures are
 // exactly what a local session over the server's database would print.
-func runSQLRemote(base, query string, eps, delta float64, stream bool) {
+func runSQLRemote(base, query string, eps, delta float64, stream, stats bool) {
 	c := client.New(base).WithRetry(client.DefaultRetry)
 	ctx := context.Background()
 	printWire := func(wc wire.MeasuredCandidate) {
@@ -229,6 +250,9 @@ func runSQLRemote(base, query string, eps, delta float64, stream bool) {
 			log.Fatal(err)
 		}
 		fmt.Printf("%d candidate tuples (%d derivations)\n", done.Count, done.Derivations)
+		if stats {
+			printSamplingStats(done.SamplesDrawn, done.Rounds)
+		}
 		return
 	}
 	res, err := c.MeasureSQL(ctx, query, eps, delta)
@@ -238,6 +262,9 @@ func runSQLRemote(base, query string, eps, delta float64, stream bool) {
 	fmt.Printf("%d candidate tuples (%d derivations)\n", res.Count, res.Derivations)
 	for _, wc := range res.Candidates {
 		printWire(wc)
+	}
+	if stats {
+		printSamplingStats(res.SamplesDrawn, res.Rounds)
 	}
 }
 

@@ -140,21 +140,30 @@ func chunkLen(m, ch int) int {
 // count; the single-worker path reuses the entry's cached sampler across
 // calls.
 func (e *Engine) sampleAsym(ent *compiledEntry, m int, base int64) int {
-	chunks := (m + asymChunkSize - 1) / asymChunkSize
+	return e.sampleAsymRange(ent, m, base, 0, (m+asymChunkSize-1)/asymChunkSize)
+}
+
+// sampleAsymRange is the resumable form of sampleAsym: it draws only
+// chunks [from, to) of the m-sample budget. Chunk seeds depend on (base,
+// chunk index) alone, so drawing a budget in installments — the adaptive
+// race grows each candidate's prefix round by round — produces exactly
+// the samples a single full-budget run would have drawn: the hit counts
+// of disjoint ranges sum to the full-budget hit count bit-for-bit.
+func (e *Engine) sampleAsymRange(ent *compiledEntry, m int, base int64, from, to int) int {
 	workers := e.workers()
-	if workers > chunks {
-		workers = chunks
+	if workers > to-from {
+		workers = to - from
 	}
 	if workers <= 1 {
 		s := ent.sampler()
 		tol := e.opts.Tol
 		hits := 0
-		for ch := 0; ch < chunks; ch++ {
+		for ch := from; ch < to; ch++ {
 			hits += s.chunk(mc.DeriveSeed(base, int64(ch)), chunkLen(m, ch), tol)
 		}
 		return hits
 	}
-	return e.runParallel(ent, workers, m, chunks, base)
+	return e.runParallel(ent, workers, m, from, to, base)
 }
 
 // AdditiveApproxDirect is the same additive-error scheme evaluated without

@@ -62,6 +62,15 @@ func MeasureBatch(opts Options, phis []realfmla.Formula, eps, delta float64) ([]
 	if n == 0 {
 		return results, errs
 	}
+	// Validate once up front with the shared validator: previously a batch
+	// of exactly-decidable formulas sailed past a bad eps (only the
+	// sampling path checked), so the contract differed across entry points.
+	if err := ValidateEpsDelta(eps, delta); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
 	o := opts.withDefaults()
 	workers := o.poolWorkers()
 	if workers > n {

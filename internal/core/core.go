@@ -53,6 +53,13 @@ const (
 	// MethodFPRAS: multiplicative-error union-of-convex-bodies volume
 	// estimation (Section 7, CQ(+,<) regime).
 	MethodFPRAS Method = "fpras"
+	// MethodAFPRASRace: additive-error direction sampling driven by the
+	// adaptive top-k race (MeasureTopK, LIMIT-k MeasureSQL): the estimate
+	// is the prefix of the same deterministic sample stream the fixed
+	// AFPRAS path would draw, stopped early once the candidate's
+	// confidence interval resolved its top-k membership and met the eps
+	// width contract. Result.SamplesDrawn/Rounds carry the spend.
+	MethodAFPRASRace Method = "afpras-race"
 )
 
 // Options configures an Engine.
@@ -108,6 +115,12 @@ type Options struct {
 	// constraints compile each formula once instead of once per call.
 	// 0 uses the default of 1024 entries; negative disables caching.
 	CompileCacheSize int
+	// NoAdaptive disables the adaptive top-k sampling race for LIMIT-k
+	// MeasureSQL/MeasureSQLStream queries, restoring the fixed-budget
+	// first-k-distinct-tuples semantics (every kept candidate draws the
+	// full m-sample budget). Non-LIMIT queries and exact evaluation are
+	// identical either way. See MeasureTopK for the race contract.
+	NoAdaptive bool
 
 	// SQL pipeline planner/executor toggles (EvaluateSQL / MeasureSQL).
 	// None of them change results — the executor restores derivation
@@ -381,6 +394,14 @@ type Result struct {
 	// dimension); RelevantK is the number that actually affect the query
 	// (the paper's Section 9 optimization).
 	K, RelevantK int
+	// SamplesDrawn and Rounds are set only by the adaptive top-k race
+	// (Method afpras-race, or an exact/trivial method resolved inside a
+	// race): the number of direction samples this candidate actually drew
+	// — a prefix of the fixed path's m-sample budget — and the number of
+	// race rounds it participated in. Zero on every non-adaptive path, so
+	// fixed-budget results are byte-identical to previous releases.
+	SamplesDrawn int
+	Rounds       int
 }
 
 // Measure computes μ(q, D, args): it translates the input into a real
@@ -449,13 +470,30 @@ func trivialResult(truth bool, k int) Result {
 	return Result{Value: v, Rat: rat, Exact: true, Method: MethodTrivial, K: k}
 }
 
-// Validate sampling parameters shared by the approximation schemes.
-func checkEpsDelta(eps, delta float64) error {
-	if eps <= 0 || eps > 1 {
+// ValidateEps checks the additive/multiplicative error parameter shared
+// by every sampling entry point (FPRAS, AFPRAS, MeasureBatch, MeasureSQL
+// and the server's request validation): eps must lie in (0,1]. The
+// negated comparison also rejects NaN.
+func ValidateEps(eps float64) error {
+	if !(eps > 0 && eps <= 1) {
 		return fmt.Errorf("core: eps must be in (0,1], got %g", eps)
 	}
-	if delta <= 0 || delta >= 1 {
+	return nil
+}
+
+// ValidateEpsDelta checks a full (eps, delta) sampling contract: eps in
+// (0,1] and delta in (0,1). It is the one validator behind FPRAS,
+// MeasureBatch, MeasureSQL/MeasureSQLStream, MeasureTopK and the server,
+// so every entry point rejects the same inputs with the same message.
+func ValidateEpsDelta(eps, delta float64) error {
+	if err := ValidateEps(eps); err != nil {
+		return err
+	}
+	if !(delta > 0 && delta < 1) {
 		return fmt.Errorf("core: delta must be in (0,1), got %g", delta)
 	}
 	return nil
 }
+
+// checkEpsDelta is the internal spelling of ValidateEpsDelta.
+func checkEpsDelta(eps, delta float64) error { return ValidateEpsDelta(eps, delta) }

@@ -22,8 +22,8 @@ import (
 // It returns an error if φ is not linear or its DNF exceeds
 // Options.DNFLimit.
 func (e *Engine) FPRAS(phi realfmla.Formula, eps float64) (Result, error) {
-	if eps <= 0 || eps > 1 {
-		return Result{}, fmt.Errorf("core: eps must be in (0,1], got %g", eps)
+	if err := ValidateEps(eps); err != nil {
+		return Result{}, err
 	}
 	reduced, vars := realfmla.Reduce(phi)
 	n := len(vars)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the statistical machinery of the adaptive top-k race
+// (see adaptive.go for the controller): empirical-Bernstein confidence
+// intervals over the AFPRAS hit counts, and the per-round ranking
+// decisions — which candidates are provably in or out of the top k given
+// the current intervals.
+
+// ebHalfwidth is the confidence halfwidth of a Bernoulli mean estimated
+// from t samples with `hits` successes, at per-statement failure
+// probability δ' where logTerm = ln(2/δ'): the minimum of the
+// empirical-Bernstein bound (Maurer–Pontil; sharp when the empirical
+// variance p̂(1-p̂) is small, i.e. for near-certain or near-impossible
+// candidates) and the Hoeffding bound (sharp near p̂ = 1/2). Both hold
+// with probability ≥ 1-δ', so taking the minimum does too up to a union
+// bound the race's δ' budget absorbs.
+func ebHalfwidth(hits, t int, logTerm float64) float64 {
+	ft := float64(t)
+	hw := math.Sqrt(logTerm / (2 * ft)) // Hoeffding
+	if t > 1 {
+		p := float64(hits) / ft
+		v := p * (1 - p)
+		eb := math.Sqrt(2*v*logTerm/ft) + 7*logTerm/(3*(ft-1))
+		if eb < hw {
+			hw = eb
+		}
+	}
+	return hw
+}
+
+// aheadOf reports the race's "j is provably ahead of i" relation on
+// confidence intervals: j's interval lies entirely above i's, or touches
+// it exactly and j precedes i in candidate order. The tie clause makes
+// the relation agree with the final ranking by (value desc, index asc) on
+// exact point intervals — a query whose candidates are all certain
+// (μ = 1) therefore resolves to the first k candidates in derivation
+// order at round zero, exactly the legacy LIMIT semantics, with zero
+// samples drawn. The relation is acyclic: along any chain lo only
+// decreases, and on equality the index strictly decreases.
+func aheadOf(loJ, hiI float64, j, i int) bool {
+	return loJ > hiI || (loJ == hiI && j < i)
+}
+
+// boundPair is one interval endpoint tagged with its candidate index,
+// sorted by (value, index) so rankCounts can batch the aheadOf counting.
+type boundPair struct {
+	v   float64
+	idx int
+}
+
+// rankCounts computes, for every candidate i over the current intervals
+// [lo[i], hi[i]]:
+//
+//	ahead[i]  = #{j ≠ i : aheadOf(j, i)}   — candidates provably ahead
+//	behind[i] = #{j ≠ i : aheadOf(i, j)}   — candidates i is provably ahead of
+//
+// A candidate with ahead[i] ≥ k cannot be in the top k; one with
+// behind[i] ≥ n-k must be. Sorting both endpoint sets once makes each
+// count two binary searches, O(n log n) per round instead of the naive
+// O(n²) pairwise sweep.
+func rankCounts(lo, hi []float64, ahead, behind []int) {
+	n := len(lo)
+	los := make([]boundPair, 0, n)
+	his := make([]boundPair, 0, n)
+	for i := 0; i < n; i++ {
+		los = append(los, boundPair{lo[i], i})
+		his = append(his, boundPair{hi[i], i})
+	}
+	less := func(s []boundPair) func(a, b int) bool {
+		return func(a, b int) bool {
+			if s[a].v != s[b].v {
+				return s[a].v < s[b].v
+			}
+			return s[a].idx < s[b].idx
+		}
+	}
+	sort.Slice(los, less(los))
+	sort.Slice(his, less(his))
+
+	for i := 0; i < n; i++ {
+		// ahead[i]: js with lo_j > hi_i, plus js with lo_j == hi_i and j < i.
+		v := hi[i]
+		gt := len(los) - sort.Search(len(los), func(x int) bool { return los[x].v > v })
+		eqFrom := sort.Search(len(los), func(x int) bool { return los[x].v >= v })
+		eqTo := len(los) - gt
+		// Within the equal-value run, pairs are sorted by index.
+		ties := sort.Search(eqTo-eqFrom, func(x int) bool { return los[eqFrom+x].idx >= i })
+		ahead[i] = gt + ties
+
+		// behind[i]: js with hi_j < lo_i, plus js with hi_j == lo_i and j > i.
+		v = lo[i]
+		lt := sort.Search(len(his), func(x int) bool { return his[x].v >= v })
+		eqTo2 := sort.Search(len(his), func(x int) bool { return his[x].v > v })
+		ties2 := (eqTo2 - lt) - sort.Search(eqTo2-lt, func(x int) bool { return his[lt+x].idx > i })
+		behind[i] = lt + ties2
+	}
+}

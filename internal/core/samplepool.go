@@ -36,10 +36,14 @@ type samplePool struct {
 	job    parJob
 }
 
-// parJob is the shared state of one parallel sampling run.
+// parJob is the shared state of one parallel sampling run. first/chunks
+// bound the claimed chunk range [first, chunks): a full-budget run covers
+// [0, ⌈m/asymChunkSize⌉), while the adaptive race resumes a candidate
+// from its last drawn chunk (see sampleAsymRange).
 type parJob struct {
 	samplers  []*asymSampler
 	m, chunks int
+	first     int
 	base      int64
 	tol       float64
 	slot      atomic.Int64 // sampler slot assignment; the submitter owns slot 0
@@ -52,7 +56,7 @@ type parJob struct {
 func (j *parJob) run(s *asymSampler) {
 	hits := 0
 	for {
-		ch := int(j.next.Add(1)) - 1
+		ch := j.first + int(j.next.Add(1)) - 1
 		if ch >= j.chunks {
 			break
 		}
@@ -97,15 +101,15 @@ func (e *Engine) samplePoolFor(helpers int) *samplePool {
 	return e.pool
 }
 
-// runParallel samples m Gaussian-direction chunks over the entry's
-// compiled formula with `workers` participants (the calling goroutine
-// plus workers-1 pooled helpers), returning the total hit count.
-// Allocation-free in steady state.
-func (e *Engine) runParallel(ent *compiledEntry, workers, m, chunks int, base int64) int {
+// runParallel samples the Gaussian-direction chunks [from, to) of an
+// m-sample budget over the entry's compiled formula with `workers`
+// participants (the calling goroutine plus workers-1 pooled helpers),
+// returning the total hit count. Allocation-free in steady state.
+func (e *Engine) runParallel(ent *compiledEntry, workers, m, from, to int, base int64) int {
 	p := e.samplePoolFor(e.workers() - 1)
 	j := &p.job
 	j.samplers = ent.samplerPool(workers)
-	j.m, j.chunks, j.base, j.tol = m, chunks, base, e.opts.Tol
+	j.m, j.first, j.chunks, j.base, j.tol = m, from, to, base, e.opts.Tol
 	j.slot.Store(0)
 	j.next.Store(0)
 	j.total.Store(0)

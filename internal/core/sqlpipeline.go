@@ -52,6 +52,11 @@ type SQLMeasured struct {
 	NullIDs     []int
 	Index       map[int]int
 	Derivations int
+	// SamplesDrawn and Rounds report the adaptive top-k race's total
+	// sampling spend and round count (see SQLStreamInfo); zero when the
+	// query did not route through the race.
+	SamplesDrawn int
+	Rounds       int
 }
 
 // MeasureSQL is the fused pipeline of the paper's experiments: the query
@@ -61,10 +66,15 @@ type SQLMeasured struct {
 // constraint collapses to true (an unconditional derivation) are
 // dispatched while enumeration is still running, the rest when the join
 // completes, so measurement overlaps enumeration and consumption. With a
-// LIMIT, only the first n distinct tuples hold constraint state, so
-// top-k workloads never materialize the full candidate list (when the
-// planner reorders joins the executor does buffer the surviving
-// derivations to restore derivation order — see exec.Run).
+// LIMIT, the query routes through the adaptive top-k race by default
+// (see MeasureTopK): every distinct candidate is enumerated, candidates
+// race on confidence intervals, and the k most certain answers are
+// returned in candidate order — typically at a small fraction of the
+// fixed k·m sampling budget when the measures are skewed. SamplesDrawn
+// and Rounds on the result report the spend. Options.NoAdaptive restores
+// the fixed-budget first-k-distinct-tuples semantics, where only the
+// first k distinct tuples hold constraint state and the full candidate
+// list is never materialized.
 //
 // Measurement matches MeasureBatch exactly: each candidate is measured by
 // its own engine seeded deterministically from this engine's options and

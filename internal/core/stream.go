@@ -7,6 +7,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/realfmla"
 	"repro/internal/sqlast"
 )
 
@@ -20,6 +21,12 @@ type SQLStreamInfo struct {
 	NullIDs     []int
 	Index       map[int]int
 	Derivations int
+	// SamplesDrawn and Rounds report the adaptive top-k race's total
+	// sampling spend (all candidates, frozen-out losers included) and
+	// round count. Zero when the query did not route through the race
+	// (no LIMIT, Options.NoAdaptive, or PreferFPRAS).
+	SamplesDrawn int
+	Rounds       int
 }
 
 // MeasureSQLStream is the streaming form of MeasureSQL: instead of
@@ -63,10 +70,62 @@ func (e *Engine) MeasureSQLStream(ctx context.Context, q *sqlast.Query, d *db.Da
 	if err != nil {
 		return nil, err
 	}
+	if e.raceApplies(p) {
+		return e.measureStreamAdaptive(ctx, p, d, eps, delta, yield)
+	}
 	if e.opts.poolWorkers() <= 1 {
 		return e.measureStreamSeqInline(ctx, p, d, eps, delta, yield)
 	}
 	return e.measureStreamPool(ctx, p, d, eps, delta, yield)
+}
+
+// raceApplies reports whether a plan routes through the adaptive top-k
+// race: a LIMIT-k query on the default sampling configuration. Non-LIMIT
+// queries, Options.NoAdaptive (the escape hatch restoring the fixed-
+// budget first-k-distinct semantics) and PreferFPRAS (whose
+// multiplicative-guarantee estimates have no racing theory here) keep
+// the legacy paths byte-identical.
+func (e *Engine) raceApplies(p *plan.Plan) bool {
+	return p.Limit > 0 && !e.opts.NoAdaptive && !e.opts.PreferFPRAS
+}
+
+// measureStreamAdaptive is the LIMIT-k streaming pipeline behind the
+// adaptive race: the plan is enumerated without its LIMIT so every
+// distinct candidate enters the race (LIMIT-k means "the k most certain
+// answers", so the ranking must see the whole field), then the race
+// delivers the top-k winners in candidate order, each as soon as it is
+// provably in the top k with its estimate final. Derivation counting is
+// identical to the legacy path — the executor counts derivations
+// regardless of LIMIT — and yield sees consecutive indices from 0
+// exactly like the fixed path's first-k delivery.
+func (e *Engine) measureStreamAdaptive(ctx context.Context, p *plan.Plan, d *db.Database, eps, delta float64, yield func(int, MeasuredCandidate) error) (*SQLStreamInfo, error) {
+	pAll := *p
+	pAll.Limit = 0
+	eo := e.execOptions()
+	eo.Interrupt = ctx.Err
+	res, _, runErr := exec.Aggregate(&pAll, d, eo, nil)
+	if runErr != nil {
+		return nil, runErr
+	}
+	phis := make([]realfmla.Formula, len(res.Candidates))
+	for i, c := range res.Candidates {
+		phis[i] = c.Phi
+	}
+	oc, err := e.race(ctx, phis, p.Limit, eps, delta, func(pos, idx int, r Result) error {
+		c := res.Candidates[idx]
+		return yield(pos, MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: r})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SQLStreamInfo{
+		Count:        oc.delivered,
+		NullIDs:      p.NullIDs,
+		Index:        p.Index,
+		Derivations:  res.Derivations,
+		SamplesDrawn: oc.samplesDrawn,
+		Rounds:       oc.rounds,
+	}, nil
 }
 
 // measureStreamSeqInline is the single-worker streaming pipeline:
@@ -149,17 +208,21 @@ func (e *Engine) measureSQLBuffered(ctx context.Context, q *sqlast.Query, d *db.
 		return nil
 	}
 	var info *SQLStreamInfo
-	if e.opts.poolWorkers() <= 1 {
+	switch {
+	case e.raceApplies(p):
+		info, err = e.measureStreamAdaptive(ctx, p, d, eps, delta, collect)
+	case e.opts.poolWorkers() <= 1:
 		info, err = e.measureStreamSeq(ctx, p, d, eps, delta, func(n int) {
 			out.Candidates = make([]MeasuredCandidate, 0, n)
 		}, collect)
-	} else {
+	default:
 		info, err = e.measureStreamPool(ctx, p, d, eps, delta, collect)
 	}
 	if err != nil {
 		return nil, err
 	}
 	out.NullIDs, out.Index, out.Derivations = info.NullIDs, info.Index, info.Derivations
+	out.SamplesDrawn, out.Rounds = info.SamplesDrawn, info.Rounds
 	return out, nil
 }
 

@@ -53,6 +53,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -186,6 +187,15 @@ type Server struct {
 	// time (readers are unaffected — they hold snapshots).
 	writeMu sync.Mutex
 
+	// Sampling telemetry, aggregated over the server lifetime and
+	// reported by GET /v1/info (wire.SamplingStats). runs counts
+	// completed measure requests; adaptiveRuns the subset whose query
+	// reported adaptive-race spend; samplesDrawn/rounds accumulate it.
+	runs         atomic.Int64
+	adaptiveRuns atomic.Int64
+	samplesDrawn atomic.Int64
+	rounds       atomic.Int64
+
 	shutdownOnce sync.Once
 	shutdownErr  error
 
@@ -303,6 +313,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		info.ReadOnly = true
 		info.Degraded = reason
 	}
+	if runs := s.runs.Load(); runs > 0 {
+		info.Sampling = &wire.SamplingStats{
+			Runs:         runs,
+			AdaptiveRuns: s.adaptiveRuns.Load(),
+			SamplesDrawn: s.samplesDrawn.Load(),
+			Rounds:       s.rounds.Load(),
+		}
+	}
 	for _, rel := range d.Schema().Relations() {
 		ri := wire.RelationInfo{Name: rel.Name}
 		for _, col := range rel.Columns {
@@ -333,8 +351,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// sampling validates and defaults an (eps, delta) pair against the
-// server floors.
+// sampling validates and defaults an (eps, delta) pair: range checks go
+// through the shared core validator — so the server rejects exactly the
+// inputs every library entry point rejects, with the same message — then
+// the server floors apply on top.
 func (s *Server) sampling(w http.ResponseWriter, eps, delta float64) (float64, float64, bool) {
 	if eps == 0 {
 		eps = s.cfg.DefaultEps
@@ -343,15 +363,12 @@ func (s *Server) sampling(w http.ResponseWriter, eps, delta float64) (float64, f
 		delta = s.cfg.DefaultDelta
 	}
 	switch {
-	case !(eps > 0 && eps <= 1): // also rejects NaN
+	case core.ValidateEpsDelta(eps, delta) != nil:
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
-			fmt.Sprintf("eps must be in (0,1], got %g", eps))
+			core.ValidateEpsDelta(eps, delta).Error())
 	case eps < s.cfg.MinEps:
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
 			fmt.Sprintf("eps %g below the server floor %g", eps, s.cfg.MinEps))
-	case !(delta > 0 && delta < 1):
-		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
-			fmt.Sprintf("delta must be in (0,1), got %g", delta))
 	case delta < s.cfg.MinDelta:
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
 			fmt.Sprintf("delta %g below the server floor %g", delta, s.cfg.MinDelta))
@@ -383,6 +400,19 @@ func (s *Server) parseSQL(w http.ResponseWriter, src string) (*sqlast.Query, boo
 		return nil, false
 	}
 	return q, true
+}
+
+// recordRun folds one completed measure request into the server's
+// sampling telemetry. rounds > 0 identifies an adaptive-race run: a race
+// that resolved purely exactly reports zero rounds and is
+// indistinguishable from (and as cheap as) a fixed exact run.
+func (s *Server) recordRun(samplesDrawn, rounds int) {
+	s.runs.Add(1)
+	if rounds > 0 {
+		s.adaptiveRuns.Add(1)
+		s.samplesDrawn.Add(int64(samplesDrawn))
+		s.rounds.Add(int64(rounds))
+	}
 }
 
 func toWireCandidate(c core.MeasuredCandidate, includePhi bool) wire.MeasuredCandidate {
@@ -420,6 +450,7 @@ func (s *Server) measureSQL(w http.ResponseWriter, r *http.Request, q *sqlast.Qu
 	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.cfg.DB.Snapshot(), eps, delta)
 	switch {
 	case err == nil:
+		s.recordRun(res.SamplesDrawn, res.Rounds)
 		return res, true
 	case r.Context().Err() != nil:
 		// Client gone; best-effort status for the log, nobody reads it.
@@ -464,10 +495,12 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 
 func toMeasureResponse(res *core.SQLMeasured, includePhi bool) wire.MeasureResponse {
 	out := wire.MeasureResponse{
-		Count:       len(res.Candidates),
-		Derivations: res.Derivations,
-		NullIDs:     res.NullIDs,
-		Candidates:  make([]wire.MeasuredCandidate, 0, len(res.Candidates)),
+		Count:        len(res.Candidates),
+		Derivations:  res.Derivations,
+		NullIDs:      res.NullIDs,
+		SamplesDrawn: res.SamplesDrawn,
+		Rounds:       res.Rounds,
+		Candidates:   make([]wire.MeasuredCandidate, 0, len(res.Candidates)),
 	}
 	for _, c := range res.Candidates {
 		out.Candidates = append(out.Candidates, toWireCandidate(c, includePhi))
@@ -509,11 +542,14 @@ func (s *Server) streamMeasure(w http.ResponseWriter, r *http.Request, q *sqlast
 		_ = ew.write(wire.Event{Event: wire.EventError, Error: err.Error()})
 		return
 	}
+	s.recordRun(info.SamplesDrawn, info.Rounds)
 	_ = ew.write(wire.Event{
-		Event:       wire.EventDone,
-		Count:       info.Count,
-		Derivations: info.Derivations,
-		NullIDs:     info.NullIDs,
+		Event:        wire.EventDone,
+		Count:        info.Count,
+		Derivations:  info.Derivations,
+		NullIDs:      info.NullIDs,
+		SamplesDrawn: info.SamplesDrawn,
+		Rounds:       info.Rounds,
 	})
 }
 

@@ -109,17 +109,23 @@ type Measure struct {
 	Samples   int    `json:"samples"`
 	K         int    `json:"k"`
 	RelevantK int    `json:"relevantK"`
+	// SamplesDrawn and Rounds carry the adaptive race's per-candidate
+	// spend (core.Result); zero — and omitted — on non-adaptive paths.
+	SamplesDrawn int `json:"samplesDrawn,omitempty"`
+	Rounds       int `json:"rounds,omitempty"`
 }
 
 // FromResult encodes a measure.
 func FromResult(r core.Result) Measure {
 	m := Measure{
-		Value:     r.Value,
-		Exact:     r.Exact,
-		Method:    string(r.Method),
-		Samples:   r.Samples,
-		K:         r.K,
-		RelevantK: r.RelevantK,
+		Value:        r.Value,
+		Exact:        r.Exact,
+		Method:       string(r.Method),
+		Samples:      r.Samples,
+		K:            r.K,
+		RelevantK:    r.RelevantK,
+		SamplesDrawn: r.SamplesDrawn,
+		Rounds:       r.Rounds,
 	}
 	if r.Rat != nil {
 		m.Rat = r.Rat.RatString()
@@ -130,12 +136,14 @@ func FromResult(r core.Result) Measure {
 // Result decodes the measure.
 func (m Measure) Result() (core.Result, error) {
 	r := core.Result{
-		Value:     m.Value,
-		Exact:     m.Exact,
-		Method:    core.Method(m.Method),
-		Samples:   m.Samples,
-		K:         m.K,
-		RelevantK: m.RelevantK,
+		Value:        m.Value,
+		Exact:        m.Exact,
+		Method:       core.Method(m.Method),
+		Samples:      m.Samples,
+		K:            m.K,
+		RelevantK:    m.RelevantK,
+		SamplesDrawn: m.SamplesDrawn,
+		Rounds:       m.Rounds,
 	}
 	if m.Rat != "" {
 		rat, ok := new(big.Rat).SetString(m.Rat)
@@ -197,6 +205,11 @@ type MeasureResponse struct {
 	Count       int                 `json:"count"`
 	Derivations int                 `json:"derivations"`
 	NullIDs     []int               `json:"nullIds,omitempty"`
+	// SamplesDrawn and Rounds report the adaptive top-k race's total
+	// sampling spend and round count for this query (core.SQLMeasured);
+	// omitted when the query did not route through the race.
+	SamplesDrawn int `json:"samplesDrawn,omitempty"`
+	Rounds       int `json:"rounds,omitempty"`
 }
 
 // Stream event kinds.
@@ -214,10 +227,13 @@ type Event struct {
 	// EventCandidate fields.
 	Idx       int                `json:"idx"`
 	Candidate *MeasuredCandidate `json:"candidate,omitempty"`
-	// EventDone fields.
-	Count       int   `json:"count"`
-	Derivations int   `json:"derivations"`
-	NullIDs     []int `json:"nullIds,omitempty"`
+	// EventDone fields. SamplesDrawn/Rounds summarize the adaptive race
+	// as in MeasureResponse.
+	Count        int   `json:"count"`
+	Derivations  int   `json:"derivations"`
+	NullIDs      []int `json:"nullIds,omitempty"`
+	SamplesDrawn int   `json:"samplesDrawn,omitempty"`
+	Rounds       int   `json:"rounds,omitempty"`
 	// EventError fields.
 	Error string `json:"error,omitempty"`
 }
@@ -268,6 +284,23 @@ type InfoResponse struct {
 	// Degraded carries the durability-failure reason when the server
 	// tripped to read-only (see CodeDegraded); empty otherwise.
 	Degraded string `json:"degraded,omitempty"`
+	// Sampling aggregates the server's measurement workload since start;
+	// nil before the first measured query.
+	Sampling *SamplingStats `json:"sampling,omitempty"`
+}
+
+// SamplingStats is the server-lifetime sampling telemetry of InfoResponse:
+// how many measured queries ran, how many routed through the adaptive
+// top-k race, and the cumulative sampling spend the race reported.
+type SamplingStats struct {
+	// Runs counts completed measure requests (buffered and streaming).
+	Runs int64 `json:"runs"`
+	// AdaptiveRuns counts the subset that routed through the adaptive race
+	// (LIMIT-k queries without the escape hatch).
+	AdaptiveRuns int64 `json:"adaptiveRuns"`
+	// SamplesDrawn and Rounds accumulate the race's reported spend.
+	SamplesDrawn int64 `json:"samplesDrawn"`
+	Rounds       int64 `json:"rounds"`
 }
 
 // Experiment is one of the paper's decision-support workloads

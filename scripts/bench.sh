@@ -19,7 +19,10 @@
 #     price of durability stays visible;
 #   - BenchmarkServerThroughput: end-to-end HTTP requests/second through
 #     the multi-user server (internal/server), all clients sharing one
-#     database under admission control.
+#     database under admission control;
+#   - BenchmarkAdaptiveTopK: the adaptive top-k sampling race vs the
+#     fixed per-candidate budget on skewed and uniform candidate fields,
+#     reporting samples/op (guarded by scripts/sample_check.sh).
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
 #   scripts/bench.sh                 # the default family below, -benchtime 1s
@@ -27,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput}"
+bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput|AdaptiveTopK}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Sampling-budget guard for the adaptive top-k race: runs
+# BenchmarkAdaptiveTopK and fails when any benchmark listed in
+# scripts/sample_budget.txt exceeds its checked-in samples/op budget, or
+# when the skewed workload stops saving at least 3x over the fixed
+# per-candidate budget (the acceptance bar of the adaptive-sampling PR).
+# The race is deterministic for a fixed seed, so samples/op is exact —
+# any change here is a real behavior change in the racing confidence
+# bounds, not noise.
+#
+# Usage: scripts/sample_check.sh [benchtime]   (default 2x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-2x}"
+budget_file="scripts/sample_budget.txt"
+
+raw="$(go test -run '^$' -bench 'BenchmarkAdaptiveTopK' -benchtime "$benchtime" .)"
+printf '%s\n' "$raw"
+
+# metric NAME: the samples/op value of one benchmark from the raw output.
+metric() {
+    printf '%s\n' "$raw" | awk -v n="$1" '
+        $1 ~ "^"n"(-[0-9]+)?$" {
+            for (i = 4; i <= NF; i++) if ($i == "samples/op") print $(i-1)
+        }'
+}
+
+fail=0
+while read -r name budget; do
+    case "$name" in ''|\#*) continue ;; esac
+    got="$(metric "$name")"
+    if [ -z "$got" ]; then
+        echo "sample-check: $name not found in benchmark output" >&2
+        fail=1
+        continue
+    fi
+    if awk -v g="$got" -v b="$budget" 'BEGIN { exit !(g > b) }'; then
+        echo "sample-check: $name drew $got samples/op, budget $budget" >&2
+        fail=1
+    else
+        echo "sample-check: $name $got samples/op within budget $budget"
+    fi
+done < "$budget_file"
+
+# The headline claim: on the skewed field the race must spend at most a
+# third of the fixed budget.
+adaptive="$(metric 'BenchmarkAdaptiveTopK/skewed/adaptive')"
+fixed="$(metric 'BenchmarkAdaptiveTopK/skewed/fixed')"
+if [ -z "$adaptive" ] || [ -z "$fixed" ]; then
+    echo "sample-check: skewed adaptive/fixed pair not found in benchmark output" >&2
+    fail=1
+elif awk -v a="$adaptive" -v f="$fixed" 'BEGIN { exit !(3 * a > f) }'; then
+    echo "sample-check: skewed savings below 3x (adaptive $adaptive vs fixed $fixed samples/op)" >&2
+    fail=1
+else
+    echo "sample-check: skewed savings $(awk -v a="$adaptive" -v f="$fixed" 'BEGIN { printf "%.1f", f / a }')x (adaptive $adaptive vs fixed $fixed samples/op)"
+fi
+
+exit "$fail"

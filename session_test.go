@@ -34,10 +34,13 @@ func TestSessionFusedPipeline(t *testing.T) {
 	}
 
 	var ref *arithdb.SQLMeasured
+	// NoAdaptive: this test compares LIMIT-k candidates against
+	// EvaluateSQL's first-k distinct tuples, the fixed-budget contract.
+	// The adaptive race is covered by internal/core's adaptive suite.
 	for _, opts := range []arithdb.EngineOptions{
-		{Seed: 5},
-		{Seed: 5, DisableJoinReorder: true, DisableDBIndexes: true, DisableHashJoin: true},
-		{Seed: 5, Workers: 2},
+		{Seed: 5, NoAdaptive: true},
+		{Seed: 5, NoAdaptive: true, DisableJoinReorder: true, DisableDBIndexes: true, DisableHashJoin: true},
+		{Seed: 5, NoAdaptive: true, Workers: 2},
 	} {
 		sess := arithdb.NewSession(d, opts)
 		ev, err := sess.SQL(src)
