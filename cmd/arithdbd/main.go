@@ -61,7 +61,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); -data/-gen seed it on first boot")
 		ckptEvery    = flag.Duration("checkpoint-every", time.Minute, "background checkpoint period in -data-dir mode (0 disables)")
 		noSync       = flag.Bool("no-sync", false, "skip the per-insert WAL fsync (benchmarks only: trades crash durability for throughput)")
-	noAdaptive   = flag.Bool("no-adaptive", false, "disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate)")
+		noAdaptive   = flag.Bool("no-adaptive", false, "disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate)")
 	)
 	flag.Parse()
 

@@ -165,7 +165,10 @@ func (e *Engine) race(ctx context.Context, phis []realfmla.Formula, k int, eps, 
 	kernels := e.poolKernels()
 	items := make([]*raceItem, n)
 	for i := range items {
-		items[i] = &raceItem{idx: i, phi: phis[i], lo: 0, hi: 1}
+		// hw starts at +Inf so a candidate frozen IN before its first
+		// draw (e.g. every candidate at round 0 when k ≥ n) cannot pass
+		// the eps width check and finalize with zero samples.
+		items[i] = &raceItem{idx: i, phi: phis[i], lo: 0, hi: 1, hw: math.Inf(1)}
 	}
 	// Prep every candidate exactly as the fixed path would: per-item
 	// seeding, shared kernels, exact methods first, base-seed draw for

@@ -282,6 +282,21 @@ func TestMeasureTopKEdgeCases(t *testing.T) {
 	if err != nil || len(res.Winners) != 2 {
 		t.Fatalf("k>n race: %v %v", res, err)
 	}
+	// k ≥ n freezes every candidate IN at round 0; each must still draw
+	// until its interval meets the eps contract, not finalize at zero.
+	want := []float64{0.1, 0.3}
+	for i, idx := range res.Winners {
+		r := res.Results[i]
+		if math.Abs(r.Value-want[idx]) > 0.05 {
+			t.Errorf("winner %d: value %v, want %v ± 0.05", idx, r.Value, want[idx])
+		}
+		if r.SamplesDrawn == 0 {
+			t.Errorf("winner %d: zero samples drawn", idx)
+		}
+	}
+	if res.SamplesDrawn == 0 {
+		t.Error("k>n race drew zero samples in total")
+	}
 	if _, err := e.MeasureTopK(phis, 1, 0, 0.25); err == nil {
 		t.Error("accepted eps=0")
 	}

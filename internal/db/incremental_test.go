@@ -96,12 +96,12 @@ func TestInsertAtomicOnFailure(t *testing.T) {
 		rel string
 		tup value.Tuple
 	}{
-		{"T", value.Tuple{value.Num(1)}},                                       // unknown relation
-		{"R", value.Tuple{value.Base("x"), value.Num(1)}},                      // arity
-		{"R", value.Tuple{value.Num(1), value.Num(1), value.Base("y")}},        // sort mismatch col 0
-		{"R", value.Tuple{value.Base("x"), value.Base("y"), value.Base("z")}},  // sort mismatch col 1
+		{"T", value.Tuple{value.Num(1)}},                                           // unknown relation
+		{"R", value.Tuple{value.Base("x"), value.Num(1)}},                          // arity
+		{"R", value.Tuple{value.Num(1), value.Num(1), value.Base("y")}},            // sort mismatch col 0
+		{"R", value.Tuple{value.Base("x"), value.Base("y"), value.Base("z")}},      // sort mismatch col 1
 		{"R", value.Tuple{value.Base("x"), value.Num(1), value.NullBase(1 << 30)}}, // null id range
-		{"S", value.Tuple{value.NullNum(1 << 30), value.Base("q")}},            // null id range, first col
+		{"S", value.Tuple{value.NullNum(1 << 30), value.Base("q")}},                // null id range, first col
 	}
 	for _, b := range bad {
 		if err := d.Insert(b.rel, b.tup); err == nil {

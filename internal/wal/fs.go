@@ -59,10 +59,10 @@ func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
 
-func (OSFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
-func (OSFS) Truncate(name string, size int64) error      { return os.Truncate(name, size) }
-func (OSFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
-func (OSFS) RemoveAll(path string) error                 { return os.RemoveAll(path) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
 func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 
 func (OSFS) ReadDir(name string) ([]string, error) {
