@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check
+.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check replica-check
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -48,6 +48,21 @@ crash-check:
 	$(GO) test . -count=1 -run 'TestDurable'
 	$(GO) test ./internal/server -count=1 -run 'TestServerDegradesOnWALFault|TestServerDurableInsertRecovers'
 	$(GO) test ./internal/dbio -count=1 -run 'TestSave'
+
+# replica-check is the replication gauntlet (CI runs it as its own job):
+# checkpoint bootstrap + log catchup against a real durable primary,
+# idempotent reconvergence across abrupt primary crashes, 410 →
+# re-bootstrap after truncation, and the chaos harness — log shipping
+# and client failover under injected latency, dropped connections, and
+# streams cut mid-NDJSON-frame (internal/faultnet), asserting
+# bit-identical convergence, zero failed reads through primary
+# downtime, and no double-applied batch. -race because the catchup
+# loop, the long-poll tail, and the failover client are all concurrent;
+# -count=1 defeats the test cache so the fault injection actually reruns.
+replica-check:
+	$(GO) test ./internal/replica -race -count=1
+	$(GO) test ./internal/faultnet -race -count=1
+	$(GO) test . -race -count=1 -run 'TestReplicaChaos'
 
 # fuzz-smoke gives each wire-protocol fuzzer a short budget: malformed
 # requests and SQL must come back as structured errors, never panics

@@ -58,7 +58,8 @@ func usage() {
   arithdb sql     -data DIR -query "SELECT ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N] [-no-adaptive] [-stats]
                   [-no-join-reorder] [-no-db-indexes] [-no-hash-join]
-  arithdb sql     -connect URL -query "SELECT ..." [-eps E] [-delta D] [-stream] [-stats]
+  arithdb sql     -connect URL[,URL...] -query "SELECT ..." [-eps E] [-delta D] [-stream] [-stats]
+                  (first URL is the primary; reads fail over down the list)
   arithdb measure -data DIR -query "q(x:base) := ..." [-eps E] [-delta D] [-seed S]
                   [-workers N] [-compile-cache N] [args...]
   arithdb insert  (-data DIR | -connect URL) -rel R -tuple "v1,v2,..." [-tuple ...]
@@ -130,7 +131,7 @@ func runSQL(args []string) {
 	plannerFlags(fs, opts)
 	ranges := rangeFlags{}
 	fs.Var(ranges, "range", "column range constraint Relation.column=lo:hi (repeatable; empty bound = ±inf)")
-	connect := fs.String("connect", "", "arithdbd base URL (e.g. http://localhost:8080): run the query on a server instead of -data")
+	connect := fs.String("connect", "", "arithdbd base URL(s), comma-separated (e.g. http://primary:8080,http://replica:8081): run the query on a server instead of -data; reads fail over down the list")
 	stream := fs.Bool("stream", false, "with -connect: print candidates as the server streams them")
 	fs.BoolVar(&opts.NoAdaptive, "no-adaptive", false,
 		"disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate, first-k distinct tuples)")
@@ -222,11 +223,42 @@ func printSamplingStats(samples, rounds int) {
 	fmt.Println("sampling: fixed budget (no adaptive race)")
 }
 
+// splitEndpoints parses a comma-separated -connect list; the first entry
+// is the primary (writes go only there), later entries are read
+// fallbacks.
+func splitEndpoints(s string) []string {
+	var eps []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			eps = append(eps, e)
+		}
+	}
+	return eps
+}
+
+// printReplicationStats renders the server's replication position behind
+// -stats: the primary's durable WAL frontier, or the replica's applied
+// frontier and observed lag.
+func printReplicationStats(ctx context.Context, c *client.Client) {
+	info, err := c.Info(ctx)
+	if err != nil || info.Replication == nil {
+		return
+	}
+	r := info.Replication
+	if r.Role == "replica" {
+		fmt.Printf("replication: replica at seq %d (primary seq %d, lag %d) via %s\n",
+			r.LastAppliedSeq, r.PrimarySeq, r.ReplicaLag, c.Current())
+		return
+	}
+	fmt.Printf("replication: primary at wal seq %d (checkpoint covers %d) via %s\n",
+		r.WalSeq, r.CheckpointSeq, c.Current())
+}
+
 // runSQLRemote runs the query on an arithdbd server through the wire
 // client. Responses are lossless, so the printed tuples and measures are
 // exactly what a local session over the server's database would print.
 func runSQLRemote(base, query string, eps, delta float64, stream, stats bool) {
-	c := client.New(base).WithRetry(client.DefaultRetry)
+	c := client.NewFailover(splitEndpoints(base)).WithRetry(client.DefaultRetry)
 	ctx := context.Background()
 	printWire := func(wc wire.MeasuredCandidate) {
 		tuple, err := wire.ToTuple(wc.Tuple)
@@ -252,6 +284,7 @@ func runSQLRemote(base, query string, eps, delta float64, stream, stats bool) {
 		fmt.Printf("%d candidate tuples (%d derivations)\n", done.Count, done.Derivations)
 		if stats {
 			printSamplingStats(done.SamplesDrawn, done.Rounds)
+			printReplicationStats(ctx, c)
 		}
 		return
 	}
@@ -265,6 +298,7 @@ func runSQLRemote(base, query string, eps, delta float64, stream, stats bool) {
 	}
 	if stats {
 		printSamplingStats(res.SamplesDrawn, res.Rounds)
+		printReplicationStats(ctx, c)
 	}
 }
 
@@ -385,7 +419,9 @@ func runInsert(args []string) {
 		log.Fatal("insert: exactly one of -data or -connect is required")
 	}
 	if *connect != "" {
-		res, err := client.New(*connect).WithRetry(client.DefaultRetry).Insert(context.Background(), *rel, tuples)
+		// Writes pin to the first endpoint (the primary); extra endpoints in
+		// the list only serve read failover.
+		res, err := client.NewFailover(splitEndpoints(*connect)).WithRetry(client.DefaultRetry).Insert(context.Background(), *rel, tuples)
 		if err != nil {
 			log.Fatal(err)
 		}

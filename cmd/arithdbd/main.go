@@ -10,6 +10,8 @@
 //	         [-queue-timeout 2s] [-seed S] [-min-eps 0.005] [-read-only]
 //	arithdbd -gen 20000 ...       # synthetic sales database instead of -data
 //	arithdbd -data-dir DIR ...    # durable mode: WAL + checkpoints
+//	arithdbd -data-dir DIR -replica-of http://primary:8080
+//	                              # read replica: bootstrap + tail the primary
 //
 // With -data-dir the server is durable: startup recovers the newest
 // checkpoint and replays the write-ahead log, every acknowledged insert
@@ -17,6 +19,16 @@
 // (-checkpoint-every) folds the log into fresh checkpoints off immutable
 // snapshots, and a WAL failure degrades the server to read-only 503s
 // instead of crashing it. -data/-gen then only seed a fresh directory.
+// A durable primary also serves the replication endpoints
+// (GET /v1/replication/checkpoint, GET /v1/replication/log).
+//
+// With -replica-of the server is a read replica: first boot bootstraps
+// -data-dir from the primary's newest checkpoint, then a catchup loop
+// tails the primary's WAL (CRC-verified, idempotent replay into the
+// replica's own WAL + checkpoint chain), reconnecting with capped
+// jittered backoff across primary crashes. Reads are served throughout;
+// staleness (lastAppliedSeq, replicaLag) is surfaced in /v1/info and
+// /healthz; inserts answer 403 "not-primary".
 //
 // Clients: `arithdb sql -connect http://host:8080 -query "SELECT ..."`,
 // or any HTTP client (see README "Server mode" for the endpoints).
@@ -36,6 +48,7 @@ import (
 	"time"
 
 	arithdb "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -62,11 +75,31 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-every", time.Minute, "background checkpoint period in -data-dir mode (0 disables)")
 		noSync       = flag.Bool("no-sync", false, "skip the per-insert WAL fsync (benchmarks only: trades crash durability for throughput)")
 		noAdaptive   = flag.Bool("no-adaptive", false, "disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate)")
+		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary at this base URL (requires -data-dir)")
 	)
 	flag.Parse()
 
 	if *data != "" && *gen > 0 {
 		log.Fatal("-data and -gen are mutually exclusive")
+	}
+	if *ckptEvery < 0 {
+		log.Fatal("-checkpoint-every must not be negative (use 0 to disable background checkpoints)")
+	}
+	if *replicaOf != "" {
+		// A replica's state comes from the primary, nowhere else — and a
+		// replica is read-only by construction, so an explicit
+		// -read-only=false is a misconfiguration, not an override.
+		if *dataDir == "" {
+			log.Fatal("-replica-of requires -data-dir (the replica's own durable directory)")
+		}
+		if *data != "" || *gen > 0 {
+			log.Fatal("-replica-of bootstraps from the primary; it is incompatible with -data/-gen")
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "read-only" && !*readOnly {
+				log.Fatal("-replica-of serves read-only by construction; -read-only=false is invalid")
+			}
+		})
 	}
 	// seedDB builds the initial database from -data/-gen. In durable mode
 	// it only runs when the data directory holds no state yet.
@@ -83,12 +116,43 @@ func main() {
 		return nil, errors.New("one of -data or -gen is required to seed a fresh database")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var (
-		d     *arithdb.Database
-		store *wal.Store
-		err   error
+		d       *arithdb.Database
+		store   *wal.Store
+		rep     *replica.Replicator
+		repDone chan struct{}
+		err     error
 	)
-	if *dataDir != "" {
+	switch {
+	case *replicaOf != "":
+		// Bootstrap retries until the primary answers: a replica routinely
+		// boots while its primary is down, and must come up as soon as the
+		// primary does.
+		for {
+			rep, err = replica.Open(ctx, replica.Config{
+				Primary:         *replicaOf,
+				Dir:             *dataDir,
+				CheckpointEvery: *ckptEvery,
+				NoSync:          *noSync,
+				Logf:            log.Printf,
+			})
+			if err == nil {
+				break
+			}
+			log.Printf("replica bootstrap: %v (retrying)", err)
+			select {
+			case <-ctx.Done():
+				log.Fatal("interrupted before the replica bootstrapped")
+			case <-time.After(2 * time.Second):
+			}
+		}
+		d = rep.DB()
+		repDone = make(chan struct{})
+		go func() { rep.Run(ctx); close(repDone) }()
+	case *dataDir != "":
 		store, err = wal.Open(*dataDir, wal.Options{
 			Seed:            seedDB,
 			CheckpointEvery: *ckptEvery,
@@ -101,18 +165,14 @@ func main() {
 		d = store.DB()
 		log.Printf("recovered %s: %d tuples, seq %d (checkpoint covers %d)",
 			*dataDir, d.Size(), store.Seq(), store.CheckpointSeq())
-	} else if d, err = seedDB(); err != nil {
-		log.Fatal(err)
+	default:
+		if d, err = seedDB(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	var durable server.Durability
-	if store != nil {
-		durable = store
-	}
-	srv, err := server.New(server.Config{
-		DB:       d,
+	cfg := server.Config{
 		ReadOnly: *readOnly,
-		Durable:  durable,
 		Engine: arithdb.EngineOptions{
 			Seed:             *seed,
 			PoolWorkers:      *workers,
@@ -123,7 +183,22 @@ func main() {
 		QueueTimeout:    *queueTimeout,
 		MinEps:          *minEps,
 		KernelCacheSize: *compileCache,
-	})
+	}
+	switch {
+	case rep != nil:
+		// Source (not DB): a mid-run re-bootstrap swaps the replica's store,
+		// and every request must see the current one.
+		cfg.Source = rep.DB
+		cfg.Replica = rep
+		cfg.ReadOnly = true
+	default:
+		cfg.DB = d
+		if store != nil {
+			cfg.Durable = store
+			cfg.Replication = store
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,10 +208,13 @@ func main() {
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
-	log.Printf("serving %d tuples on http://%s", d.Size(), ln.Addr())
+	if rep != nil {
+		log.Printf("serving %d tuples on http://%s (replica of %s, seq %d)",
+			d.Size(), ln.Addr(), rep.Primary(), rep.LastAppliedSeq())
+	} else {
+		log.Printf("serving %d tuples on http://%s", d.Size(), ln.Addr())
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
@@ -153,6 +231,12 @@ func main() {
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if rep != nil {
+		// The catchup loop exits on the signal context; wait for it so no
+		// replay is mid-flight, then checkpoint and close the local store.
+		<-repDone
+		store = rep.Store()
 	}
 	if store != nil {
 		// The server has drained: no insert is in flight. Fold the WAL tail

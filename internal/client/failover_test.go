@@ -1,0 +1,296 @@
+package client
+
+// Failover tests: reads advance stickily across the endpoint list on
+// transport errors and unavailable/degraded 503s, writes stay pinned to
+// the primary and are never silently re-routed or retried over a
+// transport error, per-attempt deadlines turn a hung endpoint into a
+// fast failover, and the measure stream resumes mid-query — delivering
+// each candidate exactly once — or surfaces ErrStreamInterrupted when it
+// cannot.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// counting wraps a handler with a request counter.
+type counting struct {
+	calls atomic.Int32
+	h     http.HandlerFunc
+}
+
+func (c *counting) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.calls.Add(1)
+	c.h(w, r)
+}
+
+func errJSON(status int, code string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "nope", Code: code})
+	}
+}
+
+func TestReadFailsOverOn503AndSticks(t *testing.T) {
+	a := &counting{h: errJSON(http.StatusServiceUnavailable, wire.CodeShuttingDown)}
+	b := &counting{h: okJSON(wire.InfoResponse{Tuples: 5})}
+	hsA, hsB := httptest.NewServer(a), httptest.NewServer(b)
+	defer hsA.Close()
+	defer hsB.Close()
+
+	c := NewFailover([]string{hsA.URL, hsB.URL}).WithRetry(fastRetry)
+	info, err := c.Info(context.Background())
+	if err != nil || info.Tuples != 5 {
+		t.Fatalf("info = %+v, %v; want Tuples 5 via failover", info, err)
+	}
+	if a.calls.Load() != 1 || b.calls.Load() != 1 {
+		t.Fatalf("A saw %d, B saw %d; want one attempt each", a.calls.Load(), b.calls.Load())
+	}
+	if c.Current() != hsB.URL {
+		t.Fatalf("current endpoint %q, want the fallback %q", c.Current(), hsB.URL)
+	}
+	// Sticky: the next read goes straight to B.
+	if _, err := c.Info(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls.Load() != 1 || b.calls.Load() != 2 {
+		t.Fatalf("after sticky read: A %d, B %d; want 1 and 2", a.calls.Load(), b.calls.Load())
+	}
+}
+
+func TestReadFailsOverOnDegraded(t *testing.T) {
+	a := &counting{h: errJSON(http.StatusServiceUnavailable, wire.CodeDegraded)}
+	b := &counting{h: okJSON(wire.InfoResponse{Tuples: 7})}
+	hsA, hsB := httptest.NewServer(a), httptest.NewServer(b)
+	defer hsA.Close()
+	defer hsB.Close()
+
+	// A single-endpoint client must NOT retry a sticky degraded 503 —
+	// that guarantee predates failover and stays.
+	c1 := New(hsA.URL).WithRetry(fastRetry)
+	if _, err := c1.Info(context.Background()); err == nil {
+		t.Fatal("degraded read succeeded without a fallback")
+	}
+	if a.calls.Load() != 1 {
+		t.Fatalf("single-endpoint client made %d attempts on degraded, want 1", a.calls.Load())
+	}
+
+	// With a fallback the read fails over instead.
+	a.calls.Store(0)
+	c2 := NewFailover([]string{hsA.URL, hsB.URL}).WithRetry(fastRetry)
+	info, err := c2.Info(context.Background())
+	if err != nil || info.Tuples != 7 {
+		t.Fatalf("info over degraded primary = %+v, %v", info, err)
+	}
+	if a.calls.Load() != 1 || b.calls.Load() != 1 {
+		t.Fatalf("A %d, B %d; want one attempt each", a.calls.Load(), b.calls.Load())
+	}
+}
+
+func TestWritesPinToPrimaryAndNeverFailOver(t *testing.T) {
+	b := &counting{h: okJSON(wire.InsertResponse{Inserted: 1})}
+	hsB := httptest.NewServer(b)
+	defer hsB.Close()
+
+	// Dead primary: its port is closed, so the insert sees a transport
+	// error. It must surface immediately — no retry (the attempt's fate is
+	// unknown) and, above all, no re-route to the replica.
+	hsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := hsA.URL
+	hsA.Close()
+
+	c := NewFailover([]string{deadURL, hsB.URL}).WithRetry(fastRetry)
+	if _, err := c.Insert(context.Background(), "R", []value.Tuple{{value.Num(1)}}); err == nil {
+		t.Fatal("insert against a dead primary succeeded")
+	}
+	if b.calls.Load() != 0 {
+		t.Fatalf("replica saw %d write attempts, want 0", b.calls.Load())
+	}
+
+	// Reads over the same client DO fail over.
+	bRead := &counting{h: okJSON(wire.InfoResponse{Tuples: 3})}
+	hsBR := httptest.NewServer(bRead)
+	defer hsBR.Close()
+	c2 := NewFailover([]string{deadURL, hsBR.URL}).WithRetry(fastRetry)
+	info, err := c2.Info(context.Background())
+	if err != nil || info.Tuples != 3 {
+		t.Fatalf("read over dead primary = %+v, %v", info, err)
+	}
+	// And after failing over for reads, writes still target the primary.
+	if _, err := c2.Insert(context.Background(), "R", []value.Tuple{{value.Num(1)}}); err == nil {
+		t.Fatal("insert silently followed the read failover")
+	}
+	if bRead.calls.Load() != 1 {
+		t.Fatalf("fallback saw %d calls, want only the 1 read", bRead.calls.Load())
+	}
+}
+
+func TestAttemptTimeoutFailsOverHungEndpoint(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	a := &counting{h: func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}}
+	b := &counting{h: okJSON(wire.InfoResponse{Tuples: 9})}
+	hsA, hsB := httptest.NewServer(a), httptest.NewServer(b)
+	defer hsA.Close()
+	defer hsB.Close()
+
+	c := NewFailover([]string{hsA.URL, hsB.URL}).WithRetry(fastRetry).WithAttemptTimeout(50 * time.Millisecond)
+	start := time.Now()
+	info, err := c.Info(context.Background())
+	if err != nil || info.Tuples != 9 {
+		t.Fatalf("info over hung primary = %+v, %v", info, err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("failover off a hung endpoint took %v", elapsed)
+	}
+	if b.calls.Load() != 1 {
+		t.Fatalf("fallback saw %d calls, want 1", b.calls.Load())
+	}
+}
+
+// streamHandler scripts the measure stream per request number.
+type streamHandler struct {
+	calls atomic.Int32
+	serve func(n int32, w http.ResponseWriter)
+}
+
+func (s *streamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.serve(s.calls.Add(1), w)
+}
+
+func writeEvent(w http.ResponseWriter, ev wire.Event) {
+	blob, _ := json.Marshal(ev)
+	_, _ = w.Write(append(blob, '\n'))
+	w.(http.Flusher).Flush()
+}
+
+func candidateEvent(idx int) wire.Event {
+	return wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wire.MeasuredCandidate{}}
+}
+
+func TestStreamResumesAndDeliversExactlyOnce(t *testing.T) {
+	h := &streamHandler{serve: func(n int32, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if n == 1 {
+			// First connection: two candidates, then the stream dies without
+			// its done event (server crash shape).
+			writeEvent(w, candidateEvent(0))
+			writeEvent(w, candidateEvent(1))
+			return
+		}
+		// Resume: the full stream from the top — the client must skip the
+		// replayed candidates 0 and 1.
+		for i := 0; i < 4; i++ {
+			writeEvent(w, candidateEvent(i))
+		}
+		writeEvent(w, wire.Event{Event: wire.EventDone, Count: 4})
+	}}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	var got []int
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	done, err := c.MeasureSQLStream(context.Background(), "SELECT 1", 0.1, 0.1, func(ev wire.Event) error {
+		got = append(got, ev.Idx)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream with resume: %v", err)
+	}
+	if done.Count != 4 {
+		t.Fatalf("done %+v, want count 4", done)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3]" {
+		t.Fatalf("yield saw %v, want each candidate exactly once in order", got)
+	}
+	if h.calls.Load() != 2 {
+		t.Fatalf("server saw %d connections, want 2", h.calls.Load())
+	}
+}
+
+func TestStreamInterruptedSurfacesSentinel(t *testing.T) {
+	h := &streamHandler{serve: func(n int32, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		writeEvent(w, candidateEvent(0))
+		// Always dies before done.
+	}}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	var got []int
+	c := NewWith(hs.URL, hs.Client()).WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	_, err := c.MeasureSQLStream(context.Background(), "SELECT 1", 0.1, 0.1, func(ev wire.Event) error {
+		got = append(got, ev.Idx)
+		return nil
+	})
+	if !errors.Is(err, ErrStreamInterrupted) {
+		t.Fatalf("exhausted stream returned %v, want ErrStreamInterrupted", err)
+	}
+	if fmt.Sprint(got) != "[0]" {
+		t.Fatalf("yield saw %v, want the delivered prefix [0]", got)
+	}
+	if h.calls.Load() != 2 {
+		t.Fatalf("server saw %d connections, want both attempts", h.calls.Load())
+	}
+
+	// Without retries a started stream fails on the first cut, same
+	// sentinel.
+	h.calls.Store(0)
+	c2 := NewWith(hs.URL, hs.Client())
+	if _, err := c2.MeasureSQLStream(context.Background(), "SELECT 1", 0.1, 0.1, func(wire.Event) error { return nil }); !errors.Is(err, ErrStreamInterrupted) {
+		t.Fatalf("no-retry stream returned %v, want ErrStreamInterrupted", err)
+	}
+}
+
+func TestStreamTerminalErrorsDoNotResume(t *testing.T) {
+	// A server-computed error event is terminal: resuming would re-run a
+	// query the server already rejected.
+	h := &streamHandler{serve: func(n int32, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		writeEvent(w, wire.Event{Event: wire.EventError, Error: "bad query"})
+	}}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	c := NewWith(hs.URL, hs.Client()).WithRetry(fastRetry)
+	_, err := c.MeasureSQLStream(context.Background(), "SELECT 1", 0.1, 0.1, func(wire.Event) error { return nil })
+	var se *ServerError
+	if !errors.As(err, &se) || se.Msg != "bad query" {
+		t.Fatalf("error event surfaced as %v", err)
+	}
+	if h.calls.Load() != 1 {
+		t.Fatalf("server saw %d connections after a terminal error, want 1", h.calls.Load())
+	}
+
+	// A yield error is the caller's own abort — also terminal.
+	h2 := &streamHandler{serve: func(n int32, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		writeEvent(w, candidateEvent(0))
+		writeEvent(w, wire.Event{Event: wire.EventDone})
+	}}
+	hs2 := httptest.NewServer(h2)
+	defer hs2.Close()
+	c2 := NewWith(hs2.URL, hs2.Client()).WithRetry(fastRetry)
+	boom := errors.New("stop")
+	if _, err := c2.MeasureSQLStream(context.Background(), "SELECT 1", 0.1, 0.1, func(wire.Event) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("yield abort surfaced as %v", err)
+	}
+	if h2.calls.Load() != 1 {
+		t.Fatalf("server saw %d connections after a yield abort, want 1", h2.calls.Load())
+	}
+}

@@ -79,7 +79,10 @@ func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
 
 // retryable classifies an attempt's error. idempotent marks requests
 // that are safe to re-run even when the first attempt's fate is unknown.
-func retryable(err error, idempotent bool) bool {
+// ctx is the caller's context: a deadline error with ctx still live is a
+// per-attempt timeout (WithAttemptTimeout) — a hung endpoint, retried
+// and failed over like any transport error — not the caller giving up.
+func (c *Client) retryable(ctx context.Context, err error, idempotent bool) bool {
 	var se *ServerError
 	if errors.As(err, &se) {
 		// A structured response proves the server saw and rejected the
@@ -87,7 +90,10 @@ func retryable(err error, idempotent bool) bool {
 		// but only transient rejections are worth it.
 		switch {
 		case se.Code == wire.CodeDegraded:
-			return false // sticky until operator action
+			// Sticky on that server until operator action: waiting it out is
+			// pointless, but with fallback endpoints the retry goes elsewhere
+			// (noteFailure already advanced the read index).
+			return idempotent && len(c.endpoints) > 1
 		case se.Status == http.StatusTooManyRequests:
 			return true
 		case se.Status == http.StatusServiceUnavailable:
@@ -96,7 +102,10 @@ func retryable(err error, idempotent bool) bool {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
+		if ctx.Err() != nil {
+			return false // the caller's own context ended it
+		}
+		return idempotent // per-attempt deadline: the endpoint hung
 	}
 	// Transport error (connection refused/reset, broken pipe): the
 	// request may have been processed, so only idempotent requests retry.
@@ -121,7 +130,7 @@ func (c *Client) withRetries(ctx context.Context, idempotent bool, attempt func(
 	}
 	var err error
 	for try := 1; ; try++ {
-		if err = attempt(); err == nil || try >= c.retry.MaxAttempts || !retryable(err, idempotent) {
+		if err = attempt(); err == nil || try >= c.retry.MaxAttempts || !c.retryable(ctx, err, idempotent) {
 			return err
 		}
 		t := time.NewTimer(c.retry.backoff(try, retryAfter(err)))

@@ -1,0 +1,283 @@
+// Package faultnet is the network sibling of wal.FaultFS: an injectable
+// fault layer between HTTP peers that adds latency, drops connections,
+// cuts streams mid-body at arbitrary byte offsets (tearing NDJSON frames
+// mid-line), and refuses new connections — the hostile network the
+// replication chaos harness runs the primary/replica pair through.
+//
+// Two injection seams cover both directions of the wire:
+//
+//   - Listen wraps a net.Listener (the server side): each accepted
+//     connection samples a fault plan — extra first-byte latency, an
+//     immediate drop, or a cut after a random number of response bytes —
+//     from a seeded RNG, so a run is reproducible from its seed.
+//   - Transport wraps an http.RoundTripper (the client side): requests
+//     see added latency, synthetic connection-refused errors, and
+//     response bodies truncated after a sampled byte budget.
+//
+// Faults are sampled per connection/request, under one lock, from one
+// rand.Rand: concurrency-safe and deterministic for a fixed seed and
+// arrival order. SetDisabled gates injection at runtime so a harness can
+// alternate hostile and calm phases and assert convergence in both.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error surfaced by injected connection drops and
+// cuts, wrapped with context about which fault fired.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Faults is the shared fault plan sampler. The zero value injects
+// nothing; configure with the Set methods (safe at runtime, also from
+// other goroutines than the connections').
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	disabled bool
+	latency  time.Duration // fixed pre-first-byte delay
+	jitter   time.Duration // + uniform extra in [0, jitter)
+	dropProb float64       // P(connection refused / reset before any byte)
+	cutProb  float64       // P(stream cut mid-body)
+	cutMin   int64         // cut offset sampled uniformly in [cutMin, cutMax]
+	cutMax   int64
+
+	conns, drops, cuts int64
+}
+
+// New returns a sampler seeded for reproducibility.
+func New(seed int64) *Faults { return &Faults{rng: rand.New(rand.NewSource(seed))} }
+
+// SetLatency adds a fixed + uniformly-jittered delay before the first
+// byte of each connection or round trip.
+func (f *Faults) SetLatency(d, jitter time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency, f.jitter = d, jitter
+}
+
+// SetDropProb makes new connections fail outright with that probability.
+func (f *Faults) SetDropProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropProb = p
+}
+
+// SetCut makes streams die mid-body with probability p, after a byte
+// offset sampled uniformly from [minBytes, maxBytes] — landing inside
+// NDJSON lines as often as between them, which is exactly the torn-frame
+// case the replication protocol must survive.
+func (f *Faults) SetCut(p float64, minBytes, maxBytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if maxBytes < minBytes {
+		maxBytes = minBytes
+	}
+	f.cutProb, f.cutMin, f.cutMax = p, minBytes, maxBytes
+}
+
+// SetDisabled turns all injection off (true) or back on (false).
+func (f *Faults) SetDisabled(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.disabled = v
+}
+
+// Stats reports how many connections were planned, dropped, and cut.
+func (f *Faults) Stats() (conns, drops, cuts int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.conns, f.drops, f.cuts
+}
+
+// plan is one sampled fault assignment.
+type plan struct {
+	latency time.Duration
+	drop    bool
+	cutAt   int64 // -1: never
+}
+
+func (f *Faults) sample() plan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.conns++
+	p := plan{cutAt: -1}
+	if f.disabled || f.rng == nil {
+		return p
+	}
+	p.latency = f.latency
+	if f.jitter > 0 {
+		p.latency += time.Duration(f.rng.Int63n(int64(f.jitter)))
+	}
+	if f.dropProb > 0 && f.rng.Float64() < f.dropProb {
+		p.drop = true
+		f.drops++
+		return p
+	}
+	if f.cutProb > 0 && f.rng.Float64() < f.cutProb {
+		p.cutAt = f.cutMin
+		if f.cutMax > f.cutMin {
+			p.cutAt += f.rng.Int63n(f.cutMax - f.cutMin + 1)
+		}
+		f.cuts++
+	}
+	return p
+}
+
+// Listen wraps a listener so accepted connections carry injected faults
+// on their write side (the server's responses — where the replication
+// stream flows).
+func Listen(inner net.Listener, f *Faults) net.Listener {
+	return &listener{Listener: inner, faults: f}
+}
+
+type listener struct {
+	net.Listener
+	faults *Faults
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, plan: l.faults.sample()}, nil
+}
+
+// conn injects the sampled plan into one accepted connection. Reads pass
+// through; writes see the first-byte latency, the drop, and the cut —
+// a cut write sends the prefix up to the budget (the torn frame actually
+// reaches the peer) and then severs the connection.
+type conn struct {
+	net.Conn
+	plan    plan
+	mu      sync.Mutex
+	written int64
+	slept   bool
+	dead    bool
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: connection cut", ErrInjected)
+	}
+	if !c.slept {
+		c.slept = true
+		if d := c.plan.latency; d > 0 {
+			c.mu.Unlock()
+			time.Sleep(d)
+			c.mu.Lock()
+		}
+	}
+	if c.plan.drop {
+		c.dead = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	}
+	n := len(p)
+	torn := false
+	if c.plan.cutAt >= 0 && c.written+int64(n) > c.plan.cutAt {
+		n = int(c.plan.cutAt - c.written)
+		torn = true
+		c.dead = true
+	}
+	c.written += int64(n)
+	c.mu.Unlock()
+	if !torn {
+		return c.Conn.Write(p)
+	}
+	if n > 0 {
+		if m, err := c.Conn.Write(p[:n]); err != nil {
+			return m, err
+		}
+	}
+	// Sever hard: the peer sees a reset mid-stream, not a clean EOF it
+	// could mistake for completion.
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	c.Conn.Close()
+	return n, fmt.Errorf("%w: connection cut after %d bytes", ErrInjected, c.written)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, fmt.Errorf("%w: connection cut", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+// Transport wraps a RoundTripper so requests through it see injected
+// latency, refused connections, and truncated response bodies.
+func Transport(inner http.RoundTripper, f *Faults) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{inner: inner, faults: f}
+}
+
+type transport struct {
+	inner  http.RoundTripper
+	faults *Faults
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.faults.sample()
+	if p.latency > 0 {
+		select {
+		case <-time.After(p.latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if p.drop {
+		return nil, fmt.Errorf("%w: connection refused", ErrInjected)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || p.cutAt < 0 {
+		return resp, err
+	}
+	resp.Body = &cutBody{inner: resp.Body, left: p.cutAt}
+	return resp, nil
+}
+
+// cutBody delivers the response prefix up to the sampled budget, then
+// fails mid-read — from the caller's side, a connection that died
+// between (or inside) frames.
+type cutBody struct {
+	inner io.ReadCloser
+	left  int64
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		b.inner.Close()
+		return 0, fmt.Errorf("%w: response cut", ErrInjected)
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.inner.Read(p)
+	b.left -= int64(n)
+	if err == nil && b.left <= 0 {
+		b.inner.Close()
+		return n, fmt.Errorf("%w: response cut", ErrInjected)
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,410 @@
+// Package replica is the read-replica side of WAL shipping: it
+// bootstraps a local durable store from the primary's newest checkpoint,
+// then tails the primary's replication log — fetch, CRC-verify, replay —
+// into its own WAL + checkpoint chain, so the replica converges
+// bit-identically on the primary's durable prefix and survives its own
+// crashes with ordinary wal.Open recovery.
+//
+// The catchup loop is level-triggered and resumable: the replica's own
+// durable sequence number IS the replication cursor (every applied batch
+// went through the local WAL before it was acknowledged to the loop), so
+// after any interruption — network fault, replica crash, primary crash —
+// the loop reconnects at lastAppliedSeq+1 and continues. Records the
+// stream re-delivers after a reconnect are skipped by sequence number,
+// which makes replay idempotent: no batch is ever applied twice, no
+// matter how rudely the stream died.
+//
+// Failure posture, in the fail-operational shape of the PR-6 store:
+//   - any fetch/verify/apply error tears the connection down and
+//     reconnects with capped, fully-jittered exponential backoff;
+//   - a CRC mismatch or torn frame is treated as a network fault (drop
+//     and re-fetch), never applied;
+//   - a primary that checkpointed past the cursor answers 410
+//     "log-truncated"; the replica re-bootstraps from the checkpoint
+//     endpoint and swaps the freshly adopted store in atomically
+//     (readers keep their pinned snapshots);
+//   - reads are served throughout, with staleness surfaced via
+//     LastAppliedSeq/PrimarySeq (wired into /v1/info and /healthz by
+//     internal/server).
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// errTruncated marks a 410 log-truncated answer from the primary: the
+// cursor fell behind a checkpoint and the loop must re-bootstrap.
+var errTruncated = errors.New("replica: primary truncated the log past our cursor")
+
+// Config configures a Replicator.
+type Config struct {
+	// Primary is the primary's base URL (required).
+	Primary string
+	// Dir is the replica's own durable data directory (required). First
+	// boot bootstraps it from the primary; later boots recover locally
+	// and catch up from the recovered sequence number.
+	Dir string
+	// HTTP is the client used against the primary; nil uses a default.
+	// The chaos harness injects a faultnet.Transport here.
+	HTTP *http.Client
+	// FS is the local filesystem seam (nil = real; tests inject FaultFS).
+	FS wal.FS
+	// CheckpointEvery starts the local background checkpointer, exactly
+	// as on the primary. Zero disables it.
+	CheckpointEvery time.Duration
+	// NoSync skips the per-batch fsync of the local WAL (benchmarks).
+	NoSync bool
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 100ms,
+	// 5s). Sleeps are fully jittered so a replica fleet does not
+	// re-stampede a recovering primary in lockstep.
+	BackoffMin, BackoffMax time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Primary == "" {
+		return c, errors.New("replica: Config.Primary is required")
+	}
+	if _, err := url.Parse(c.Primary); err != nil {
+		return c, fmt.Errorf("replica: bad primary URL: %w", err)
+	}
+	c.Primary = strings.TrimRight(c.Primary, "/")
+	if c.Dir == "" {
+		return c, errors.New("replica: Config.Dir is required")
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = c.BackoffMin
+	}
+	return c, nil
+}
+
+// Replicator owns the replica's durable store and the catchup loop.
+// DB/LastAppliedSeq/PrimarySeq are safe from any goroutine; Run is the
+// loop itself.
+type Replicator struct {
+	cfg        Config
+	store      atomic.Pointer[wal.Store]
+	primarySeq atomic.Uint64
+	rng        *rand.Rand // backoff jitter; only Run's goroutine touches it
+}
+
+// Open prepares the replica: first boot fetches and installs the
+// primary's newest checkpoint (retrying torn fetches is the caller's
+// loop — Open makes one attempt); later boots recover the local
+// checkpoint + WAL without talking to the primary at all.
+func Open(ctx context.Context, cfg Config) (*Replicator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Replicator{cfg: cfg, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	has, err := wal.HasCheckpoint(cfg.FS, cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: inspect %s: %w", cfg.Dir, err)
+	}
+	if !has {
+		if err := r.bootstrap(ctx); err != nil {
+			return nil, err
+		}
+	}
+	st, err := r.openStore()
+	if err != nil {
+		return nil, err
+	}
+	r.store.Store(st)
+	r.logf("replica: recovered %s at seq %d (primary %s)", cfg.Dir, st.Seq(), cfg.Primary)
+	return r, nil
+}
+
+func (r *Replicator) openStore() (*wal.Store, error) {
+	return wal.Open(r.cfg.Dir, wal.Options{
+		FS:              r.cfg.FS,
+		CheckpointEvery: r.cfg.CheckpointEvery,
+		NoSync:          r.cfg.NoSync,
+		Logf:            r.cfg.Logf,
+	})
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// DB returns the current database the replica serves. It swaps only on a
+// mid-run re-bootstrap; readers pin snapshots per request as usual.
+func (r *Replicator) DB() *db.Database { return r.store.Load().DB() }
+
+// Store returns the replica's current durable store (tests and the
+// shutdown path use it).
+func (r *Replicator) Store() *wal.Store { return r.store.Load() }
+
+// LastAppliedSeq is the replay frontier: every batch up to it is applied
+// and locally durable.
+func (r *Replicator) LastAppliedSeq() uint64 { return r.store.Load().Seq() }
+
+// PrimarySeq is the primary's durable frontier as last observed (0
+// before first contact).
+func (r *Replicator) PrimarySeq() uint64 { return r.primarySeq.Load() }
+
+// Primary is the primary's base URL.
+func (r *Replicator) Primary() string { return r.cfg.Primary }
+
+// Close closes the local store. Call after Run has returned.
+func (r *Replicator) Close() error { return r.store.Load().Close() }
+
+// Run is the catchup loop: it blocks until ctx is done, reconnecting
+// with capped jittered backoff on every error, re-bootstrapping on
+// truncation, resetting the backoff whenever a connection makes
+// progress. Call it from one goroutine.
+func (r *Replicator) Run(ctx context.Context) {
+	backoff := r.cfg.BackoffMin
+	for ctx.Err() == nil {
+		progressed, err := r.tail(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, errTruncated) {
+			r.logf("replica: %v; re-bootstrapping from checkpoint", err)
+			if rbErr := r.rebootstrap(ctx); rbErr == nil {
+				backoff = r.cfg.BackoffMin
+				continue
+			} else {
+				err = rbErr
+			}
+		}
+		if progressed {
+			backoff = r.cfg.BackoffMin
+		}
+		r.logf("replica: stream interrupted: %v (reconnecting in <=%v)", err, backoff)
+		// Full jitter: sleep uniform in (0, backoff].
+		sleep := time.Duration(1 + r.rng.Int63n(int64(backoff)))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		backoff = min(backoff*2, r.cfg.BackoffMax)
+	}
+}
+
+// tail runs one connection lifetime of the log stream: connect at the
+// cursor, verify and apply every record, track the primary's frontier
+// from heartbeats. It returns whether any batch was applied and the
+// error that ended the stream (io.EOF from a cleanly closed stream is an
+// error too: the tail is supposed to be endless).
+func (r *Replicator) tail(ctx context.Context) (progressed bool, err error) {
+	st := r.store.Load()
+	from := st.Seq() + 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/replication/log?from=%d", r.cfg.Primary, from), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.cfg.HTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, replError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 128<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec wire.ReplRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return progressed, fmt.Errorf("replica: bad stream line: %w", err)
+		}
+		if rec.PrimarySeq > r.primarySeq.Load() {
+			r.primarySeq.Store(rec.PrimarySeq)
+		}
+		if rec.Heartbeat {
+			continue
+		}
+		applied, err := r.apply(rec)
+		if err != nil {
+			return progressed, err
+		}
+		progressed = progressed || applied
+	}
+	if err := sc.Err(); err != nil {
+		return progressed, err
+	}
+	return progressed, io.ErrUnexpectedEOF // server closed a supposedly endless tail
+}
+
+// apply verifies and replays one shipped record into the local store.
+// Records at or below the local frontier are skipped — the idempotence
+// that makes reconnect-with-overlap safe.
+func (r *Replicator) apply(rec wire.ReplRecord) (applied bool, err error) {
+	if wal.Checksum(rec.Seq, rec.Payload) != rec.CRC {
+		// Torn or corrupted in flight; never apply, drop the connection and
+		// re-fetch.
+		return false, fmt.Errorf("replica: record %d failed CRC verification", rec.Seq)
+	}
+	st := r.store.Load()
+	last := st.Seq()
+	if rec.Seq <= last {
+		return false, nil // already applied (stream overlap after reconnect)
+	}
+	if rec.Seq != last+1 {
+		return false, fmt.Errorf("replica: sequence gap: record %d after %d", rec.Seq, last)
+	}
+	b, err := wal.DecodeBatch(rec.Payload)
+	if err != nil {
+		return false, fmt.Errorf("replica: record %d: %w", rec.Seq, err)
+	}
+	// The local commit path is the primary's: validate, WAL-append, fsync,
+	// apply. The local store assigns exactly rec.Seq (it commits last+1),
+	// so the replica's WAL chain mirrors the primary's sequence numbering.
+	if err := st.InsertBatch(b.Relation, b.Tuples); err != nil {
+		return false, fmt.Errorf("replica: replay record %d: %w", rec.Seq, err)
+	}
+	return true, nil
+}
+
+// bootstrap fetches the primary's newest checkpoint and installs it as
+// the local baseline.
+func (r *Replicator) bootstrap(ctx context.Context) error {
+	seq, files, err := r.fetchCheckpoint(ctx)
+	if err != nil {
+		return err
+	}
+	if err := wal.InstallCheckpoint(r.cfg.FS, r.cfg.Dir, seq, files); err != nil {
+		return err
+	}
+	r.logf("replica: bootstrapped %s from %s checkpoint at seq %d (%d files)",
+		r.cfg.Dir, r.cfg.Primary, seq, len(files))
+	return nil
+}
+
+// rebootstrap adopts a fresh primary checkpoint mid-run: the old store
+// is closed, the checkpoint installed over it, and the reopened store
+// swapped in atomically. In-flight readers keep their pinned snapshots;
+// new requests see the adopted state.
+func (r *Replicator) rebootstrap(ctx context.Context) error {
+	seq, files, err := r.fetchCheckpoint(ctx)
+	if err != nil {
+		return err
+	}
+	if seq <= r.store.Load().Seq() {
+		// The primary's checkpoint does not get us past our own frontier —
+		// nothing to adopt (and adopting would discard nothing wrong). Retry
+		// the tail instead.
+		return fmt.Errorf("replica: primary checkpoint at %d not ahead of local seq %d", seq, r.store.Load().Seq())
+	}
+	old := r.store.Load()
+	if err := old.Close(); err != nil {
+		r.logf("replica: closing store before re-bootstrap: %v", err)
+	}
+	if err := wal.InstallCheckpoint(r.cfg.FS, r.cfg.Dir, seq, files); err != nil {
+		return err
+	}
+	st, err := r.openStore()
+	if err != nil {
+		return err
+	}
+	r.store.Store(st)
+	r.logf("replica: re-bootstrapped at seq %d", seq)
+	return nil
+}
+
+// fetchCheckpoint streams the checkpoint endpoint, verifying the file
+// count, every CRC, and the terminator — a stream that dies anywhere
+// short of whole is rejected.
+func (r *Replicator) fetchCheckpoint(ctx context.Context) (seq uint64, files []wal.CheckpointFile, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.cfg.Primary+"/v1/replication/checkpoint", nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := r.cfg.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, replError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 128<<20)
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("replica: checkpoint stream ended before the header (%w)", orUnexpectedEOF(sc.Err()))
+	}
+	var hdr wire.ReplCheckpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return 0, nil, fmt.Errorf("replica: bad checkpoint header: %w", err)
+	}
+	for i := 0; i < hdr.Files; i++ {
+		if !sc.Scan() {
+			return 0, nil, fmt.Errorf("replica: checkpoint stream torn at file %d of %d (%w)", i, hdr.Files, orUnexpectedEOF(sc.Err()))
+		}
+		var f wire.ReplFile
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return 0, nil, fmt.Errorf("replica: bad checkpoint file line: %w", err)
+		}
+		if f.CRC != wal.Checksum(hdr.Seq, f.Data) {
+			return 0, nil, fmt.Errorf("replica: checkpoint file %s failed CRC verification", f.Name)
+		}
+		files = append(files, wal.CheckpointFile{Name: f.Name, Data: f.Data})
+	}
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("replica: checkpoint stream torn before the terminator (%w)", orUnexpectedEOF(sc.Err()))
+	}
+	var done wire.ReplFile
+	if err := json.Unmarshal(sc.Bytes(), &done); err != nil || !done.Done {
+		return 0, nil, fmt.Errorf("replica: checkpoint stream missing its terminator")
+	}
+	return hdr.Seq, files, nil
+}
+
+func orUnexpectedEOF(err error) error {
+	if err == nil {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// replError decodes a structured error response, mapping the
+// log-truncated code onto the re-bootstrap sentinel.
+func replError(resp *http.Response) error {
+	var er wire.ErrorResponse
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er)
+	if er.Code == wire.CodeLogTruncated {
+		return fmt.Errorf("%w: %s", errTruncated, er.Error)
+	}
+	if er.Error != "" {
+		return fmt.Errorf("replica: primary: %s (HTTP %d, %s)", er.Error, resp.StatusCode, er.Code)
+	}
+	return fmt.Errorf("replica: primary: HTTP %d", resp.StatusCode)
+}

@@ -1,0 +1,283 @@
+package replica
+
+// End-to-end replica tests against a real durable primary: checkpoint
+// bootstrap + log catchup, idempotent reconvergence across an abrupt
+// primary crash/restart (no batch double-applied), and mid-run
+// re-bootstrap after the primary checkpoints past the replica's cursor.
+// BenchmarkReplicaCatchup measures a cold replica catching up a fixed
+// backlog.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/server"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// testPrimary is a durable primary whose process lifecycle the tests
+// control: kill() is abrupt (no final checkpoint, connections severed),
+// start() recovers from the same directory on the same address.
+type testPrimary struct {
+	t    testing.TB
+	dir  string
+	addr string
+	ln   net.Listener
+
+	store *wal.Store
+	hs    *http.Server
+}
+
+func seedFixture() (*db.Database, error) {
+	return datagen.Generate(datagen.Config{
+		Seed: 4, Products: 40, Orders: 30, Market: 12, Segments: 6,
+		NullRate: 0.3, MarketNullRate: 0.6,
+	})
+}
+
+func newTestPrimary(t testing.TB) *testPrimary {
+	p := &testPrimary{t: t, dir: t.TempDir()}
+	p.start()
+	t.Cleanup(func() { p.kill() })
+	return p
+}
+
+func (p *testPrimary) start() {
+	p.t.Helper()
+	addr := p.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.ln = ln
+	p.addr = ln.Addr().String()
+	store, err := wal.Open(p.dir, wal.Options{Seed: seedFixture})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.store = store
+	srv, err := server.New(server.Config{
+		DB:            store.DB(),
+		Durable:       store,
+		Replication:   store,
+		Engine:        core.Options{Seed: 1},
+		ReplHeartbeat: 25 * time.Millisecond,
+	})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.hs = &http.Server{Handler: srv}
+	go p.hs.Serve(ln)
+}
+
+// kill crashes the primary: every connection severed, no final
+// checkpoint — recovery must come from the WAL alone.
+func (p *testPrimary) kill() {
+	if p.hs != nil {
+		p.hs.Close()
+		p.hs = nil
+	}
+	if p.store != nil {
+		p.store.Close()
+		p.store = nil
+	}
+}
+
+func (p *testPrimary) url() string { return "http://" + p.addr }
+
+func (p *testPrimary) insert(n int, tag int) {
+	p.t.Helper()
+	for i := 0; i < n; i++ {
+		batch := []value.Tuple{{value.Base("segR"), value.Num(float64(tag*1000 + i)), value.Num(0.3)}}
+		if err := p.store.InsertBatch("Market", batch); err != nil {
+			p.t.Fatal(err)
+		}
+	}
+}
+
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// dump renders every db observable the replication path must preserve.
+func dump(d *db.Database) map[string][]string {
+	out := map[string][]string{}
+	for _, rel := range d.Schema().Relations() {
+		var rows []string
+		for _, tu := range d.Tuples(rel.Name) {
+			rows = append(rows, tu.String())
+		}
+		out[rel.Name] = rows
+	}
+	out["__nulls"] = []string{fmt.Sprint(d.BaseNulls()), fmt.Sprint(d.NumNulls())}
+	return out
+}
+
+func assertConverged(t testing.TB, rep *Replicator, p *testPrimary) {
+	t.Helper()
+	waitFor(t, "replica catchup", func() bool { return rep.LastAppliedSeq() == p.store.Seq() })
+	if got, want := dump(rep.DB()), dump(p.store.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+func fastCfg(p *testPrimary, dir string) Config {
+	return Config{
+		Primary:    p.url(),
+		Dir:        dir,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+	}
+}
+
+func TestReplicaBootstrapAndCatchup(t *testing.T) {
+	p := newTestPrimary(t)
+	p.insert(5, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := Open(ctx, fastCfg(p, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	done := make(chan struct{})
+	go func() { rep.Run(ctx); close(done) }()
+
+	assertConverged(t, rep, p)
+	if rep.Primary() != p.url() {
+		t.Fatalf("Primary() = %q, want %q", rep.Primary(), p.url())
+	}
+	// Heartbeats keep the observed primary frontier current.
+	waitFor(t, "primarySeq heartbeat", func() bool { return rep.PrimarySeq() == p.store.Seq() })
+
+	// Live tail: new commits flow without reconnects.
+	p.insert(3, 2)
+	assertConverged(t, rep, p)
+
+	cancel()
+	<-done
+}
+
+// TestReplicaSurvivesPrimaryCrash kills the primary abruptly mid-tail,
+// restarts it on the same address, keeps writing, and requires the
+// replica to reconverge with every batch applied exactly once — the
+// seq-cursor idempotence under reconnect.
+func TestReplicaSurvivesPrimaryCrash(t *testing.T) {
+	p := newTestPrimary(t)
+	p.insert(4, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := Open(ctx, fastCfg(p, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	done := make(chan struct{})
+	go func() { rep.Run(ctx); close(done) }()
+	assertConverged(t, rep, p)
+
+	for round := 0; round < 3; round++ {
+		p.kill()
+		// Give the replica a moment to notice and start its backoff loop.
+		time.Sleep(10 * time.Millisecond)
+		p.start()
+		p.insert(3, 10+round)
+		assertConverged(t, rep, p)
+		// Exactly-once: the replica's Market row count matches the primary's
+		// (a double-applied batch would show as surplus rows), and the seq
+		// frontier matches the batch count.
+		if got, want := rep.DB().Len("Market"), p.store.DB().Len("Market"); got != want {
+			t.Fatalf("round %d: replica Market has %d rows, want %d", round, got, want)
+		}
+		if rep.LastAppliedSeq() != p.store.Seq() {
+			t.Fatalf("round %d: seq %d vs %d", round, rep.LastAppliedSeq(), p.store.Seq())
+		}
+	}
+	cancel()
+	<-done
+}
+
+// TestReplicaRebootstrapsAfterTruncation parks the replica, lets the
+// primary checkpoint past its cursor, and requires the restarted catchup
+// loop to adopt the newer checkpoint (410 → re-bootstrap → converge).
+func TestReplicaRebootstrapsAfterTruncation(t *testing.T) {
+	p := newTestPrimary(t)
+	p.insert(3, 1)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	rep, err := Open(ctx1, fastCfg(p, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	done1 := make(chan struct{})
+	go func() { rep.Run(ctx1); close(done1) }()
+	assertConverged(t, rep, p)
+	cancel1()
+	<-done1
+
+	// While the replica is away: more writes, then a checkpoint that
+	// truncates the entire log prefix — including the replica's cursor.
+	p.insert(4, 2)
+	if err := p.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p.insert(2, 3)
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan struct{})
+	go func() { rep.Run(ctx2); close(done2) }()
+	assertConverged(t, rep, p)
+	if rep.LastAppliedSeq() != 9 {
+		t.Fatalf("replica at seq %d, want 9", rep.LastAppliedSeq())
+	}
+	cancel2()
+	<-done2
+}
+
+// BenchmarkReplicaCatchup measures a cold replica bootstrapping and
+// replaying a 50-batch backlog from a local primary.
+func BenchmarkReplicaCatchup(b *testing.B) {
+	p := newTestPrimary(b)
+	p.insert(50, 1)
+	want := p.store.Seq()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		rep, err := Open(ctx, fastCfg(p, b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() { rep.Run(ctx); close(done) }()
+		for rep.LastAppliedSeq() != want {
+			time.Sleep(200 * time.Microsecond)
+		}
+		cancel()
+		<-done
+		rep.Close()
+	}
+}

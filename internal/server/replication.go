@@ -1,0 +1,213 @@
+package server
+
+// Primary-side replication endpoints: checkpoint bootstrap and the
+// long-poll WAL tail.
+//
+//	GET /v1/replication/checkpoint      NDJSON: header line (seq, file
+//	                                    count), one line per checkpoint
+//	                                    file (base64 + CRC), terminator
+//	GET /v1/replication/log?from=<seq>  NDJSON long-poll tail of framed
+//	                                    WAL records from seq on; each
+//	                                    line carries the on-disk CRC32C
+//	                                    and the primary's durable seq;
+//	                                    heartbeats flow while idle
+//
+// Both endpoints bypass the measuring gate: they are I/O-bound reads of
+// state the durability layer already holds, and replicas must be able to
+// catch up even while the measurement pool is saturated — or the store
+// degraded (a primary that can no longer write can still ship everything
+// it acknowledged, so replicas converge on the durable prefix and can
+// take over serving).
+//
+// The log tail is level-triggered: the handler reads everything
+// committed past the cursor, ships it, then blocks on the store's commit
+// watch (taken before the read, so a commit between read and wait wakes
+// it). A replica that asks for records a checkpoint already truncated
+// gets a structured 410 "log-truncated" and re-bootstraps from the
+// checkpoint endpoint.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// Replication is what the replication endpoints need from the durability
+// layer. *wal.Store implements it; the interface keeps tests free to
+// fake a primary.
+type Replication interface {
+	// Seq is the durable frontier: the last WAL-appended and fsync'd batch.
+	Seq() uint64
+	// CheckpointSeq is the sequence the newest durable checkpoint covers.
+	CheckpointSeq() uint64
+	// CheckpointFiles reads the newest checkpoint's covered seq and files.
+	CheckpointFiles() (uint64, []wal.CheckpointFile, error)
+	// ReadFrom returns committed records with sequence >= from, or
+	// wal.ErrTruncated when a checkpoint folded them away.
+	ReadFrom(from uint64) ([]wal.Record, error)
+	// CommitWatch returns a channel closed on the next commit.
+	CommitWatch() <-chan struct{}
+}
+
+// ReplicaStatus is what a replica-mode server surfaces about its own
+// catchup loop (implemented by *replica.Replicator): the staleness
+// numbers of /v1/info and /healthz.
+type ReplicaStatus interface {
+	// LastAppliedSeq is the replay frontier: batches applied and locally
+	// durable.
+	LastAppliedSeq() uint64
+	// PrimarySeq is the primary's durable seq as last observed (0 before
+	// first contact).
+	PrimarySeq() uint64
+	// Primary is the primary's base URL.
+	Primary() string
+}
+
+// replicaLag is the observed apply backlog in batches, clamped at zero
+// (the replica may briefly observe its own apply before the next
+// heartbeat refreshes PrimarySeq).
+func replicaLag(rs ReplicaStatus) uint64 {
+	p, a := rs.PrimarySeq(), rs.LastAppliedSeq()
+	if p <= a {
+		return 0
+	}
+	return p - a
+}
+
+// handleReplCheckpoint streams the newest durable checkpoint.
+func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
+	seq, files, err := s.cfg.Replication.CheckpointFiles()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.ReplCheckpointHeader{Seq: seq, Files: len(files)}); err != nil {
+		return
+	}
+	for _, f := range files {
+		line := wire.ReplFile{Name: f.Name, Data: f.Data, CRC: wal.Checksum(seq, f.Data)}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+	}
+	// The terminator proves the stream arrived whole: a replica that never
+	// sees it treats the fetch as torn and retries.
+	_ = enc.Encode(wire.ReplFile{Done: true})
+}
+
+// handleReplLog serves the long-poll WAL tail from ?from=<seq>.
+func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"from must be the next sequence number to ship (a positive integer)")
+		return
+	}
+	repl := s.cfg.Replication
+	ew := &replStreamWriter{w: w, rc: http.NewResponseController(w), timeout: s.cfg.StreamWriteTimeout}
+	defer ew.close()
+	heartbeat := s.cfg.ReplHeartbeat
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	next := from
+	for {
+		// Take the watch before reading: a batch committed between the read
+		// and the wait closes this channel and wakes us.
+		watch := repl.CommitWatch()
+		recs, err := repl.ReadFrom(next)
+		if err != nil {
+			if !ew.started {
+				switch {
+				case errors.Is(err, wal.ErrTruncated):
+					// 410: the records are gone for good (folded into a
+					// checkpoint); the structured code tells the replica to
+					// re-bootstrap rather than re-poll.
+					s.writeError(w, http.StatusGone, wire.CodeLogTruncated, fmt.Sprintf(
+						"records from %d truncated into checkpoint %d: bootstrap from /v1/replication/checkpoint",
+						next, repl.CheckpointSeq()))
+				default:
+					s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+				}
+				return
+			}
+			// Mid-stream (a checkpoint raced past the cursor, or the store
+			// closed): cut the stream; the replica reconnects and gets the
+			// structured answer above.
+			return
+		}
+		primarySeq := repl.Seq()
+		for _, rec := range recs {
+			line := wire.ReplRecord{
+				Seq:        rec.Seq,
+				Payload:    rec.Payload,
+				CRC:        wal.Checksum(rec.Seq, rec.Payload),
+				PrimarySeq: primarySeq,
+			}
+			if err := ew.write(line); err != nil {
+				return
+			}
+			next = rec.Seq + 1
+		}
+		if len(recs) > 0 {
+			continue // drain everything committed before blocking
+		}
+		// Caught up: announce the frontier, then block for the next commit,
+		// a heartbeat tick, shutdown, or the client going away.
+		if err := ew.write(wire.ReplRecord{Heartbeat: true, PrimarySeq: primarySeq}); err != nil {
+			return
+		}
+		select {
+		case <-watch:
+		case <-ticker.C:
+		case <-s.stopCh:
+			return // draining: the replica reconnects to the restarted primary
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// replStreamWriter frames replication NDJSON lines with the same
+// stall-cutoff discipline as the measure stream: every write renews a
+// deadline so a hung replica cannot pin the handler (and with it,
+// graceful shutdown) forever.
+type replStreamWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+	started bool
+}
+
+func (ew *replStreamWriter) write(v any) error {
+	if ew.timeout > 0 {
+		_ = ew.rc.SetWriteDeadline(time.Now().Add(ew.timeout))
+	}
+	if !ew.started {
+		ew.w.Header().Set("Content-Type", "application/x-ndjson")
+		ew.w.WriteHeader(http.StatusOK)
+		ew.started = true
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := ew.w.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return ew.rc.Flush()
+}
+
+func (ew *replStreamWriter) close() {
+	if ew.started && ew.timeout > 0 {
+		_ = ew.rc.SetWriteDeadline(time.Time{})
+	}
+}

@@ -1,0 +1,359 @@
+package server
+
+// Replication endpoint tests: the checkpoint bootstrap stream (framing,
+// CRCs, terminator), the long-poll log tail (drain, wake-on-commit,
+// heartbeats, 410 on truncation), and the degraded-primary guarantee —
+// a primary that can no longer write keeps shipping its durable prefix,
+// stickily read-only, so replicas converge and can take over.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/value"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// newReplicationServer builds a durable primary over a fresh store
+// seeded with the shared sales fixture.
+func newReplicationServer(t testing.TB, ffs wal.FS) (*wal.Store, *client.Client, *httptest.Server) {
+	t.Helper()
+	store, err := wal.Open(t.TempDir(), wal.Options{
+		FS:   ffs,
+		Seed: func() (*db.Database, error) { return testDB().Clone(), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	_, c, hs := newTestServer(t, Config{
+		DB:          store.DB(),
+		Durable:     store,
+		Replication: store,
+		Engine:      core.Options{Seed: 1},
+		// Fast heartbeats so long-poll tests do not sit idle.
+		ReplHeartbeat: 50 * time.Millisecond,
+	})
+	return store, c, hs
+}
+
+// marketTuple is a small valid Market(seg, rrp, dis) batch.
+func marketTuple(i int) []value.Tuple {
+	return []value.Tuple{{value.Base("segR"), value.Num(float64(i)), value.Num(0.3)}}
+}
+
+func TestReplCheckpointStream(t *testing.T) {
+	store, c, hs := newReplicationServer(t, nil)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(ctx, "Market", marketTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := hs.Client().Get(hs.URL + "/v1/replication/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint endpoint: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	if !sc.Scan() {
+		t.Fatal("no header line")
+	}
+	var hdr wire.ReplCheckpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seq != 3 || hdr.Files == 0 {
+		t.Fatalf("header %+v, want seq 3 with files", hdr)
+	}
+	for i := 0; i < hdr.Files; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended at file %d of %d", i, hdr.Files)
+		}
+		var f wire.ReplFile
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Name == "" || len(f.Data) == 0 {
+			t.Fatalf("file line %d: %+v", i, f)
+		}
+		if f.CRC != wal.Checksum(hdr.Seq, f.Data) {
+			t.Fatalf("file %s: CRC %d does not verify", f.Name, f.CRC)
+		}
+	}
+	if !sc.Scan() {
+		t.Fatal("stream ended before the terminator")
+	}
+	var done wire.ReplFile
+	if err := json.Unmarshal(sc.Bytes(), &done); err != nil || !done.Done {
+		t.Fatalf("terminator line %q, err %v", sc.Text(), err)
+	}
+}
+
+// tailLines opens the log tail and returns a line scanner plus a
+// closer.
+func tailLines(t testing.TB, hs *httptest.Server, from string) (*bufio.Scanner, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/replication/log?from="+from, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("log endpoint: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	return sc, func() { resp.Body.Close() }
+}
+
+func TestReplLogTailDrainsAndWakes(t *testing.T) {
+	store, c, hs := newReplicationServer(t, nil)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(ctx, "Market", marketTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc, stop := tailLines(t, hs, "1")
+	defer stop()
+	next := func() wire.ReplRecord {
+		t.Helper()
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var rec wire.ReplRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatal(err)
+			}
+			return rec
+		}
+		t.Fatalf("stream ended: %v", sc.Err())
+		panic("unreachable")
+	}
+	// Drain the backlog: records 1..3, CRC-verified, then a heartbeat
+	// announcing the frontier.
+	for want := uint64(1); want <= 3; want++ {
+		rec := next()
+		if rec.Heartbeat || rec.Seq != want {
+			t.Fatalf("got %+v, want record %d", rec, want)
+		}
+		if wal.Checksum(rec.Seq, rec.Payload) != rec.CRC {
+			t.Fatalf("record %d: CRC does not verify", rec.Seq)
+		}
+		if _, err := wal.DecodeBatch(rec.Payload); err != nil {
+			t.Fatalf("record %d: %v", rec.Seq, err)
+		}
+	}
+	hb := next()
+	if !hb.Heartbeat || hb.PrimarySeq != 3 {
+		t.Fatalf("got %+v, want heartbeat at frontier 3", hb)
+	}
+
+	// A commit while the tail blocks wakes it: the new record arrives
+	// without waiting out the heartbeat period.
+	if _, err := c.Insert(ctx, "Market", marketTuple(9)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec := next()
+		if rec.Heartbeat {
+			continue
+		}
+		if rec.Seq != 4 || rec.PrimarySeq != 4 {
+			t.Fatalf("woke with %+v, want record 4", rec)
+		}
+		break
+	}
+	_ = store
+}
+
+func TestReplLogTruncatedAndBadFrom(t *testing.T) {
+	store, c, hs := newReplicationServer(t, nil)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Insert(ctx, "Market", marketTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated cursor: structured 410 telling the replica to bootstrap.
+	resp, err := hs.Client().Get(hs.URL + "/v1/replication/log?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er wire.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || er.Code != wire.CodeLogTruncated {
+		t.Fatalf("from=1 after checkpoint: HTTP %d code %q, want 410 %s", resp.StatusCode, er.Code, wire.CodeLogTruncated)
+	}
+
+	// Malformed cursor: 400.
+	resp, err = hs.Client().Get(hs.URL + "/v1/replication/log?from=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from=banana: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDegradedPrimaryKeepsServingReplication is the failover story's
+// linchpin: a primary whose WAL trips turns stickily read-only across
+// requests, yet its replication log keeps serving the durable prefix —
+// so a replica converges on everything the primary ever acknowledged and
+// can take over the read load.
+func TestDegradedPrimaryKeepsServingReplication(t *testing.T) {
+	ffs := &wal.FaultFS{Inner: wal.OSFS{}}
+	store, c, hs := newReplicationServer(t, ffs)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(ctx, "Market", marketTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Trip the WAL on the next append: the insert fails and the store
+	// degrades.
+	ffs.FailWriteAt = ffs.Writes() + 1
+	var se *client.ServerError
+	if _, err := c.Insert(ctx, "Market", marketTuple(99)); !errors.As(err, &se) || se.Code != wire.CodeDegraded {
+		t.Fatalf("faulted insert: %v, want degraded", err)
+	}
+	// Sticky across requests: every further insert is rejected up front.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(ctx, "Market", marketTuple(100+i)); !errors.As(err, &se) || se.Code != wire.CodeDegraded {
+			t.Fatalf("insert %d while degraded: %v, want degraded", i, err)
+		}
+	}
+
+	// The replication log still serves the durable prefix: exactly the 3
+	// acknowledged records, correctly checksummed, then a heartbeat at the
+	// durable frontier.
+	sc, stop := tailLines(t, hs, "1")
+	defer stop()
+	var got []uint64
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec wire.ReplRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Heartbeat {
+			break
+		}
+		if wal.Checksum(rec.Seq, rec.Payload) != rec.CRC {
+			t.Fatalf("record %d: CRC does not verify", rec.Seq)
+		}
+		got = append(got, rec.Seq)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("degraded primary shipped %v, want the durable prefix [1 2 3]", got)
+	}
+
+	// And the checkpoint endpoint still answers too (bootstrap during the
+	// outage).
+	resp, err := hs.Client().Get(hs.URL + "/v1/replication/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint while degraded: HTTP %d", resp.StatusCode)
+	}
+	_ = store
+}
+
+// TestReplicaModeServer checks the replica-facing surface of the server:
+// inserts answer 403 not-primary, /v1/info carries role/lag/seq, and
+// /healthz reports the replica role.
+func TestReplicaModeServer(t *testing.T) {
+	d := testDB()
+	rs := &fakeReplicaStatus{primary: "http://primary:8080", applied: 7, primarySeq: 9}
+	_, c, hs := newTestServer(t, Config{
+		Source:  func() *db.Database { return d },
+		Replica: rs,
+		Engine:  core.Options{Seed: 1},
+	})
+	ctx := context.Background()
+
+	var se *client.ServerError
+	if _, err := c.Insert(ctx, "Market", marketTuple(1)); !errors.As(err, &se) ||
+		se.Status != http.StatusForbidden || se.Code != wire.CodeNotPrimary {
+		t.Fatalf("insert on replica: %v, want 403 %s", err, wire.CodeNotPrimary)
+	}
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := info.Replication
+	if r == nil || r.Role != "replica" || r.LastAppliedSeq != 7 || r.PrimarySeq != 9 || r.ReplicaLag != 2 {
+		t.Fatalf("info replication %+v, want replica 7/9 lag 2", r)
+	}
+	if !info.ReadOnly {
+		t.Fatal("replica info does not report read-only")
+	}
+
+	resp, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health wire.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Role != "replica" || health.LastAppliedSeq != 7 || health.ReplicaLag == nil || *health.ReplicaLag != 2 {
+		t.Fatalf("healthz %+v, want replica seq 7 lag 2", health)
+	}
+
+	// Reads flow normally.
+	res, err := c.MeasureSQL(ctx, testWorkloads[0], 0.2, 0.3)
+	if err != nil || res.Count == 0 {
+		t.Fatalf("measure on replica: %v (count %d)", err, res.Count)
+	}
+}
+
+type fakeReplicaStatus struct {
+	primary    string
+	applied    uint64
+	primarySeq uint64
+}
+
+func (f *fakeReplicaStatus) LastAppliedSeq() uint64 { return f.applied }
+func (f *fakeReplicaStatus) PrimarySeq() uint64     { return f.primarySeq }
+func (f *fakeReplicaStatus) Primary() string        { return f.primary }

@@ -71,6 +71,23 @@ type Config struct {
 	// DB is the shared database: the writer the insert endpoint commits
 	// to, and the source of the per-request snapshots every read pins.
 	DB *db.Database
+	// Source, when set, supplies the database to snapshot instead of DB:
+	// replica mode uses it so a mid-run re-bootstrap (the primary
+	// checkpointed past the replica's cursor) can swap in the freshly
+	// adopted store without restarting the server. Requests still pin one
+	// snapshot each; only admission-time reads observe the swap.
+	Source func() *db.Database
+	// Replication, when set, enables the primary-side replication
+	// endpoints (GET /v1/replication/checkpoint and /log) over the
+	// durability layer. *wal.Store implements it.
+	Replication Replication
+	// Replica, when set, marks this server a read replica: inserts are
+	// rejected with code "not-primary" and /v1/info + /healthz surface
+	// the catchup position (lastAppliedSeq, replicaLag).
+	Replica ReplicaStatus
+	// ReplHeartbeat is the idle heartbeat period of the replication log
+	// tail (lag visibility + liveness). Default 5s.
+	ReplHeartbeat time.Duration
 	// ReadOnly disables POST /v1/insert (403 with code "read-only").
 	ReadOnly bool
 	// Durable, when set, is the durability layer (internal/wal) inserts
@@ -170,6 +187,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamWriteTimeout <= 0 {
 		c.StreamWriteTimeout = 30 * time.Second
 	}
+	if c.ReplHeartbeat <= 0 {
+		c.ReplHeartbeat = 5 * time.Second
+	}
 	if c.Engine.PoolWorkers <= 0 {
 		c.Engine.PoolWorkers = max(1, runtime.GOMAXPROCS(0)/c.MaxInflight)
 	}
@@ -198,6 +218,10 @@ type Server struct {
 
 	shutdownOnce sync.Once
 	shutdownErr  error
+	// stopCh is closed when Shutdown begins, so long-lived replication
+	// tails (which outlive any single commit) terminate and let the HTTP
+	// server drain.
+	stopCh chan struct{}
 
 	// testHookAdmitted, when set, runs while a measure request holds its
 	// admission slot, before any work — tests use it to hold the pool
@@ -207,8 +231,8 @@ type Server struct {
 
 // New returns a server over the shared database.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil {
-		return nil, errors.New("server: Config.DB is required")
+	if cfg.DB == nil && cfg.Source == nil {
+		return nil, errors.New("server: Config.DB (or Config.Source) is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -216,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 		kernels: core.NewKernels(cfg.KernelCacheSize),
 		gate:    newGate(cfg.MaxInflight),
 		mux:     http.NewServeMux(),
+		stopCh:  make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
@@ -223,7 +248,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/experiments/run", s.handleExperimentRun)
+	if cfg.Replication != nil {
+		s.mux.HandleFunc("GET /v1/replication/checkpoint", s.handleReplCheckpoint)
+		s.mux.HandleFunc("GET /v1/replication/log", s.handleReplLog)
+	}
 	return s, nil
+}
+
+// snapshot pins the database view one request runs against.
+func (s *Server) snapshot() *db.Database {
+	if s.cfg.Source != nil {
+		return s.cfg.Source().Snapshot()
+	}
+	return s.cfg.DB.Snapshot()
 }
 
 // ServeHTTP implements http.Handler.
@@ -237,6 +274,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // (http.Server.Shutdown).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
+		close(s.stopCh)
 		s.shutdownErr = s.gate.shutdown(ctx)
 		s.writeMu.Lock()
 		//lint:ignore SA2001 acquiring the lock is the synchronization:
@@ -283,14 +321,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "draining")
 		return
 	}
+	h := wire.HealthResponse{Status: "ok"}
 	// A degraded server is still alive — reads keep working — so healthz
 	// stays 200, but the status flips so operators and load balancers can
 	// route writes elsewhere.
 	if reason, degraded := s.degraded(); degraded {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "reason": reason})
-		return
+		h.Status, h.Reason = "degraded", reason
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// WAL position: lets a balancer (or the failover client) see at a
+	// glance how far this node's durable/applied frontier has advanced.
+	switch {
+	case s.cfg.Replica != nil:
+		h.Role = "replica"
+		h.LastAppliedSeq = s.cfg.Replica.LastAppliedSeq()
+		lag := replicaLag(s.cfg.Replica)
+		h.ReplicaLag = &lag
+	case s.cfg.Replication != nil:
+		h.Role = "primary"
+		h.WalSeq = s.cfg.Replication.Seq()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // degraded reports the durability layer's read-only trip, if any.
@@ -302,7 +352,7 @@ func (s *Server) degraded() (string, bool) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	d := s.cfg.DB.Snapshot()
+	d := s.snapshot()
 	info := wire.InfoResponse{
 		Tuples:    d.Size(),
 		BaseNulls: len(d.BaseNulls()),
@@ -312,6 +362,22 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if reason, degraded := s.degraded(); degraded {
 		info.ReadOnly = true
 		info.Degraded = reason
+	}
+	switch {
+	case s.cfg.Replica != nil:
+		info.ReadOnly = true
+		info.Replication = &wire.ReplicationInfo{
+			Role:           "replica",
+			LastAppliedSeq: s.cfg.Replica.LastAppliedSeq(),
+			PrimarySeq:     s.cfg.Replica.PrimarySeq(),
+			ReplicaLag:     replicaLag(s.cfg.Replica),
+		}
+	case s.cfg.Replication != nil:
+		info.Replication = &wire.ReplicationInfo{
+			Role:          "primary",
+			WalSeq:        s.cfg.Replication.Seq(),
+			CheckpointSeq: s.cfg.Replication.CheckpointSeq(),
+		}
 	}
 	if runs := s.runs.Load(); runs > 0 {
 		info.Sampling = &wire.SamplingStats{
@@ -447,7 +513,7 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release fu
 // life, so concurrent inserts never shift the data under a running
 // query.
 func (s *Server) measureSQL(w http.ResponseWriter, r *http.Request, q *sqlast.Query, eps, delta float64) (*core.SQLMeasured, bool) {
-	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.cfg.DB.Snapshot(), eps, delta)
+	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.snapshot(), eps, delta)
 	switch {
 	case err == nil:
 		s.recordRun(res.SamplesDrawn, res.Rounds)
@@ -521,7 +587,7 @@ func (s *Server) streamMeasure(w http.ResponseWriter, r *http.Request, q *sqlast
 	// admission slot frees promptly instead of measuring into the void.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	info, err := s.engine().MeasureSQLStream(ctx, q, s.cfg.DB.Snapshot(), eps, delta,
+	info, err := s.engine().MeasureSQLStream(ctx, q, s.snapshot(), eps, delta,
 		func(idx int, c core.MeasuredCandidate) error {
 			wc := toWireCandidate(c, includePhi)
 			if err := ew.write(wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wc}); err != nil {
@@ -619,6 +685,13 @@ func (ew *eventWriter) close() {
 // Shutdown returns no insert is in flight and none can start: the
 // database is quiescent.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Replica != nil {
+		// Writes pin to the primary: a replica never accepts them, and the
+		// structured code tells failover clients not to retry here.
+		s.writeError(w, http.StatusForbidden, wire.CodeNotPrimary,
+			"server is a read replica of "+s.cfg.Replica.Primary()+"; send writes to the primary")
+		return
+	}
 	if s.cfg.ReadOnly {
 		s.writeError(w, http.StatusForbidden, wire.CodeReadOnly, "server is read-only")
 		return

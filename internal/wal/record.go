@@ -47,6 +47,22 @@ const maxRecordSize = 64 << 20
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum is the CRC32C the log frames records with: computed over
+// seq ‖ payload, exactly as appendRecord stores and parseRecord checks
+// it. Replication re-verifies shipped records (and checkpoint files,
+// bound to their covering seq) with the same function on both ends.
+func Checksum(seq uint64, payload []byte) uint32 {
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	crc := crc32.Checksum(seqBuf[:], castagnoli)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// DecodeBatch parses a WAL record payload into the insert batch it logs.
+// Replicas decode shipped payloads with it before replaying; errors mean
+// real corruption, since the checksum already vouched for the bytes.
+func DecodeBatch(payload []byte) (Batch, error) { return decodeBatch(payload) }
+
 // appendRecord frames seq+payload onto buf and returns the extended
 // slice.
 func appendRecord(buf []byte, seq uint64, payload []byte) []byte {

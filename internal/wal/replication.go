@@ -1,0 +1,190 @@
+package wal
+
+// Replication support: the primary-side tailer API the replication
+// endpoints (internal/server) ship the log through, and the replica-side
+// checkpoint installer (internal/replica) bootstraps from.
+//
+// The unit of shipping is the WAL record exactly as it exists on disk:
+// sequence number plus encoded batch payload, checksummed with the same
+// CRC32C the on-disk framing uses (Checksum). The primary re-verifies
+// every record as it reads it off the log (parseRecord rejects bad
+// checksums), sends seq/payload/crc, and the replica verifies the
+// checksum again before replaying — a flipped bit anywhere between the
+// primary's disk and the replica's memory is caught at one end or the
+// other, never applied.
+//
+// A replica that falls behind a checkpoint truncation cannot be served
+// from the log anymore: ReadFrom reports ErrTruncated and the replica
+// re-bootstraps from the primary's newest checkpoint (CheckpointFiles →
+// InstallCheckpoint), which by construction covers every truncated
+// record.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrTruncated marks a ReadFrom whose requested records were folded into
+// a checkpoint and truncated out of the log. The caller must bootstrap
+// from the checkpoint instead — it covers everything that was dropped.
+var ErrTruncated = errors.New("wal: requested records truncated into a checkpoint")
+
+// CheckpointFile is one file of a serialized checkpoint directory, the
+// unit of checkpoint shipping.
+type CheckpointFile struct {
+	Name string
+	Data []byte
+}
+
+// ReadFrom returns the committed records with sequence numbers >= from,
+// in log order. An empty slice means the caller is caught up (from ==
+// Seq()+1). ErrTruncated means records at or above from existed but were
+// truncated into a checkpoint; an error also reports a from beyond the
+// durable frontier (a replica claiming records the primary never
+// committed — divergence, not lag).
+func (s *Store) ReadFrom(from uint64) ([]Record, error) {
+	if from == 0 {
+		from = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("wal: store is closed")
+	}
+	if from > s.seq+1 {
+		return nil, fmt.Errorf("wal: read from %d beyond durable seq %d", from, s.seq)
+	}
+	if from == s.seq+1 {
+		return nil, nil
+	}
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrTruncated
+		}
+		return nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		seq, payload, n, ok := parseRecord(data[off:])
+		if !ok {
+			break // unsynced tail of an in-flight append; records before it are committed
+		}
+		off += n
+		if seq > s.seq {
+			break // appended but not yet applied/acknowledged
+		}
+		if seq >= from {
+			recs = append(recs, Record{Seq: seq, Payload: payload})
+		}
+	}
+	if len(recs) == 0 || recs[0].Seq != from {
+		// The log no longer starts low enough: a checkpoint truncated the
+		// prefix holding from.
+		return nil, ErrTruncated
+	}
+	return recs, nil
+}
+
+// CommitWatch returns a channel closed when a batch commits after the
+// call. Long-poll tailers take the channel, read the log, and block on
+// the channel only when the read came back empty — taking it first makes
+// the commit-then-wait race safe.
+func (s *Store) CommitWatch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit
+}
+
+// CheckpointFiles reads the newest durable checkpoint: its covered
+// sequence number and every file of its directory, in name order. The
+// checkpoint lock is held for the whole read, so a concurrent checkpoint
+// cannot remove the directory mid-stream.
+func (s *Store) CheckpointFiles() (seq uint64, files []CheckpointFile, err error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	dir := filepath.Join(s.dir, s.ckptDir)
+	names, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint files: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := s.fs.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: checkpoint file %s: %w", name, err)
+		}
+		files = append(files, CheckpointFile{Name: name, Data: data})
+	}
+	return s.ckptSeq, files, nil
+}
+
+// HasCheckpoint reports whether dir holds a committed checkpoint
+// manifest — i.e. whether Open can recover without a Seed. fs nil uses
+// the real filesystem.
+func HasCheckpoint(fs FS, dir string) (bool, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	_, err := fs.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// InstallCheckpoint adopts a fetched checkpoint as the baseline of dir:
+// the files are written into checkpoint-<seq> with crash-safe writes,
+// any local WAL is removed (the checkpoint supersedes local history —
+// this is a replica adopting its primary's state), and the manifest
+// rename commits the installation. A crash mid-install leaves either the
+// old manifest governing (the fresh directory is swept as an orphan on
+// the next Open) or the new one. fs nil uses the real filesystem.
+func InstallCheckpoint(fs FS, dir string, seq uint64, files []CheckpointFile) error {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	name := ckptName(seq)
+	cdir := filepath.Join(dir, name)
+	// A torn previous install may have left partial files; start clean.
+	if err := fs.RemoveAll(cdir); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if err := fs.MkdirAll(cdir, 0o755); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	for _, f := range files {
+		if f.Name == "" || strings.ContainsAny(f.Name, "/\\") || f.Name == ".." {
+			return fmt.Errorf("wal: install checkpoint: unsafe file name %q", f.Name)
+		}
+		if err := writeFileSync(fs, filepath.Join(cdir, f.Name), f.Data); err != nil {
+			return fmt.Errorf("wal: install checkpoint file %s: %w", f.Name, err)
+		}
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	// Local WAL records are superseded: every one of them has seq <= the
+	// installed checkpoint's (the checkpoint came from the primary this
+	// store replicates), so dropping the file loses nothing replay would
+	// keep.
+	if err := fs.RemoveAll(filepath.Join(dir, logName)); err != nil {
+		return fmt.Errorf("wal: install checkpoint: drop local log: %w", err)
+	}
+	manifest := fmt.Sprintf("arithdb-checkpoint v1\nseq %d\ndir %s\n", seq, name)
+	if err := writeFileSync(fs, filepath.Join(dir, manifestName), []byte(manifest)); err != nil {
+		return fmt.Errorf("wal: install checkpoint manifest: %w", err)
+	}
+	return nil
+}

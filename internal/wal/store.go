@@ -91,6 +91,9 @@ type Store struct {
 	seq    uint64 // sequence number of the last committed batch
 	closed bool
 	encBuf []byte
+	// commit is closed and replaced on every committed batch; long-poll
+	// tailers (the replication endpoints) block on it instead of spinning.
+	commit chan struct{}
 
 	// degraded, once set, holds the reason the store went read-only.
 	degraded atomic.Pointer[string]
@@ -111,7 +114,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.FS == nil {
 		opts.FS = OSFS{}
 	}
-	s := &Store{fs: opts.FS, dir: dir, opts: opts}
+	s := &Store{fs: opts.FS, dir: dir, opts: opts, commit: make(chan struct{})}
 	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -249,6 +252,9 @@ func (s *Store) InsertBatch(rel string, tuples []value.Tuple) error {
 		return err
 	}
 	s.seq = seq
+	// Wake every tailer blocked on CommitWatch: there is a new record.
+	close(s.commit)
+	s.commit = make(chan struct{})
 	return nil
 }
 
@@ -391,6 +397,10 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Wake blocked tailers — and leave the channel closed, so tailers
+	// arriving later wake immediately and observe the closed store instead
+	// of waiting on a commit that will never come.
+	close(s.commit)
 	if s.log == nil {
 		return nil
 	}

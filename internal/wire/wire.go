@@ -259,6 +259,15 @@ const (
 	// Unlike "busy" this does not clear on its own — an operator must
 	// restart the server — so clients should not retry it.
 	CodeDegraded = "degraded"
+	// CodeNotPrimary marks writes sent to a read replica. The write was
+	// never attempted; clients must send it to the primary. Retrying here
+	// is pointless — replicas do not promote themselves.
+	CodeNotPrimary = "not-primary"
+	// CodeLogTruncated marks a replication log read whose records were
+	// folded into a checkpoint and truncated: the replica must
+	// re-bootstrap from GET /v1/replication/checkpoint, which covers
+	// everything that was dropped.
+	CodeLogTruncated = "log-truncated"
 )
 
 // ColumnInfo / RelationInfo / InfoResponse describe the served database
@@ -287,6 +296,82 @@ type InfoResponse struct {
 	// Sampling aggregates the server's measurement workload since start;
 	// nil before the first measured query.
 	Sampling *SamplingStats `json:"sampling,omitempty"`
+	// Replication reports the server's place in a replication topology;
+	// nil on a standalone in-memory server.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
+}
+
+// ReplicationInfo is the WAL-position block of InfoResponse and
+// HealthResponse: where this server stands in the replication stream.
+type ReplicationInfo struct {
+	// Role is "primary" (serves the replication log) or "replica"
+	// (replays it).
+	Role string `json:"role"`
+	// WalSeq is the primary's durable sequence number: the last batch
+	// that was WAL-appended and fsync'd.
+	WalSeq uint64 `json:"walSeq,omitempty"`
+	// CheckpointSeq is the sequence the primary's newest durable
+	// checkpoint covers (replicas bootstrapping now start here).
+	CheckpointSeq uint64 `json:"checkpointSeq,omitempty"`
+	// LastAppliedSeq is the replica's replay frontier: every batch up to
+	// and including it is applied and locally durable.
+	LastAppliedSeq uint64 `json:"lastAppliedSeq,omitempty"`
+	// PrimarySeq is the primary's durable seq as last observed by the
+	// replica (0 before the first contact).
+	PrimarySeq uint64 `json:"primarySeq,omitempty"`
+	// ReplicaLag = max(0, PrimarySeq - LastAppliedSeq): how many committed
+	// batches the replica has not yet applied, by last observation. Reads
+	// served here are at most this stale, in batches.
+	ReplicaLag uint64 `json:"replicaLag"`
+}
+
+// HealthResponse is the body of GET /healthz. Status is "ok",
+// "degraded", or "draining"; the WAL-position fields mirror
+// ReplicationInfo so load balancers and failover clients can route on
+// staleness without a second request.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+	Role   string `json:"role,omitempty"`
+	WalSeq uint64 `json:"walSeq,omitempty"`
+	// LastAppliedSeq / ReplicaLag are set on replicas (see ReplicationInfo).
+	LastAppliedSeq uint64  `json:"lastAppliedSeq,omitempty"`
+	ReplicaLag     *uint64 `json:"replicaLag,omitempty"`
+}
+
+// ReplCheckpointHeader is the first NDJSON line of
+// GET /v1/replication/checkpoint: the covered sequence number and how
+// many file lines follow. The stream ends with a ReplFile line whose
+// Done is true; a reader that never sees it received a torn stream and
+// must re-fetch.
+type ReplCheckpointHeader struct {
+	Seq   uint64 `json:"seq"`
+	Files int    `json:"files"`
+}
+
+// ReplFile is one checkpoint file line (Data is base64 under
+// encoding/json), or the stream terminator when Done is set. CRC is
+// wal.Checksum(header.Seq, Data): the content bound to the checkpoint it
+// belongs to.
+type ReplFile struct {
+	Name string `json:"name,omitempty"`
+	Data []byte `json:"data,omitempty"`
+	CRC  uint32 `json:"crc,omitempty"`
+	Done bool   `json:"done,omitempty"`
+}
+
+// ReplRecord is one NDJSON line of GET /v1/replication/log: either a
+// shipped WAL record (Seq/Payload/CRC, with CRC = wal.Checksum(Seq,
+// Payload), the exact on-disk framing checksum) or a heartbeat
+// (Heartbeat true, no payload). Every line carries PrimarySeq, the
+// primary's durable frontier at write time, so replicas track lag even
+// while idle.
+type ReplRecord struct {
+	Heartbeat  bool   `json:"hb,omitempty"`
+	Seq        uint64 `json:"seq,omitempty"`
+	Payload    []byte `json:"payload,omitempty"`
+	CRC        uint32 `json:"crc,omitempty"`
+	PrimarySeq uint64 `json:"primarySeq"`
 }
 
 // SamplingStats is the server-lifetime sampling telemetry of InfoResponse:

@@ -22,7 +22,10 @@
 #     database under admission control;
 #   - BenchmarkAdaptiveTopK: the adaptive top-k sampling race vs the
 #     fixed per-candidate budget on skewed and uniform candidate fields,
-#     reporting samples/op (guarded by scripts/sample_check.sh).
+#     reporting samples/op (guarded by scripts/sample_check.sh);
+#   - BenchmarkReplicaCatchup: a cold replica bootstrapping from the
+#     primary's checkpoint and replaying a 50-batch backlog over HTTP
+#     log shipping (internal/replica), so catchup latency stays visible.
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
 #   scripts/bench.sh                 # the default family below, -benchtime 1s
@@ -30,11 +33,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput|AdaptiveTopK}"
+bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput|AdaptiveTopK|ReplicaCatchup}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 
-raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . ./internal/server)"
+raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . ./internal/server ./internal/replica)"
 printf '%s\n' "$raw"
 
 {
