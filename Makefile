@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check replica-check
+.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check replica-check shard-check
 
 # check is what CI runs: static checks, build, tests, and a one-iteration
 # benchmark smoke so the Figure 1 pipeline stays runnable.
@@ -63,6 +63,21 @@ replica-check:
 	$(GO) test ./internal/replica -race -count=1
 	$(GO) test ./internal/faultnet -race -count=1
 	$(GO) test . -race -count=1 -run 'TestReplicaChaos'
+
+# shard-check is the sharding gauntlet (CI runs it as its own job): the
+# hash-sharded store and scatter-gather coordinator under -race — unit
+# placement/gather tests, the shard-count invariance suite (bit-identical
+# results across N ∈ {1,2,4} and worker configurations, including the
+# LIMIT-k adaptive race and the randomized parity fuzz), the sharded
+# server e2e (buffered + streamed), and the fleet chaos harness: two
+# shard servers behind the hash router with client-side injected latency
+# and dropped connections, asserting exact per-shard placement and no
+# duplicated or lost acked write. -count=1 defeats the test cache so the
+# fault injection actually reruns.
+shard-check:
+	$(GO) test ./internal/shard -race -count=1
+	$(GO) test ./internal/server -race -count=1 -run 'TestSharded'
+	$(GO) test . -race -count=1 -run 'TestShardChaos'
 
 # fuzz-smoke gives each wire-protocol fuzzer a short budget: malformed
 # requests and SQL must come back as structured errors, never panics

@@ -12,6 +12,15 @@
 //	arithdbd -data-dir DIR ...    # durable mode: WAL + checkpoints
 //	arithdbd -data-dir DIR -replica-of http://primary:8080
 //	                              # read replica: bootstrap + tail the primary
+//	arithdbd -gen 20000 -shards 4 # hash-shard across 4 in-process stores
+//
+// With -shards=N the database is hash-partitioned across N in-process
+// stores behind a deterministic scatter-gather coordinator
+// (internal/shard): inserts scatter by a stable content hash, reads fan
+// out and merge back into the global derivation order, and every
+// response stays bit-identical to the unsharded server. In-process
+// sharding is in-memory; for durable shards run one arithdbd -data-dir
+// per shard and route writes with the client's sharded router.
 //
 // With -data-dir the server is durable: startup recovers the newest
 // checkpoint and replays the write-ahead log, every acknowledged insert
@@ -50,6 +59,7 @@ import (
 	arithdb "repro"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -76,11 +86,21 @@ func main() {
 		noSync       = flag.Bool("no-sync", false, "skip the per-insert WAL fsync (benchmarks only: trades crash durability for throughput)")
 		noAdaptive   = flag.Bool("no-adaptive", false, "disable the adaptive top-k sampling race for LIMIT queries (fixed budget per candidate)")
 		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary at this base URL (requires -data-dir)")
+		shards       = flag.Int("shards", 0, "hash-shard the database across N in-process stores behind a scatter-gather coordinator (results stay bit-identical; incompatible with -data-dir/-replica-of)")
 	)
 	flag.Parse()
 
 	if *data != "" && *gen > 0 {
 		log.Fatal("-data and -gen are mutually exclusive")
+	}
+	if *shards < 0 {
+		log.Fatal("-shards must not be negative")
+	}
+	if *shards > 0 && (*dataDir != "" || *replicaOf != "") {
+		// In-process sharding is in-memory; durable sharding composes at
+		// the fleet level (one durable arithdbd per shard, writes routed
+		// by client.Sharded with the same hash).
+		log.Fatal("-shards is incompatible with -data-dir/-replica-of: run one durable arithdbd per shard instead")
 	}
 	if *ckptEvery < 0 {
 		log.Fatal("-checkpoint-every must not be negative (use 0 to disable background checkpoints)")
@@ -124,6 +144,7 @@ func main() {
 		store   *wal.Store
 		rep     *replica.Replicator
 		repDone chan struct{}
+		sharded *shard.Store
 		err     error
 	)
 	switch {
@@ -169,6 +190,11 @@ func main() {
 		if d, err = seedDB(); err != nil {
 			log.Fatal(err)
 		}
+		if *shards > 0 {
+			if sharded, err = shard.FromDatabase(d, *shards); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	cfg := server.Config{
@@ -191,6 +217,8 @@ func main() {
 		cfg.Source = rep.DB
 		cfg.Replica = rep
 		cfg.ReadOnly = true
+	case sharded != nil:
+		cfg.Sharded = sharded
 	default:
 		cfg.DB = d
 		if store != nil {
@@ -208,10 +236,14 @@ func main() {
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
-	if rep != nil {
+	switch {
+	case rep != nil:
 		log.Printf("serving %d tuples on http://%s (replica of %s, seq %d)",
 			d.Size(), ln.Addr(), rep.Primary(), rep.LastAppliedSeq())
-	} else {
+	case sharded != nil:
+		log.Printf("serving %d tuples on http://%s (%d shards, sizes %v)",
+			sharded.Size(), ln.Addr(), sharded.NumShards(), sharded.ShardSizes())
+	default:
 		log.Printf("serving %d tuples on http://%s", d.Size(), ln.Addr())
 	}
 

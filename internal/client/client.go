@@ -203,9 +203,7 @@ func (c *Client) do(ctx context.Context, base, method, path string, in, out any)
 func decodeError(resp *http.Response) error {
 	se := &ServerError{Status: resp.StatusCode, Code: wire.CodeInternal}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-		}
+		se.RetryAfter = parseRetryAfter(ra)
 	}
 	var er wire.ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
@@ -217,6 +215,27 @@ func decodeError(resp *http.Response) error {
 		se.Msg = resp.Status
 	}
 	return se
+}
+
+// parseRetryAfter reads a Retry-After header in either of its two RFC
+// 9110 forms: delta-seconds, or an HTTP-date (proxies and load balancers
+// commonly rewrite one into the other). A date is converted to the
+// remaining wait, clamped at zero so a date already in the past means
+// "retry now" rather than a negative backoff. Unparseable values yield
+// zero — no hint.
+func parseRetryAfter(ra string) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Health checks /healthz.

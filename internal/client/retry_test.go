@@ -174,6 +174,47 @@ func TestRetryRespectsContextCancel(t *testing.T) {
 	}
 }
 
+// Retry-After arrives in two RFC 9110 forms; the header used to be read
+// only as delta-seconds, silently dropping the HTTP-date form a proxy may
+// rewrite it into.
+func TestParseRetryAfterBothForms(t *testing.T) {
+	if got := parseRetryAfter("7"); got != 7*time.Second {
+		t.Fatalf("delta-seconds: got %v, want 7s", got)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 90*time.Second {
+		t.Fatalf("http-date %q: got %v, want a positive wait of at most 90s", future, got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Fatalf("past http-date: got %v, want 0 (retry now, never a negative backoff)", got)
+	}
+	if got := parseRetryAfter("-3"); got != 0 {
+		t.Fatalf("negative delta: got %v, want 0", got)
+	}
+	if got := parseRetryAfter("soon"); got != 0 {
+		t.Fatalf("garbage: got %v, want 0", got)
+	}
+}
+
+func TestDecodeErrorRetryAfterHTTPDate(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "busy", Code: wire.CodeBusy})
+	}))
+	defer hs.Close()
+	err := NewWith(hs.URL, hs.Client()).Health(context.Background())
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a ServerError", err)
+	}
+	if se.RetryAfter <= 0 || se.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter from an HTTP-date header: got %v, want a positive wait of at most 30s", se.RetryAfter)
+	}
+}
+
 func TestBackoffCapsAndJitter(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
 	for attempt := 1; attempt <= 6; attempt++ {

@@ -1,0 +1,124 @@
+package client
+
+// Sharded is the fleet-level face of hash sharding: where `arithdbd
+// -shards=N` shards in-process, a Sharded client routes writes across N
+// independent arithdbd deployments — each its own durable server (WAL,
+// checkpoints) with its own -replica-of chain and its own failover
+// Client — using the exact routing hash of internal/shard, so a row
+// lands on the same shard whether the split lives in one process or
+// across a fleet.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/shard"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Sharded routes writes across an ordered list of shard groups. Group i
+// serves hash shard i; the order is part of the fleet's data placement
+// and must never change once data is routed (adding, removing, or
+// reordering groups re-homes rows).
+type Sharded struct {
+	groups []*Client
+}
+
+// NewSharded builds a sharded router over per-shard clients, typically
+// failover clients (NewFailover) whose first endpoint is that shard's
+// durable primary.
+func NewSharded(groups []*Client) (*Sharded, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("client: NewSharded needs at least one shard group")
+	}
+	for i, g := range groups {
+		if g == nil {
+			return nil, fmt.Errorf("client: shard group %d is nil", i)
+		}
+	}
+	return &Sharded{groups: append([]*Client(nil), groups...)}, nil
+}
+
+// NumShards returns the fleet's shard count.
+func (s *Sharded) NumShards() int { return len(s.groups) }
+
+// Group returns the client of one shard, for per-shard operations
+// (targeted reads, retrying one shard's sub-batch).
+func (s *Sharded) Group(i int) *Client { return s.groups[i] }
+
+// Split partitions a batch by the routing hash, preserving the batch's
+// order inside every sub-batch: Split(tuples)[i] is exactly what
+// shard i's server receives from Insert.
+func (s *Sharded) Split(tuples []value.Tuple) [][]value.Tuple {
+	sub := make([][]value.Tuple, len(s.groups))
+	for _, t := range tuples {
+		i := shard.ShardOf(t, len(s.groups))
+		sub[i] = append(sub[i], t)
+	}
+	return sub
+}
+
+// ShardInsert is one shard's outcome of a scattered Insert.
+type ShardInsert struct {
+	// Shard is the group index; Tuples is its sub-batch size.
+	Shard  int
+	Tuples int
+	// Resp is the shard's acknowledgment (nil when Err is set).
+	Resp *wire.InsertResponse
+	// Err is the shard's failure, nil on success.
+	Err error
+}
+
+// Insert scatters one batch across the shard groups by the routing
+// hash. Each shard's sub-batch commits atomically on that shard, but
+// the scatter is NOT fleet-atomic: when some shards fail, the others
+// have still committed — the returned outcomes say exactly which, so a
+// caller can retry precisely the failed sub-batches (Group + Split give
+// it the pieces). The error joins every per-shard failure.
+func (s *Sharded) Insert(ctx context.Context, relation string, tuples []value.Tuple) ([]ShardInsert, error) {
+	sub := s.Split(tuples)
+	out := make([]ShardInsert, len(s.groups))
+	var errs []error
+	for i, ts := range sub {
+		out[i] = ShardInsert{Shard: i, Tuples: len(ts)}
+		if len(ts) == 0 {
+			continue
+		}
+		resp, err := s.groups[i].Insert(ctx, relation, ts)
+		if err != nil {
+			out[i].Err = err
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			continue
+		}
+		out[i].Resp = resp
+	}
+	return out, errors.Join(errs...)
+}
+
+// Health checks every shard group; the error joins the failures, so nil
+// means the whole fleet answered.
+func (s *Sharded) Health(ctx context.Context) error {
+	var errs []error
+	for i, g := range s.groups {
+		if err := g.Health(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Info fans out to every shard group and returns the per-shard
+// responses in shard order.
+func (s *Sharded) Info(ctx context.Context) ([]*wire.InfoResponse, error) {
+	out := make([]*wire.InfoResponse, len(s.groups))
+	for i, g := range s.groups {
+		info, err := g.Info(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out[i] = info
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/realfmla"
+)
+
+// PlanOptions exposes the engine's planner configuration, so an external
+// coordinator (the sharded scatter-gather in internal/shard) can build
+// per-shard plans under exactly the toggles this engine would use.
+func (e *Engine) PlanOptions() plan.Options { return e.planOptions() }
+
+// ExecOptions exposes the engine's executor configuration, for the same
+// external-coordinator use as PlanOptions.
+func (e *Engine) ExecOptions() exec.Options { return e.execOptions() }
+
+// RaceApplies reports whether a LIMIT-k query under this engine's
+// configuration routes through the adaptive top-k race (see raceApplies):
+// coordinators must then aggregate the full candidate field (enumerate
+// with LIMIT 0) before calling MeasureCandidatesStream with the limit.
+func (e *Engine) RaceApplies(limit int) bool {
+	return limit > 0 && !e.opts.NoAdaptive && !e.opts.PreferFPRAS
+}
+
+// MeasureCandidatesStream measures an already-aggregated candidate set
+// and delivers the results exactly as MeasureSQLStream would have for a
+// query with the given LIMIT: bit-identical measures (every candidate is
+// measured by a per-candidate-seeded pool engine, keyed by its index in
+// res.Candidates), delivered through yield in candidate order.
+//
+// It is the measurement half of the fused pipeline with enumeration
+// factored out, so a scatter-gather coordinator that reassembles the
+// global candidate stream from per-shard executors plugs back into the
+// identical race / pool / sequential paths. The aggregation contract
+// mirrors the internal pipelines: when RaceApplies(limit), res must hold
+// the full candidate field (aggregated without the limit) and the race
+// delivers the top-k winners; otherwise res must already have the limit
+// applied (first-k-distinct) and every candidate is measured.
+func (e *Engine) MeasureCandidatesStream(ctx context.Context, res *exec.Result, limit int, eps, delta float64, yield func(idx int, c MeasuredCandidate) error) (*SQLStreamInfo, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return nil, err
+	}
+	info := &SQLStreamInfo{
+		NullIDs:     res.NullIDs,
+		Index:       res.Index,
+		Derivations: res.Derivations,
+	}
+	if e.RaceApplies(limit) {
+		phis := make([]realfmla.Formula, len(res.Candidates))
+		for i, c := range res.Candidates {
+			phis[i] = c.Phi
+		}
+		oc, err := e.race(ctx, phis, limit, eps, delta, func(pos, idx int, r Result) error {
+			c := res.Candidates[idx]
+			return yield(pos, MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: r})
+		})
+		if err != nil {
+			return nil, err
+		}
+		info.Count = oc.delivered
+		info.SamplesDrawn = oc.samplesDrawn
+		info.Rounds = oc.rounds
+		return info, nil
+	}
+	info.Count = len(res.Candidates)
+	if e.opts.poolWorkers() <= 1 {
+		if err := e.measureCandidatesSeq(ctx, res.Candidates, eps, delta, yield); err != nil {
+			return nil, err
+		}
+		return info, nil
+	}
+	if err := e.measureCandidatesPool(ctx, res.Candidates, eps, delta, yield); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// measureCandidatesSeq measures candidates in index order on one
+// reusable, per-candidate-reseeded engine — the measurement half of
+// measureStreamSeq.
+func (e *Engine) measureCandidatesSeq(ctx context.Context, cands []exec.Candidate, eps, delta float64, yield func(int, MeasuredCandidate) error) error {
+	o := e.opts
+	kernels := e.poolKernels()
+	eng := e.itemEngine(0)
+	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		eng.resetItem(itemOptions(o, i), kernels)
+		r, err := eng.MeasureFormula(c.Phi, eps, delta)
+		if err != nil {
+			return err
+		}
+		if err := yield(i, MeasuredCandidate{Tuple: c.Tuple, Phi: c.Phi, Measure: r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureCandidatesPool fans candidates out over PoolWorkers reusable
+// worker engines while the emitter restores candidate order — the
+// measurement half of measureStreamPool.
+func (e *Engine) measureCandidatesPool(ctx context.Context, cands []exec.Candidate, eps, delta float64, yield func(int, MeasuredCandidate) error) error {
+	type job struct {
+		idx  int
+		cand exec.Candidate
+	}
+	type measured struct {
+		idx  int
+		cand exec.Candidate
+		res  Result
+		err  error
+	}
+	workers := e.opts.poolWorkers()
+	jobs := make(chan job, workers)
+	results := make(chan measured, workers)
+	var wg sync.WaitGroup
+	o := e.opts
+	kernels := e.poolKernels()
+	engines := make([]*Engine, workers)
+	for w := range engines {
+		engines[w] = e.itemEngine(w)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(eng *Engine) {
+			defer wg.Done()
+			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					results <- measured{idx: j.idx, cand: j.cand, err: err}
+					continue
+				}
+				eng.resetItem(itemOptions(o, j.idx), kernels)
+				r, err := eng.MeasureFormula(j.cand.Phi, eps, delta)
+				results <- measured{idx: j.idx, cand: j.cand, res: r, err: err}
+			}
+		}(engines[w])
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var (
+		emitDone   = make(chan struct{})
+		yieldErr   error
+		measureErr error
+	)
+	go func() {
+		defer close(emitDone)
+		oy := orderedYield{yield: func(idx int, m MeasuredCandidate) error {
+			if yieldErr == nil && measureErr == nil {
+				if err := yield(idx, m); err != nil {
+					yieldErr = err
+				}
+			}
+			return nil // keep draining; the sticky error wins at the end
+		}}
+		for m := range results {
+			if m.err != nil {
+				if measureErr == nil {
+					measureErr = m.err
+				}
+				continue
+			}
+			_ = oy.deliver(m.idx, MeasuredCandidate{Tuple: m.cand.Tuple, Phi: m.cand.Phi, Measure: m.res})
+		}
+	}()
+
+	for i, c := range cands {
+		jobs <- job{idx: i, cand: c}
+	}
+	close(jobs)
+	<-emitDone
+	if measureErr != nil {
+		return measureErr
+	}
+	return yieldErr
+}

@@ -73,6 +73,11 @@ type Config struct {
 	// 5s). Sleeps are fully jittered so a replica fleet does not
 	// re-stampede a recovering primary in lockstep.
 	BackoffMin, BackoffMax time.Duration
+	// JitterSeed seeds the backoff jitter. Zero (the default) seeds from
+	// the clock, which is what production wants — distinct replicas must
+	// not jitter in lockstep; tests and the chaos harness set it to make
+	// a run's backoff schedule reproducible.
+	JitterSeed int64
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -122,7 +127,7 @@ func Open(ctx context.Context, cfg Config) (*Replicator, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Replicator{cfg: cfg, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	r := &Replicator{cfg: cfg, rng: newJitterRNG(cfg.JitterSeed)}
 	has, err := wal.HasCheckpoint(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("replica: inspect %s: %w", cfg.Dir, err)
@@ -139,6 +144,16 @@ func Open(ctx context.Context, cfg Config) (*Replicator, error) {
 	r.store.Store(st)
 	r.logf("replica: recovered %s at seq %d (primary %s)", cfg.Dir, st.Seq(), cfg.Primary)
 	return r, nil
+}
+
+// newJitterRNG builds the backoff-jitter rng: an explicit seed pins the
+// schedule (tests, chaos harness); zero falls back to the clock so a
+// fleet of replicas never jitters in lockstep.
+func newJitterRNG(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 func (r *Replicator) openStore() (*wal.Store, error) {

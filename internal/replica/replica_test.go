@@ -149,6 +149,27 @@ func fastCfg(p *testPrimary, dir string) Config {
 	}
 }
 
+// The jitter rng used to seed from the clock unconditionally, making a
+// chaos run's backoff schedule unreproducible; Config.JitterSeed pins it.
+func TestJitterSeedReproducible(t *testing.T) {
+	a, b := newJitterRNG(42), newJitterRNG(42)
+	for i := 0; i < 64; i++ {
+		if av, bv := a.Int63(), b.Int63(); av != bv {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, av, bv)
+		}
+	}
+	c, d := newJitterRNG(0), newJitterRNG(1)
+	same := true
+	for i := 0; i < 8; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("zero seed reproduced the fixed schedule; it must fall back to the clock")
+	}
+}
+
 func TestReplicaBootstrapAndCatchup(t *testing.T) {
 	p := newTestPrimary(t)
 	p.insert(5, 1)

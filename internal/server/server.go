@@ -59,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/db"
+	"repro/internal/shard"
 	"repro/internal/sqlast"
 	"repro/internal/sqlfront"
 	"repro/internal/value"
@@ -77,6 +78,15 @@ type Config struct {
 	// adopted store without restarting the server. Requests still pin one
 	// snapshot each; only admission-time reads observe the swap.
 	Source func() *db.Database
+	// Sharded, when set, serves a hash-sharded store instead of DB/
+	// Source: inserts scatter rows across the shards and measure
+	// queries run through the deterministic scatter-gather coordinator
+	// (results are bit-identical to an unsharded server holding the
+	// same rows — see internal/shard). Mutually exclusive with DB,
+	// Source, Durable, Replication and Replica: the in-process sharded
+	// store is in-memory, and durability/replication compose per shard
+	// at the fleet level (one arithdbd per shard) instead.
+	Sharded *shard.Store
 	// Replication, when set, enables the primary-side replication
 	// endpoints (GET /v1/replication/checkpoint and /log) over the
 	// durability layer. *wal.Store implements it.
@@ -231,7 +241,14 @@ type Server struct {
 
 // New returns a server over the shared database.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil && cfg.Source == nil {
+	if cfg.Sharded != nil {
+		if cfg.DB != nil || cfg.Source != nil {
+			return nil, errors.New("server: Config.Sharded is exclusive with DB/Source")
+		}
+		if cfg.Durable != nil || cfg.Replication != nil || cfg.Replica != nil {
+			return nil, errors.New("server: Config.Sharded does not compose with Durable/Replication/Replica; run one durable arithdbd per shard instead")
+		}
+	} else if cfg.DB == nil && cfg.Source == nil {
 		return nil, errors.New("server: Config.DB (or Config.Source) is required")
 	}
 	cfg = cfg.withDefaults()
@@ -255,8 +272,19 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// snapshot pins the database view one request runs against.
+// snapshot pins the database view one request runs against. In sharded
+// mode it is the gathered (merged, cached-per-version) snapshot — the
+// measure paths scatter instead and never call it.
 func (s *Server) snapshot() *db.Database {
+	if s.cfg.Sharded != nil {
+		g, err := s.cfg.Sharded.Gather()
+		if err != nil {
+			// Unreachable short of a store invariant failure (gather
+			// re-inserts already-validated rows); serve the schema shape.
+			return db.New(s.cfg.Sharded.Schema())
+		}
+		return g
+	}
 	if s.cfg.Source != nil {
 		return s.cfg.Source().Snapshot()
 	}
@@ -377,6 +405,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Role:          "primary",
 			WalSeq:        s.cfg.Replication.Seq(),
 			CheckpointSeq: s.cfg.Replication.CheckpointSeq(),
+		}
+	}
+	if s.cfg.Sharded != nil {
+		info.Sharding = &wire.ShardingInfo{
+			NumShards:  s.cfg.Sharded.NumShards(),
+			ShardSizes: s.cfg.Sharded.ShardSizes(),
 		}
 	}
 	if runs := s.runs.Load(); runs > 0 {
@@ -513,7 +547,13 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release fu
 // life, so concurrent inserts never shift the data under a running
 // query.
 func (s *Server) measureSQL(w http.ResponseWriter, r *http.Request, q *sqlast.Query, eps, delta float64) (*core.SQLMeasured, bool) {
-	res, err := s.engine().MeasureSQLContext(r.Context(), q, s.snapshot(), eps, delta)
+	var res *core.SQLMeasured
+	var err error
+	if s.cfg.Sharded != nil {
+		res, err = s.cfg.Sharded.MeasureSQL(r.Context(), s.engine(), q, eps, delta)
+	} else {
+		res, err = s.engine().MeasureSQLContext(r.Context(), q, s.snapshot(), eps, delta)
+	}
 	switch {
 	case err == nil:
 		s.recordRun(res.SamplesDrawn, res.Rounds)
@@ -587,15 +627,21 @@ func (s *Server) streamMeasure(w http.ResponseWriter, r *http.Request, q *sqlast
 	// admission slot frees promptly instead of measuring into the void.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	info, err := s.engine().MeasureSQLStream(ctx, q, s.snapshot(), eps, delta,
-		func(idx int, c core.MeasuredCandidate) error {
-			wc := toWireCandidate(c, includePhi)
-			if err := ew.write(wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wc}); err != nil {
-				cancel()
-				return err
-			}
-			return nil
-		})
+	deliver := func(idx int, c core.MeasuredCandidate) error {
+		wc := toWireCandidate(c, includePhi)
+		if err := ew.write(wire.Event{Event: wire.EventCandidate, Idx: idx, Candidate: &wc}); err != nil {
+			cancel()
+			return err
+		}
+		return nil
+	}
+	var info *core.SQLStreamInfo
+	var err error
+	if s.cfg.Sharded != nil {
+		info, err = s.cfg.Sharded.MeasureSQLStream(ctx, s.engine(), q, eps, delta, deliver)
+	} else {
+		info, err = s.engine().MeasureSQLStream(ctx, q, s.snapshot(), eps, delta, deliver)
+	}
 	if err != nil {
 		if !ew.started {
 			status, code := http.StatusBadRequest, wire.CodeBadRequest
@@ -735,16 +781,28 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var err error
-	if s.cfg.Durable != nil {
+	var n int
+	var version int64
+	switch {
+	case s.cfg.Sharded != nil:
+		// The sharded path scatters the batch across the hash shards as
+		// one atomic store commit; the routing log keeps query results
+		// bit-identical to a single store.
+		err = s.cfg.Sharded.InsertBatch(req.Relation, tuples)
+		n = s.cfg.Sharded.Len(req.Relation)
+		version = s.cfg.Sharded.Version()
+	case s.cfg.Durable != nil:
 		// The durable path: WAL append + fsync before the in-memory apply
 		// (the store writes into s.cfg.DB). A durability failure trips the
 		// store to read-only; the batch was never acknowledged.
 		err = s.cfg.Durable.InsertBatch(req.Relation, tuples)
-	} else {
+		n = s.cfg.DB.Len(req.Relation)
+		version = s.cfg.DB.Version()
+	default:
 		err = s.cfg.DB.InsertBatch(req.Relation, tuples)
+		n = s.cfg.DB.Len(req.Relation)
+		version = s.cfg.DB.Version()
 	}
-	n := s.cfg.DB.Len(req.Relation)
-	version := s.cfg.DB.Version()
 	s.writeMu.Unlock()
 	if err != nil {
 		// Either validation failed (nothing was applied) or the WAL did:

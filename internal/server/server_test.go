@@ -49,7 +49,7 @@ var testWorkloads = []string{
 // returns it with a wire client.
 func newTestServer(t testing.TB, cfg Config) (*Server, *client.Client, *httptest.Server) {
 	t.Helper()
-	if cfg.DB == nil && cfg.Source == nil {
+	if cfg.DB == nil && cfg.Source == nil && cfg.Sharded == nil {
 		cfg.DB = testDB()
 	}
 	s, err := New(cfg)

@@ -1,0 +1,66 @@
+package shard_test
+
+// BenchmarkShardedScatterGather prices the scatter-gather coordinator:
+// the same filtered-scan measure query on the single-store pipeline and
+// through stores of increasing shard counts. The sharded runs pay for
+// per-shard plan rebasing, the derivation channels, and the frontier
+// merge; the measures themselves are identical work on every variant
+// (same candidates, same per-candidate seeds), so the delta between
+// `single` and `shards-N` is the coordination overhead the PR's alloc
+// budgets guard.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/shard"
+	"repro/internal/sqlfront"
+)
+
+func benchFixture(b *testing.B) *db.Database {
+	b.Helper()
+	d, err := datagen.Generate(datagen.Config{
+		Seed: 5, Products: 200, Orders: 150, Market: 120, Segments: 10,
+		NullRate: 0.3, MarketNullRate: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkShardedScatterGather(b *testing.B) {
+	ref := benchFixture(b)
+	q := sqlfront.MustParse(`SELECT M.seg FROM Market M WHERE M.rrp * M.dis > 5`)
+	const eps, delta = 0.25, 0.25
+	ctx := context.Background()
+
+	b.Run("single", func(b *testing.B) {
+		eng := core.New(core.Options{Seed: 9})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.MeasureSQL(q, ref, eps, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 2, 4} {
+		st, err := shard.FromDatabase(ref, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			eng := core.New(core.Options{Seed: 9})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.MeasureSQL(ctx, eng, q, eps, delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

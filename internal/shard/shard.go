@@ -1,0 +1,308 @@
+// Package shard hash-partitions relations across N stores and serves
+// queries through a deterministic scatter-gather coordinator.
+//
+// Rows route to shards by a stable content hash at insert time (Hash):
+// equal tuples always land on the same shard, so per-shard duplicate
+// aggregation sees exactly the duplicates the single-store path would.
+// The coordinator keeps a per-relation routing log — the shard of every
+// row in global insert order — which lets it reassemble the exact
+// single-store state: Gather materializes the merged database with
+// every relation's rows in their original order, and the scatter-gather
+// query path (see coordinator.go) merges per-shard derivation streams
+// back into the global derivation order with a frontier walk. Results
+// are therefore bit-identical to an unsharded database holding the same
+// rows, for every shard count.
+//
+// The store itself is an in-memory coordinator over in-process shard
+// databases (the `arithdbd -shards=N` topology). Durable sharding
+// composes at the fleet level instead: run one arithdbd per shard (its
+// own WAL and -replica-of chain) and route writes with client.Sharded,
+// which uses the same Hash.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// fnv-1a constants, matching hash/fnv (inlined so the hash is
+// explicitly pinned: routing must stay stable across processes and
+// releases, because a fleet's data placement depends on it).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash is the stable routing hash of a tuple: FNV-1a over a canonical
+// encoding of the tuple's content (kind tag + payload per value). It
+// depends only on the tuple's values — never on dictionary codes, row
+// positions, or process state — so a row hashes alike on every node.
+// Tuples that compare equal (value.Tuple.Key) hash equal: every NaN
+// payload collapses to one pattern, while the sign of zero is kept,
+// mirroring the candidate grouping keys of the executor.
+func Hash(t value.Tuple) uint64 {
+	h := uint64(offset64)
+	for _, v := range t {
+		h = (h ^ uint64(v.Kind())) * prime64
+		switch v.Kind() {
+		case value.BaseConst:
+			s := v.Str()
+			h = (h ^ uint64(len(s))) * prime64
+			for i := 0; i < len(s); i++ {
+				h = (h ^ uint64(s[i])) * prime64
+			}
+		case value.NumConst:
+			h = (h ^ canonNumBits(v.Float())) * prime64
+		case value.BaseNull, value.NumNull:
+			h = (h ^ uint64(v.NullID())) * prime64
+		}
+	}
+	return h
+}
+
+// canonNumBits canonicalizes a float payload for hashing: all NaNs
+// collapse to one bit pattern (they group as one candidate), -0 and +0
+// stay distinct (they are distinct candidates).
+func canonNumBits(v float64) uint64 {
+	if v != v {
+		return 0x7ff8000000000001
+	}
+	return math.Float64bits(v)
+}
+
+// ShardOf returns the shard owning a tuple under an n-way split.
+func ShardOf(t value.Tuple, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(t) % uint64(n))
+}
+
+// Store is an n-way hash-sharded database: writes scatter rows to
+// per-shard columnar stores, reads go through the deterministic
+// scatter-gather coordinator. A Store serializes its own writes; reads
+// (Gather, the coordinator, stats) are safe concurrently with writes —
+// they capture immutable per-shard snapshots under the store lock.
+type Store struct {
+	mu     sync.RWMutex
+	schema *schema.Schema
+	shards []*db.Database
+
+	// order is the routing log: per relation, the shard of every row in
+	// global insert order. It is what lets the gather side reassemble
+	// the exact single-store row order (and with it, bit-identical
+	// candidate enumeration) from the per-shard subsequences.
+	order map[string][]uint8
+
+	version int64
+
+	// gathered caches the merged snapshot (see Gather); gatheredAt is
+	// the store version it was built at.
+	gathered   *db.Database
+	gatheredAt int64
+}
+
+// maxShards bounds the fan-out; the routing log stores shard ids as
+// bytes.
+const maxShards = 256
+
+// New returns an empty store sharding the schema's relations n ways.
+func New(s *schema.Schema, n int) (*Store, error) {
+	if n < 1 || n > maxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", n, maxShards)
+	}
+	st := &Store{schema: s, shards: make([]*db.Database, n), order: make(map[string][]uint8)}
+	for i := range st.shards {
+		st.shards[i] = db.New(s)
+	}
+	return st, nil
+}
+
+// FromDatabase returns a store holding the database's rows, scattered
+// across n shards in their original relation order — so queries against
+// the store are bit-identical to queries against d itself.
+func FromDatabase(d *db.Database, n int) (*Store, error) {
+	st, err := New(d.Schema(), n)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range d.Schema().Relations() {
+		ts := d.Tuples(r.Name)
+		if len(ts) == 0 {
+			continue
+		}
+		if err := st.InsertBatch(r.Name, ts); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *schema.Schema { return st.schema }
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Version reports the number of committed batches. Two reads returning
+// the same version bracket an unchanged store.
+func (st *Store) Version() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.version
+}
+
+// Size returns the total number of rows across all shards.
+func (st *Store) Size() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := 0
+	for _, d := range st.shards {
+		n += d.Size()
+	}
+	return n
+}
+
+// Len returns the number of rows in the named relation across all
+// shards (the routing log holds one entry per row).
+func (st *Store) Len(rel string) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.order[rel])
+}
+
+// ShardSizes returns the per-shard row counts — the balance a hash
+// split actually achieved.
+func (st *Store) ShardSizes() []int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]int, len(st.shards))
+	for i, d := range st.shards {
+		out[i] = d.Size()
+	}
+	return out
+}
+
+// Insert adds one tuple to the named relation on its hash shard.
+func (st *Store) Insert(rel string, t value.Tuple) error {
+	return st.InsertBatch(rel, []value.Tuple{t})
+}
+
+// InsertBatch scatters a batch across the shards as one atomic store
+// commit: every tuple is validated before the first is appended
+// anywhere (validation is schema-only, so checking against one shard
+// decides for all), then each shard's sub-batch commits in arrival
+// order and the routing log records the interleaving.
+func (st *Store) InsertBatch(rel string, tuples []value.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.shards[0].CheckBatch(rel, tuples); err != nil {
+		return err
+	}
+	n := len(st.shards)
+	sub := make([][]value.Tuple, n)
+	route := make([]uint8, len(tuples))
+	for i, t := range tuples {
+		s := ShardOf(t, n)
+		sub[s] = append(sub[s], t)
+		route[i] = uint8(s)
+	}
+	for s, ts := range sub {
+		if len(ts) == 0 {
+			continue
+		}
+		if err := st.shards[s].InsertBatch(rel, ts); err != nil {
+			// Validation already passed, so this is a shard-store
+			// invariant failure, not a bad batch; surface it loudly.
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	st.order[rel] = append(st.order[rel], route...)
+	st.version++
+	return nil
+}
+
+// view is a consistent read-side cut of the store: immutable per-shard
+// snapshots plus the routing log headers, captured together under the
+// store lock.
+type view struct {
+	shards  []*db.Database
+	order   map[string][]uint8
+	version int64
+}
+
+// snapshotView captures a consistent view for readers. The routing-log
+// slices are append-only, so sharing their headers is safe: a
+// concurrent writer either appends in place beyond the captured length
+// or reallocates, neither of which a holder of the old header observes.
+func (st *Store) snapshotView() view {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v := view{
+		shards:  make([]*db.Database, len(st.shards)),
+		order:   make(map[string][]uint8, len(st.order)),
+		version: st.version,
+	}
+	for i, d := range st.shards {
+		v.shards[i] = d.Snapshot()
+	}
+	for rel, o := range st.order {
+		v.order[rel] = o
+	}
+	return v
+}
+
+// Gather materializes the merged database: every relation's rows in
+// their original global insert order, exactly as an unsharded database
+// receiving the same inserts would hold them. The result is an
+// immutable snapshot, cached per store version, and is the reference
+// the scatter-gather results are bit-identical to; the coordinator also
+// runs multi-relation (join) plans over it directly.
+func (st *Store) Gather() (*db.Database, error) {
+	st.mu.RLock()
+	if st.gathered != nil && st.gatheredAt == st.version {
+		g := st.gathered
+		st.mu.RUnlock()
+		return g, nil
+	}
+	st.mu.RUnlock()
+
+	v := st.snapshotView()
+	g := db.New(st.schema)
+	for _, r := range st.schema.Relations() {
+		o := v.order[r.Name]
+		if len(o) == 0 {
+			continue
+		}
+		perShard := make([][]value.Tuple, len(v.shards))
+		for s, d := range v.shards {
+			perShard[s] = d.Tuples(r.Name)
+		}
+		next := make([]int, len(v.shards))
+		merged := make([]value.Tuple, len(o))
+		for i, s := range o {
+			merged[i] = perShard[s][next[s]]
+			next[s]++
+		}
+		if err := g.InsertBatch(r.Name, merged); err != nil {
+			return nil, fmt.Errorf("shard: gather %s: %w", r.Name, err)
+		}
+	}
+	snap := g.Snapshot()
+
+	st.mu.Lock()
+	// Cache only if no write landed while we were merging.
+	if v.version == st.version {
+		st.gathered, st.gatheredAt = snap, v.version
+	}
+	st.mu.Unlock()
+	return snap, nil
+}

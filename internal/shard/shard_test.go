@@ -1,0 +1,252 @@
+package shard_test
+
+// Unit tests of the sharded store: routing stability, scatter/gather
+// parity with a single store, routing-log order preservation, and the
+// per-version gather cache. The shard-count invariance fuzz — the PR's
+// acceptance criterion — lives in parity_test.go.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/shard"
+	"repro/internal/value"
+)
+
+func twoColSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	r, err := schema.NewRelation("R",
+		schema.Column{Name: "a", Type: schema.Base},
+		schema.Column{Name: "x", Type: schema.Num},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHashContentStability(t *testing.T) {
+	a := value.Tuple{value.Base("seg1"), value.Num(2.5)}
+	b := value.Tuple{value.Base("seg1"), value.Num(2.5)}
+	if shard.Hash(a) != shard.Hash(b) {
+		t.Fatal("equal tuples hashed differently")
+	}
+	c := value.Tuple{value.Base("seg2"), value.Num(2.5)}
+	if shard.Hash(a) == shard.Hash(c) {
+		t.Fatal("distinct tuples collided (possible, but not on this fixture)")
+	}
+
+	// All NaN payloads are one candidate, so they must co-locate.
+	nan1 := value.Tuple{value.Base("s"), value.Num(math.NaN())}
+	nan2 := value.Tuple{value.Base("s"), value.Num(math.Float64frombits(0x7ff8000000000042))}
+	if shard.Hash(nan1) != shard.Hash(nan2) {
+		t.Fatal("NaN payloads hashed differently")
+	}
+	// -0 and +0 are distinct candidates and may land apart.
+	negz := value.Tuple{value.Base("s"), value.Num(math.Copysign(0, -1))}
+	posz := value.Tuple{value.Base("s"), value.Num(0)}
+	if shard.Hash(negz) == shard.Hash(posz) {
+		t.Fatal("-0 and +0 hashed alike; they are distinct candidates")
+	}
+}
+
+func TestShardOfBounds(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for i := 0; i < 200; i++ {
+			tu := value.Tuple{value.Base(fmt.Sprint("k", i)), value.Num(float64(i))}
+			if s := shard.ShardOf(tu, n); s < 0 || s >= n {
+				t.Fatalf("ShardOf(_, %d) = %d out of range", n, s)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadCounts(t *testing.T) {
+	s := twoColSchema(t)
+	for _, n := range []int{0, -1, 257} {
+		if _, err := shard.New(s, n); err == nil {
+			t.Fatalf("New(s, %d) succeeded", n)
+		}
+	}
+}
+
+// dump renders every observable the gather path must preserve.
+func dump(d *db.Database) map[string][]string {
+	out := map[string][]string{}
+	for _, rel := range d.Schema().Relations() {
+		var rows []string
+		for _, tu := range d.Tuples(rel.Name) {
+			rows = append(rows, tu.String())
+		}
+		out[rel.Name] = rows
+	}
+	out["__nulls"] = []string{fmt.Sprint(d.BaseNulls()), fmt.Sprint(d.NumNulls())}
+	return out
+}
+
+// TestGatherParity: interleaved batches into a sharded store and a plain
+// database; Gather must reproduce the plain database exactly — same rows
+// in the same global order, same null inventories.
+func TestGatherParity(t *testing.T) {
+	s := twoColSchema(t)
+	for _, n := range []int{1, 2, 4} {
+		st, err := shard.New(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := db.New(s)
+		for batch := 0; batch < 10; batch++ {
+			tuples := make([]value.Tuple, 1+batch%3)
+			for j := range tuples {
+				// Mix constants, duplicates, and nulls across batches.
+				switch (batch + j) % 4 {
+				case 0:
+					tuples[j] = value.Tuple{value.Base("dup"), value.Num(1)}
+				case 1:
+					tuples[j] = value.Tuple{value.Base(fmt.Sprint("k", batch)), value.Num(float64(batch) / 3)}
+				case 2:
+					tuples[j] = value.Tuple{value.NullBase(batch), value.Num(float64(j))}
+				default:
+					tuples[j] = value.Tuple{value.Base("n"), value.NullNum(100 + batch)}
+				}
+			}
+			if err := st.InsertBatch("R", tuples); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.InsertBatch("R", tuples); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := st.Gather()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := dump(g), dump(ref); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: gather diverged\n got %v\nwant %v", n, got, want)
+		}
+		if st.Size() != ref.Size() || st.Len("R") != ref.Len("R") {
+			t.Fatalf("n=%d: size %d/%d, want %d", n, st.Size(), st.Len("R"), ref.Size())
+		}
+		total := 0
+		for _, sz := range st.ShardSizes() {
+			total += sz
+		}
+		if total != ref.Size() {
+			t.Fatalf("n=%d: shard sizes sum to %d, want %d", n, total, ref.Size())
+		}
+	}
+}
+
+// TestGatherCachePerVersion: repeated gathers of an unchanged store
+// return the same snapshot; a write invalidates it.
+func TestGatherCachePerVersion(t *testing.T) {
+	st, err := shard.New(twoColSchema(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("R", value.Tuple{value.Base("a"), value.Num(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := st.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := st.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("unchanged store re-materialized its gather")
+	}
+	if err := st.Insert("R", value.Tuple{value.Base("b"), value.Num(2)}); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := st.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 || g3.Size() != 2 {
+		t.Fatal("gather did not refresh after a write")
+	}
+}
+
+// TestEqualTuplesColocate: duplicates of one tuple all land on one shard,
+// so duplicate aggregation stays shard-local.
+func TestEqualTuplesColocate(t *testing.T) {
+	st, err := shard.New(twoColSchema(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := value.Tuple{value.Base("dup"), value.Num(3.25)}
+	for i := 0; i < 12; i++ {
+		if err := st.Insert("R", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := 0
+	for _, sz := range st.ShardSizes() {
+		if sz > 0 {
+			nonEmpty++
+			if sz != 12 {
+				t.Fatalf("duplicates split across shards: sizes %v", st.ShardSizes())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("duplicates landed on %d shards, want 1", nonEmpty)
+	}
+}
+
+// TestFromDatabase: scattering an existing database preserves it.
+func TestFromDatabase(t *testing.T) {
+	ref, err := datagen.Generate(datagen.Config{
+		Seed: 11, Products: 50, Orders: 40, Market: 16, Segments: 6,
+		NullRate: 0.3, MarketNullRate: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := shard.FromDatabase(ref, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dump(g), dump(ref); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromDatabase round trip diverged\n got %v\nwant %v", got, want)
+	}
+	if st.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", st.NumShards())
+	}
+}
+
+// TestBadBatchIsAtomic: a batch with one invalid tuple commits nothing
+// anywhere and leaves the version unchanged.
+func TestBadBatchIsAtomic(t *testing.T) {
+	st, err := shard.New(twoColSchema(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := st.Version()
+	batch := []value.Tuple{
+		{value.Base("ok"), value.Num(1)},
+		{value.Base("bad")}, // arity mismatch
+	}
+	if err := st.InsertBatch("R", batch); err == nil {
+		t.Fatal("invalid batch committed")
+	}
+	if st.Size() != 0 || st.Version() != v {
+		t.Fatalf("partial commit: size %d, version %d->%d", st.Size(), v, st.Version())
+	}
+}

@@ -299,6 +299,16 @@ type InfoResponse struct {
 	// Replication reports the server's place in a replication topology;
 	// nil on a standalone in-memory server.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// Sharding reports the hash-sharded topology (arithdbd -shards=N);
+	// nil on an unsharded server.
+	Sharding *ShardingInfo `json:"sharding,omitempty"`
+}
+
+// ShardingInfo is the hash-sharding block of InfoResponse: the shard
+// count and the per-shard row counts the hash split actually achieved.
+type ShardingInfo struct {
+	NumShards  int   `json:"numShards"`
+	ShardSizes []int `json:"shardSizes"`
 }
 
 // ReplicationInfo is the WAL-position block of InfoResponse and

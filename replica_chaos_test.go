@@ -131,6 +131,7 @@ func TestReplicaChaosConvergenceAndFailover(t *testing.T) {
 		HTTP:       &http.Client{Transport: faultnet.Transport(nil, clientFaults)},
 		BackoffMin: 5 * time.Millisecond,
 		BackoffMax: 100 * time.Millisecond,
+		JitterSeed: 31, // reproducible backoff schedule for the run
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
 budget_file="scripts/alloc_budget.txt"
 
-raw="$(go test -run '^$' -bench 'BenchmarkSQLPipeline$|BenchmarkMixedInsertQuery|BenchmarkInsertDurable' -benchmem -benchtime "$benchtime" .)"
+raw="$(go test -run '^$' -bench 'BenchmarkSQLPipeline$|BenchmarkMixedInsertQuery|BenchmarkInsertDurable' -benchmem -benchtime "$benchtime" .
+       go test -run '^$' -bench 'BenchmarkShardedScatterGather' -benchmem -benchtime "$benchtime" ./internal/shard)"
 printf '%s\n' "$raw"
 
 fail=0

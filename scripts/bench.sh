@@ -25,7 +25,11 @@
 #     reporting samples/op (guarded by scripts/sample_check.sh);
 #   - BenchmarkReplicaCatchup: a cold replica bootstrapping from the
 #     primary's checkpoint and replaying a 50-batch backlog over HTTP
-#     log shipping (internal/replica), so catchup latency stays visible.
+#     log shipping (internal/replica), so catchup latency stays visible;
+#   - BenchmarkShardedScatterGather: the hash-sharded scatter-gather
+#     coordinator (internal/shard) vs the single-store pipeline on the
+#     same query, so the per-shard fan-out/merge overhead stays visible
+#     (allocs/op guarded by scripts/alloc_check.sh).
 #
 # Usage: scripts/bench.sh [bench-regexp] [benchtime]
 #   scripts/bench.sh                 # the default family below, -benchtime 1s
@@ -33,11 +37,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput|AdaptiveTopK|ReplicaCatchup}"
+bench="${1:-Figure1|SQLPipeline|MixedInsertQuery|InsertDurable|ServerThroughput|AdaptiveTopK|ReplicaCatchup|ShardedScatterGather}"
 benchtime="${2:-1s}"
 out="BENCH_$(date +%Y-%m-%d).json"
 
-raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . ./internal/server ./internal/replica)"
+raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . ./internal/server ./internal/replica ./internal/shard)"
 printf '%s\n' "$raw"
 
 {
