@@ -1,0 +1,77 @@
+// Command arithdb-lint is the determinism-invariant multichecker: it
+// runs the repo's five custom analyzers (detrand, maporder, floateq,
+// ctxpoll, errdrop — see internal/analysis) over the given package
+// patterns and exits nonzero if any diagnostic survives the
+// //lint:allow escape hatches.
+//
+// Usage:
+//
+//	arithdb-lint [-tests] [packages...]   (default ./...)
+//
+// It must run from inside the module (package resolution shells out to
+// `go list`). CI runs `go run ./cmd/arithdb-lint ./...` via
+// `make lint-check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: arithdb-lint [-tests] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	loader.Tests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arithdb-lint:", err)
+		os.Exit(2)
+	}
+	analyzers := analysis.All()
+	bad := 0
+	for _, pkg := range pkgs {
+		// The analyzer package's own fixtures deliberately contain
+		// violations; never descend into testdata (go list won't match
+		// it, but belt and suspenders for explicit patterns).
+		if strings.Contains(pkg.Dir, "testdata") {
+			continue
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arithdb-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "arithdb-lint: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}

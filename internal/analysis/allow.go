@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the escape-hatch marker. The directive grammar is
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The reason is mandatory: the suite exists to make determinism
+// violations expensive to wave through, so every suppression must say
+// why the flagged code is safe. A directive on a code line covers that
+// line; a directive on a line of its own also covers the next line.
+const allowPrefix = "//lint:allow"
+
+type directive struct {
+	analyzer string
+	lines    [2]int // lines this directive covers (second may be 0)
+}
+
+// directives scans the package's comments for //lint:allow directives.
+// It returns the well-formed ones plus diagnostics for malformed
+// directives (missing analyzer name, missing reason, or a name not in
+// the registry).
+func directives(fset *token.FileSet, files []*ast.File) ([]directive, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	var diags []Diagnostic
+	for _, f := range files {
+		// Lines holding non-comment code: a directive comment that shares
+		// its line with code covers only that line; a standalone comment
+		// covers itself and the following line.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "malformed //lint:allow directive: missing analyzer name",
+					})
+					continue
+				case !known[fields[0]]:
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "unknown analyzer \"" + fields[0] + "\" in //lint:allow directive",
+					})
+					continue
+				case len(fields) == 1:
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "//lint:allow " + fields[0] + " is missing a reason: every suppression must explain why the flagged code is deterministic",
+					})
+					continue
+				}
+				d := directive{analyzer: fields[0], lines: [2]int{pos.Line, 0}}
+				if !codeLines[pos.Line] {
+					d.lines[1] = pos.Line + 1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// filterAllowed drops diagnostics covered by a matching directive.
+func filterAllowed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		allowed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.lines[0] == d.Pos.Line || (dir.lines[1] != 0 && dir.lines[1] == d.Pos.Line) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package analysis is the repo's determinism-invariant lint suite: five
+// static analyzers that move the contract the runtime parity suites test
+// dynamically — bit-identical (Float64bits-equal) results across worker
+// counts, shard counts, failover, and crash recovery — into a CI gate
+// that fires the moment a violation is committed.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built entirely on the standard
+// library (go/ast, go/types, and the "source" importer), because the
+// build environment is offline and x/tools is not vendored. Should
+// x/tools become available, each analyzer's Run function ports directly.
+//
+// Analyzers:
+//
+//   - detrand:  no wall clock or unseeded randomness in deterministic
+//     packages (time.Now, global math/rand, rand.New with a source that
+//     is not seed-derived).
+//   - maporder: no map iteration feeding order-sensitive sinks (slice
+//     appends, channel sends, encoder writes) without an intervening
+//     sort.
+//   - floateq:  no raw ==/!=/switch on float64 operands outside the
+//     allowlisted comparison helpers — use math.Float64bits or the eps
+//     helpers.
+//   - ctxpoll:  derivation/candidate streaming loops in exec and core
+//     must poll Options.Interrupt / ctx.Done (the every-4k-derivations
+//     rule).
+//   - errdrop:  no discarded error returns from WAL
+//     append/sync/checkpoint methods or store insert paths — a dropped
+//     WAL error bypasses the degraded-mode trip.
+//
+// Every analyzer honors a per-line escape hatch:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself a
+// diagnostic. A directive suppresses matching diagnostics on its own
+// line and, when the comment stands alone, on the line below it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. It deliberately mirrors
+// x/tools' analysis.Analyzer so the Run functions stay portable.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer registry in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, FloatEq, CtxPoll, ErrDrop}
+}
+
+// Run applies analyzers to one loaded package and returns the surviving
+// diagnostics: //lint:allow directives with a reason suppress matching
+// diagnostics; malformed or unknown-name directives become diagnostics
+// themselves. Results are sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	dirs, dirDiags := directives(pkg.Fset, pkg.Files)
+	diags = filterAllowed(diags, dirs)
+	diags = append(diags, dirDiags...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// pathHasAny reports whether the package import path ends in one of the
+// given segment suffixes ("internal/core" matches "repro/internal/core";
+// fixture packages under testdata use the same paths).
+func pathHasAny(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

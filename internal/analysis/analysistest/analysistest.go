@@ -1,0 +1,146 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want annotations — a standard-
+// library reimplementation of the x/tools analysistest contract (the
+// build environment is offline, so x/tools itself is unavailable).
+//
+// Fixtures live in a GOPATH-shaped tree: testdata/src/<importpath>/*.go.
+// Import paths under testdata/src shadow real packages, so a fixture at
+// testdata/src/repro/internal/wal can stand in for the real WAL package
+// and analyzers that gate on package paths see the paths they expect.
+// Imports not present under testdata/src resolve normally (standard
+// library, or the real module).
+//
+// A // want annotation asserts a diagnostic on its line:
+//
+//	rand.Int() // want `global math/rand`
+//
+// The backquoted string is a regexp matched against the diagnostic
+// message. Several space-separated backquoted regexps assert several
+// diagnostics on one line. Every diagnostic must be matched by an
+// annotation and every annotation by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package (an import path under
+// testdata/src) and reports mismatches between the analyzer's
+// diagnostics and the fixtures' // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader()
+	loader.Lookup = func(path string) (string, bool) {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	for _, pattern := range patterns {
+		dir, ok := loader.Lookup(pattern)
+		if !ok {
+			t.Errorf("no fixture directory for %s under %s", pattern, src)
+			continue
+		}
+		pkg, err := loader.LoadFixture(pattern)
+		if err != nil {
+			t.Errorf("load %s: %v", pattern, err)
+			continue
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, pattern, err)
+			continue
+		}
+		wants, err := parseWants(dir)
+		if err != nil {
+			t.Errorf("parse wants in %s: %v", dir, err)
+			continue
+		}
+		check(t, pattern, diags, wants)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// parseWants scans the fixture sources for // want annotations. It works
+// on raw lines rather than the AST so an annotation can follow any
+// token, mirroring x/tools analysistest.
+func parseWants(dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len("// want "):]
+			ms := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: // want with no backquoted regexp", e.Name(), i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", e.Name(), i+1, err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re, raw: m[1]})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func check(t *testing.T, pattern string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s (%s)", pattern, base, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pattern, w.file, w.line, w.raw)
+		}
+	}
+}

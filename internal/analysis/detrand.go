@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the packages whose results must be bit-identical
+// (Float64bits-equal) across worker counts, shard counts, failover, and
+// crash recovery — the measurement core and everything that orders or
+// partitions its inputs.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/exec",
+	"internal/plan",
+	"internal/poly",
+	"internal/shard",
+	"internal/realfmla",
+}
+
+// DetRand forbids nondeterministic time and randomness sources in
+// deterministic packages: time.Now, the process-global math/rand
+// functions (their shared source makes draws depend on goroutine
+// interleaving), and rand.New / rand.NewSource with a source that is not
+// derived from Options.Seed or a SplitMix64 chunk seed. The allowed
+// idioms are exactly the ones the engine uses: rand.New(rand.NewSource(
+// o.Seed)) and rand.New(mc.NewSplitMix64(...)) reseeded per chunk.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and unseeded randomness in deterministic packages",
+	Run:  runDetRand,
+}
+
+// randPkgs are the import paths whose package-level functions draw from
+// a process-global, interleaving-dependent source.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are the math/rand package-level names that do not
+// touch the global source; their source arguments are checked instead.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path(), deterministicPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true // type or const reference (rand.Rand, rand.Source)
+			}
+			switch ipath := pn.Imported().Path(); {
+			case ipath == "time" && fn.Name() == "Now":
+				pass.Reportf(sel.Pos(), "time.Now in deterministic package %s: results must be a pure function of inputs and Options.Seed", pass.Pkg.Name())
+			case randPkgs[ipath] && !randConstructors[fn.Name()]:
+				pass.Reportf(sel.Pos(), "global math/rand.%s draws from the process-global source, which depends on goroutine interleaving; use the seeded Engine rng or a SplitMix64 chunk seed", fn.Name())
+			}
+			return true
+		})
+	}
+	// Second walk: constructor calls whose source argument is not
+	// seed-derived.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok || !randPkgs[pn.Imported().Path()] {
+				return true
+			}
+			name := sel.Sel.Name
+			if (name == "New" || name == "NewSource") && len(call.Args) == 1 {
+				if name == "New" && isRandNewSourceCall(pass, call.Args[0]) {
+					return true // the nested NewSource call reports for both
+				}
+				if !pass.seedDerived(call.Args[0]) {
+					pass.Reportf(call.Pos(), "rand.%s source is not derived from Options.Seed, a constant, or a SplitMix64 chunk seed; randomness must be reproducible from the seed alone", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandNewSourceCall reports whether e is a rand.NewSource(...) call
+// (whose own visit validates the seed, so the enclosing rand.New need
+// not re-report).
+func isRandNewSourceCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewSource" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.TypesInfo.Uses[x].(*types.PkgName)
+	return ok && randPkgs[pn.Imported().Path()]
+}
+
+// seedDerived reports whether a rand source expression is acceptably
+// deterministic: a compile-time constant, an expression mentioning a
+// seed (any identifier or selector whose name contains "seed" or
+// "splitmix", case-insensitively — Options.Seed, chunk seeds, and the
+// mc.NewSplitMix64 constructor all match), or a value of type
+// *mc.SplitMix64 (the engine's O(1)-reseed source).
+func (p *Pass) seedDerived(e ast.Expr) bool {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		if tv.Value != nil {
+			return true
+		}
+		if isSplitMix(tv.Type) {
+			return true
+		}
+	}
+	derived := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		low := strings.ToLower(id.Name)
+		if strings.Contains(low, "seed") || strings.Contains(low, "splitmix") {
+			derived = true
+		}
+		return true
+	})
+	return derived
+}
+
+// isSplitMix reports whether t is (a pointer to) mc.SplitMix64.
+func isSplitMix(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SplitMix64" && obj.Pkg() != nil && pathHasAny(obj.Pkg().Path(), "internal/mc")
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns from the durability-critical
+// write paths: the WAL's append/sync/checkpoint surface
+// (internal/wal) and the store insert paths (internal/db,
+// internal/shard). A dropped WAL error is not just a lost message — the
+// degraded read-only trip that the crash gauntlet (PR 6) depends on
+// fires inside those error returns, so discarding one can acknowledge a
+// write that was never made durable. It applies in every package:
+// callers of the WAL live in the server, the replica loop, and the CLI.
+//
+// Discarding means: calling as a bare statement, assigning the error
+// result to the blank identifier, or calling under go/defer (where the
+// error has nowhere to go — hoist the call and check it, or wrap it in
+// a closure that handles the error).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarded errors from WAL append/sync/checkpoint and store insert paths",
+	Run:  runErrDrop,
+}
+
+// errDropTargets maps package path suffixes to the method/function
+// names whose error results must be consumed.
+var errDropTargets = map[string]map[string]bool{
+	"internal/wal": {
+		"Append":         true,
+		"Sync":           true,
+		"Checkpoint":     true,
+		"InsertBatch":    true,
+		"TruncatePrefix": true,
+	},
+	"internal/db": {
+		"Insert":      true,
+		"InsertBatch": true,
+	},
+	"internal/shard": {
+		"Insert":      true,
+		"InsertBatch": true,
+	},
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				pass.checkDropped(n.X, "is discarded")
+			case *ast.GoStmt:
+				pass.checkDropped(n.Call, "is discarded by go: the goroutine has nowhere to return it")
+			case *ast.DeferStmt:
+				pass.checkDropped(n.Call, "is discarded by defer: hoist the call or wrap it in a closure that handles the error")
+			case *ast.AssignStmt:
+				pass.checkBlankAssign(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDropped reports if e is a call to a guarded function whose error
+// result is thrown away wholesale.
+func (p *Pass) checkDropped(e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := p.guardedCallee(call)
+	if fn == nil {
+		return
+	}
+	if !returnsError(fn) {
+		return
+	}
+	p.Reportf(call.Pos(), "error return of %s.%s %s; a dropped WAL/store error bypasses the degraded-mode trip", shortPkg(fn), fn.Name(), how)
+}
+
+// checkBlankAssign reports guarded calls whose error result lands in _.
+func (p *Pass) checkBlankAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := p.guardedCallee(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	if res.Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < res.Len(); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(call.Pos(), "error return of %s.%s is assigned to _; a dropped WAL/store error bypasses the degraded-mode trip", shortPkg(fn), fn.Name())
+		}
+	}
+}
+
+// guardedCallee resolves the call's static callee and returns it when it
+// is one of the guarded durability methods.
+func (p *Pass) guardedCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	for suffix, names := range errDropTargets {
+		if pathHasAny(fn.Pkg().Path(), suffix) && names[fn.Name()] {
+			return fn
+		}
+	}
+	return nil
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+func shortPkg(fn *types.Func) string {
+	return fn.Pkg().Name()
+}

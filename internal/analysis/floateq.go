@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between float operands, and switch statements
+// over a float tag, in the deterministic packages. Raw float equality is
+// where the bit-level determinism contract silently leaks: NaN != NaN
+// collapses every NaN payload into "unequal", and -0.0 == +0.0 merges
+// two distinct bit patterns — precisely the two rules the sharding hash
+// in internal/shard/shard.go has to re-state by hand. Comparison must go
+// through math.Float64bits (bit identity), an eps helper (tolerance), or
+// one of the allowlisted comparison helpers that exist to centralize
+// those rules.
+//
+// Comparisons where at least one operand is a compile-time constant are
+// permitted: exact-value guards like `if b == 0` (division guards,
+// sentinel checks) are deliberate exact arithmetic, not a drifting
+// tolerance bug, and flagging them would bury the real findings.
+// Variable-to-variable equality is always flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag raw ==/!=/switch on float operands outside comparison helpers",
+	Run:  runFloatEq,
+}
+
+// floatEqHelpers are function names allowed to compare floats raw: the
+// comparison helpers themselves. Naming a function into this set is a
+// statement that it centralizes the NaN / signed-zero rules for its
+// package.
+var floatEqHelpers = map[string]bool{
+	"feq":         true,
+	"floatEq":     true,
+	"float64Eq":   true,
+	"epsEqual":    true,
+	"almostEqual": true,
+	"canonFloat":  true,
+}
+
+func runFloatEq(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path(), deterministicPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var fnStack []string
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fnStack = append(fnStack, n.Name.Name)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if len(fnStack) > 0 && floatEqHelpers[fnStack[len(fnStack)-1]] {
+					return true
+				}
+				pass.checkFloatCmp(n)
+			case *ast.SwitchStmt:
+				if len(fnStack) > 0 && floatEqHelpers[fnStack[len(fnStack)-1]] {
+					return true
+				}
+				if n.Tag != nil && pass.isFloat(n.Tag) && !pass.isConst(n.Tag) {
+					pass.Reportf(n.Pos(), "switch on a float tag compares with raw ==: NaN never matches and -0/+0 collapse; switch on math.Float64bits or restructure")
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func (p *Pass) checkFloatCmp(b *ast.BinaryExpr) {
+	if !p.isFloat(b.X) && !p.isFloat(b.Y) {
+		return
+	}
+	if p.isConst(b.X) || p.isConst(b.Y) {
+		return // exact-value guard against a literal
+	}
+	p.Reportf(b.Pos(), "raw float %s: NaN payloads and -0/+0 break bit-determinism; compare math.Float64bits, use an eps helper, or centralize the rule in a *Eq helper", b.Op)
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

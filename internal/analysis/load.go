@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library: package discovery goes through `go list -json`, module-local
+// dependencies are type-checked recursively from source, and standard
+// library imports are delegated to go/importer's "source" compiler
+// (which works offline against GOROOT). One Loader shares a FileSet and
+// a type-checked package cache across every package it loads, so the
+// stdlib closure is only checked once per process.
+type Loader struct {
+	Fset *token.FileSet
+	// Tests, when true, includes the package's in-package _test.go files
+	// (external _test packages are not loaded).
+	Tests bool
+	// Lookup, when set, maps an import path to a directory holding the
+	// package's sources, taking priority over go-list resolution. The
+	// analysistest harness uses it to point fixture import paths (e.g.
+	// "repro/internal/wal") at testdata/src stand-ins.
+	Lookup func(path string) (dir string, ok bool)
+
+	src    types.ImporterFrom
+	listed map[string]*listPkg // module packages by import path
+	cache  map[string]*Package
+	active map[string]bool // import-cycle guard
+}
+
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+}
+
+// NewLoader returns a Loader. The process working directory must be
+// inside the module (go/build's module-aware import resolution shells
+// out to the go command and decides module mode from the working
+// directory).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		src:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		listed: make(map[string]*listPkg),
+		cache:  make(map[string]*Package),
+		active: make(map[string]bool),
+	}
+}
+
+// Load resolves the go-list patterns (e.g. "./...") and returns the
+// matched packages, parsed and type-checked, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	matched, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(matched))
+	for _, ip := range matched {
+		p, err := l.loadPath(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadFixture loads one package by import path through the Lookup hook
+// alone — the analysistest entry point, which must not let go-list
+// resolution see fixture paths.
+func (l *Loader) LoadFixture(path string) (*Package, error) {
+	return l.loadPath(path)
+}
+
+// list runs `go list -json` over the patterns, caching every package it
+// reports and returning the matched import paths.
+func (l *Loader) list(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,TestGoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var matched []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		lp := p
+		l.listed[p.ImportPath] = &lp
+		matched = append(matched, p.ImportPath)
+	}
+	return matched, nil
+}
+
+// loadPath type-checks one module package (by import path already known
+// to the loader, loading its module-local deps first).
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.Lookup != nil {
+		if dir, ok := l.Lookup(path); ok {
+			return l.loadDir(path, dir)
+		}
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		// Not seen yet (a dependency outside the original patterns):
+		// resolve it now.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+		lp, ok = l.listed[path]
+		if !ok {
+			return nil, fmt.Errorf("go list did not report %s", path)
+		}
+	}
+	if l.active[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.active[path] = true
+	defer delete(l.active, path)
+
+	names := lp.GoFiles
+	if l.Tests {
+		names = append(append([]string{}, names...), lp.TestGoFiles...)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(path, lp.Dir, files)
+}
+
+// loadDir parses and type-checks every .go file in dir as the package
+// at path (the Lookup resolution path: fixture directories).
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if l.active[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.active[path] = true
+	defer delete(l.active, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(path, dir, files)
+}
+
+// check type-checks the given parsed files as the package at path and
+// caches the result.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importerFunc(func(ip, srcDir string) (*types.Package, error) {
+		return l.importDep(ip, srcDir)
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, TypesInfo: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// importDep resolves one import: module-local packages recurse through
+// the loader (so analysis sees the same AST-backed types everywhere);
+// everything else — the standard library — goes to the source importer.
+func (l *Loader) importDep(path, srcDir string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p.Types, nil
+	}
+	if l.Lookup != nil {
+		if _, ok := l.Lookup(path); ok {
+			p, err := l.loadPath(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	if l.isModuleLocal(path) {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.src.ImportFrom(path, srcDir, 0)
+}
+
+// isModuleLocal reports whether path belongs to this module. Module
+// packages were either pre-listed by Load's patterns or share the
+// module path prefix of one that was.
+func (l *Loader) isModuleLocal(path string) bool {
+	if _, ok := l.listed[path]; ok {
+		return true
+	}
+	for ip := range l.listed {
+		if root := moduleRoot(ip); root != "" && (path == root || hasPathPrefix(path, root)) {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot guesses the module path from an import path: the first
+// path element ("repro/internal/db" → "repro"). Good enough for a
+// single-module tree with no external module deps.
+func moduleRoot(ip string) string {
+	for i := 0; i < len(ip); i++ {
+		if ip[i] == '/' {
+			return ip[:i]
+		}
+	}
+	return ip
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}
+
+// importerFunc adapts a function to both importer interfaces.
+type importerFunc func(path, srcDir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	return f(path, "")
+}
+
+func (f importerFunc) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	return f(path, srcDir)
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map whose body feeds an
+// order-sensitive sink — appends to a slice, sends on a channel, or
+// writes through an encoder/printer — because Go map iteration order is
+// deliberately randomized, so anything built in iteration order differs
+// run to run. It applies in the deterministic packages and in the wire
+// and info builders (internal/server, internal/wire), where a map-range
+// feeding a JSON payload makes /v1/info responses flap.
+//
+// The keys-collect-then-sort idiom is recognized: a map-range whose only
+// sink is an append is not flagged when a sort call (package sort or
+// slices.Sort*) follows the loop later in the same function — collect,
+// sort, then iterate the slice is exactly the fix this analyzer steers
+// toward. Sends and encoder writes inside the loop body are always
+// flagged; no post-hoc sort can repair an order already observed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding order-sensitive sinks without a sort",
+	Run:  runMapOrder,
+}
+
+// mapOrderPkgs is the deterministic set plus the wire/info builders.
+var mapOrderPkgs = append([]string{"internal/server", "internal/wire"}, deterministicPkgs...)
+
+// encoderWriters are method/function names that externalize values in
+// call order.
+var encoderWriters = map[string]bool{
+	"Encode":      true,
+	"EncodeToken": true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Fprintf":     true,
+	"Fprint":      true,
+	"Fprintln":    true,
+	"Printf":      true,
+	"Print":       true,
+	"Println":     true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path(), mapOrderPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Track the innermost enclosing function so the sorted-after
+		// check can scan the statements that follow the loop.
+		var fnStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				fnStack = append(fnStack, n)
+				ast.Inspect(fnBody(n), walk)
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			case *ast.RangeStmt:
+				pass.checkMapRange(n, enclosing(fnStack))
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func fnBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return n.Type
+		}
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return n
+}
+
+func enclosing(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, fn ast.Node) {
+	t := p.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var appends, hardSinks []ast.Node // hard: sends + encoder writes
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			hardSinks = append(hardSinks, n)
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					if _, isBuiltin := p.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						appends = append(appends, n)
+					}
+				}
+			case *ast.SelectorExpr:
+				if encoderWriters[fun.Sel.Name] {
+					hardSinks = append(hardSinks, n)
+				}
+			}
+		}
+		return true
+	})
+	for _, s := range hardSinks {
+		p.Reportf(s.Pos(), "order-sensitive write inside a map range: map iteration order is randomized; iterate a sorted slice of keys (or the routing log) instead")
+	}
+	if len(appends) > 0 && !p.sortFollows(rs, fn) {
+		p.Reportf(appends[0].Pos(), "append inside a map range with no sort after the loop: the slice order is randomized; sort it (sort.* / slices.Sort*) or iterate sorted keys")
+	}
+}
+
+// sortFollows reports whether a sort call (package sort, or a
+// slices.Sort* function) appears after the range loop in the same
+// enclosing function — the collect-then-sort idiom.
+func (p *Pass) sortFollows(rs *ast.RangeStmt, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody(fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.TypesInfo.Uses[x].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
