@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"math"
 	"sort"
@@ -310,9 +311,12 @@ func (e *Engine) race(ctx context.Context, phis []realfmla.Formula, k int, eps, 
 			}
 		}
 		sort.Slice(open, func(a, b int) bool {
+			// cmp.Compare, not raw float compares: it is a total order, so
+			// the sort stays a strict weak ordering (and deterministic)
+			// even if an estimate were ever NaN.
 			va, vb := open[a].estimate(), open[b].estimate()
-			if va != vb {
-				return va > vb
+			if c := cmp.Compare(va, vb); c != 0 {
+				return c > 0
 			}
 			return open[a].idx < open[b].idx
 		})

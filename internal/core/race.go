@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"math"
 	"sort"
 )
@@ -42,8 +43,14 @@ func ebHalfwidth(hits, t int, logTerm float64) float64 {
 // order at round zero, exactly the legacy LIMIT semantics, with zero
 // samples drawn. The relation is acyclic: along any chain lo only
 // decreases, and on equality the index strictly decreases.
+//
+// The equality clause goes through cmp.Compare: identical to == for
+// every value the race produces (cmp orders -0 and +0 equal, like ==),
+// but total — a NaN endpoint cannot make the relation silently
+// intransitive.
 func aheadOf(loJ, hiI float64, j, i int) bool {
-	return loJ > hiI || (loJ == hiI && j < i)
+	c := cmp.Compare(loJ, hiI)
+	return c > 0 || (c == 0 && j < i)
 }
 
 // boundPair is one interval endpoint tagged with its candidate index,
@@ -73,8 +80,10 @@ func rankCounts(lo, hi []float64, ahead, behind []int) {
 	}
 	less := func(s []boundPair) func(a, b int) bool {
 		return func(a, b int) bool {
-			if s[a].v != s[b].v {
-				return s[a].v < s[b].v
+			// cmp.Compare keeps the comparator a strict weak ordering even
+			// for NaN endpoints (see aheadOf).
+			if c := cmp.Compare(s[a].v, s[b].v); c != 0 {
+				return c < 0
 			}
 			return s[a].idx < s[b].idx
 		}

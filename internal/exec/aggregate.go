@@ -185,7 +185,7 @@ func (f *fusedAgg) encode(c *Cursor) uint64 {
 // package db, which identifies -0 with +0 the way `==` on boxed values
 // always has.)
 func canonNumBits(v float64) uint64 {
-	if v != v {
+	if math.IsNaN(v) {
 		return 0x7ff8000000000001
 	}
 	return math.Float64bits(v)
@@ -259,6 +259,13 @@ func (f *fusedAgg) finish() ([]Candidate, []bool) {
 	return out, sat
 }
 
+// interruptEvery trades poll cost against abort latency: checking a
+// context every ~4k derivations is invisible in the profile but bounds
+// how long a cancelled query keeps enumerating. Every derivation loop
+// (Aggregate's two paths and Run's reorder buffer) polls on this cadence
+// — the ctxpoll analyzer enforces that new ones do too.
+const interruptEvery = 4096
+
 // Aggregate runs the plan and folds its derivation stream into the
 // distinct candidate tuples with their constraints, in first-derivation
 // order with the plan's LIMIT applied. The returned bool slice marks
@@ -273,10 +280,6 @@ func (f *fusedAgg) finish() ([]Candidate, []bool) {
 // order first (see Run), then aggregate; results are identical.
 func Aggregate(p *plan.Plan, d *db.Database, opts Options, onSaturated func(int, Candidate)) (*Result, []bool, error) {
 	res := &Result{NullIDs: p.NullIDs, Index: p.Index}
-	// interruptEvery trades poll cost against abort latency: checking a
-	// context every ~4k derivations is invisible in the profile but
-	// bounds how long a cancelled query keeps enumerating.
-	const interruptEvery = 4096
 	if !p.Identity {
 		ag := NewAggregator(p.Limit, onSaturated)
 		if err := Run(p, d, opts, func(dv *Deriv) error {

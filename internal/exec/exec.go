@@ -594,6 +594,14 @@ func Run(p *plan.Plan, d *db.Database, opts Options, emit func(*Deriv) error) er
 			break
 		}
 		buf = append(buf, dv)
+		// The reorder buffer consumes the whole stream before emitting
+		// anything, so it must poll for cancellation itself — emit only
+		// runs after enumeration finishes.
+		if opts.Interrupt != nil && len(buf)%interruptEvery == 0 {
+			if err := opts.Interrupt(); err != nil {
+				return err
+			}
+		}
 	}
 	sort.Slice(buf, func(i, j int) bool {
 		a, b := buf[i].Rows, buf[j].Rows

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 
@@ -481,7 +482,11 @@ func (b *builder) chooseOrder(identity []int, edges [][]bool, jedges []joinEdge,
 				if f < 0 {
 					continue
 				}
-				if next < 0 || f < nextF || (f == nextF && size[i] < size[next]) {
+				// cmp.Compare rather than raw float equality: identical for
+				// the finite fanouts bestFanout produces, but a total order,
+				// so a pathological NaN estimate cannot destabilize the
+				// greedy tie-break.
+				if c := cmp.Compare(f, nextF); next < 0 || c < 0 || (c == 0 && size[i] < size[next]) {
 					next, nextF = i, f
 				}
 			}

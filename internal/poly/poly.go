@@ -424,12 +424,16 @@ func (p Poly) RenameVars(mapping []int, newN int) Poly {
 }
 
 // Equal reports syntactic equality of normalized polynomials.
+// Coefficients compare at the bit level (Float64bits): Equal guards the
+// compiled-kernel cache's fingerprint-collision check, so it must only
+// unify polynomials whose evaluation is bit-identical — value equality
+// would merge -0/+0 coefficients whose kernels can round differently.
 func (p Poly) Equal(q Poly) bool {
 	if p.N != q.N || len(p.Terms) != len(q.Terms) {
 		return false
 	}
 	for i := range p.Terms {
-		if p.Terms[i].Coef != q.Terms[i].Coef || !varsEqual(p.Terms[i].Vars, q.Terms[i].Vars) {
+		if math.Float64bits(p.Terms[i].Coef) != math.Float64bits(q.Terms[i].Coef) || !varsEqual(p.Terms[i].Vars, q.Terms[i].Vars) {
 			return false
 		}
 	}

@@ -69,7 +69,7 @@ func Hash(t value.Tuple) uint64 {
 // collapse to one bit pattern (they group as one candidate), -0 and +0
 // stay distinct (they are distinct candidates).
 func canonNumBits(v float64) uint64 {
-	if v != v {
+	if math.IsNaN(v) {
 		return 0x7ff8000000000001
 	}
 	return math.Float64bits(v)
