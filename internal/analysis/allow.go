@@ -60,6 +60,12 @@ func directives(fset *token.FileSet, files []*ast.File) ([]directive, []Diagnost
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue // e.g. //lint:allowed — not ours
 				}
+				// A nested // terminates the directive, so a trailing
+				// comment (e.g. a fixture's // want annotation) is not
+				// swallowed into the reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
 				fields := strings.Fields(rest)
 				switch {
 				case len(fields) == 0:

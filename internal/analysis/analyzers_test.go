@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs against its own fixture universe under
+// testdata/<name>/src: a positive package full of seeded violations
+// (verified line by line through // want annotations, including the
+// //lint:allow escape hatch and its missing-reason failure mode) and a
+// negative package proving the path gate.
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "detrand"), analysis.DetRand,
+		"repro/internal/core", "repro/internal/datagen")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "maporder"), analysis.MapOrder,
+		"repro/internal/server", "repro/internal/client")
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "floateq"), analysis.FloatEq,
+		"repro/internal/core", "repro/internal/wire")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "ctxpoll"), analysis.CtxPoll,
+		"repro/internal/exec", "repro/internal/replica")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "errdrop"), analysis.ErrDrop,
+		"repro/internal/server")
+}

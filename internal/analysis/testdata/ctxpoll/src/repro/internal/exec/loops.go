@@ -1,0 +1,142 @@
+// Package exec is the ctxpoll positive fixture: derivation/candidate
+// streaming loops with and without cancellation polls.
+package exec
+
+import "context"
+
+// Deriv mirrors the real derivation record.
+type Deriv struct{ Rows []int }
+
+// Options mirrors the real exec options.
+type Options struct{ Interrupt func() error }
+
+// Result mirrors the real result (Derivations is the stream counter the
+// analyzer keys on).
+type Result struct{ Derivations int }
+
+type cursor struct{ n int }
+
+func (c *cursor) Next() (*Deriv, error) {
+	c.n++
+	if c.n > 10 {
+		return nil, nil
+	}
+	return &Deriv{}, nil
+}
+
+func (c *cursor) advance() bool { c.n++; return c.n <= 10 }
+
+// pullNoPoll consumes the cursor with no way to cancel — flagged.
+func pullNoPoll(c *cursor) error {
+	var buf []*Deriv
+	for { // want `derivation/candidate loop never polls`
+		dv, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if dv == nil {
+			break
+		}
+		buf = append(buf, dv)
+	}
+	_ = buf
+	return nil
+}
+
+// pullWithInterrupt polls Options.Interrupt — clean.
+func pullWithInterrupt(c *cursor, opts Options) error {
+	n := 0
+	for {
+		dv, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if dv == nil {
+			return nil
+		}
+		n++
+		if opts.Interrupt != nil && n%4096 == 0 {
+			if err := opts.Interrupt(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pullWithCtx polls ctx.Done — clean.
+func pullWithCtx(ctx context.Context, c *cursor) error {
+	for {
+		dv, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if dv == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+}
+
+// pullDelegated hands every element to a caller-supplied callback: the
+// polling obligation moves to the caller — clean.
+func pullDelegated(c *cursor, emit func(*Deriv) error) error {
+	for {
+		dv, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if dv == nil {
+			return nil
+		}
+		if err := emit(dv); err != nil {
+			return err
+		}
+	}
+}
+
+// advanceNoPoll is the cursor-condition shape without a poll — flagged.
+func advanceNoPoll(c *cursor, res *Result) {
+	for c.advance() { // want `derivation/candidate loop never polls`
+		res.Derivations++
+	}
+}
+
+// advancePolled is the Aggregate shape — clean.
+func advancePolled(c *cursor, res *Result, opts Options) error {
+	for c.advance() {
+		res.Derivations++
+		if opts.Interrupt != nil && res.Derivations%4096 == 0 {
+			if err := opts.Interrupt(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// boundedLoop never touches a cursor or derivation counter — clean.
+func boundedLoop(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// allowedLoop uses the escape hatch — clean.
+func allowedLoop(c *cursor) {
+	//lint:allow ctxpoll bounded to 10 rows by the fixture cursor
+	for c.advance() {
+	}
+}
+
+// missingReason keeps both diagnostics.
+func missingReason(c *cursor) {
+	//lint:allow ctxpoll // want `//lint:allow ctxpoll is missing a reason`
+	for c.advance() { // want `derivation/candidate loop never polls`
+	}
+}

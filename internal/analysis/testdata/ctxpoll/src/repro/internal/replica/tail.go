@@ -1,0 +1,22 @@
+// Package replica is the ctxpoll gating negative: outside exec/core the
+// catchup loops manage their own cancellation via the connection, so
+// this pull loop is not checked.
+package replica
+
+type stream struct{ n int }
+
+func (s *stream) Next() (int, bool) {
+	s.n++
+	return s.n, s.n <= 10
+}
+
+func Drain(s *stream) int {
+	total := 0
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}

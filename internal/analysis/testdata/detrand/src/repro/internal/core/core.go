@@ -1,0 +1,52 @@
+// Package core is the detrand positive fixture: a deterministic package
+// exercising every forbidden and every allowed randomness idiom.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// Options mirrors the real engine options.
+type Options struct{ Seed int64 }
+
+func forbidden(o Options) {
+	_ = time.Now()                                      // want `time.Now in deterministic package`
+	_ = rand.Int()                                      // want `global math/rand.Int draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {})                  // want `global math/rand.Shuffle`
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now in deterministic package` `rand.NewSource source is not derived from Options.Seed`
+	n := nonSeed()
+	_ = rand.New(rand.NewSource(n)) // want `rand.NewSource source is not derived`
+	src := otherSource{}
+	_ = rand.New(src) // want `rand.New source is not derived`
+}
+
+func allowed(o Options) {
+	_ = rand.New(rand.NewSource(o.Seed)) // Options.Seed-derived
+	_ = rand.New(rand.NewSource(42))     // constant
+	_ = rand.New(mc.NewSplitMix64(0))    // the chunk-seed constructor
+	chunkSeed := deriveSeed(o.Seed, 7)
+	_ = rand.New(rand.NewSource(chunkSeed)) // seed-named local
+	sm := mc.NewSplitMix64(o.Seed)
+	_ = rand.New(sm) // *mc.SplitMix64 source
+}
+
+func escapeHatch() {
+	_ = rand.Int() //lint:allow detrand fixture exercises the escape hatch
+	//lint:allow detrand a standalone directive covers the next line
+	_ = rand.Int()
+	_ = rand.Int() //lint:allow detrand // want `//lint:allow detrand is missing a reason` `global math/rand.Int`
+	_ = rand.Int() //lint:allow nosuchanalyzer because // want `unknown analyzer "nosuchanalyzer"` `global math/rand.Int`
+}
+
+func deriveSeed(base int64, chunk int64) int64 { return base ^ chunk }
+
+func nonSeed() int64 { return 1 }
+
+type otherSource struct{}
+
+func (otherSource) Int63() int64   { return 0 }
+func (otherSource) Seed(_ int64)   {}
+func (otherSource) Uint64() uint64 { return 0 }

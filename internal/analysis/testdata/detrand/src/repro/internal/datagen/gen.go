@@ -1,0 +1,13 @@
+// Package datagen is the detrand gating negative: it is not a
+// deterministic package, so wall-clock and global randomness are fine
+// here and nothing in this file is flagged.
+package datagen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamped() (int64, int) {
+	return time.Now().UnixNano(), rand.Int()
+}

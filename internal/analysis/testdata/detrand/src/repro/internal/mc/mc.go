@@ -1,0 +1,22 @@
+// Package mc is a fixture stand-in for the real repro/internal/mc: just
+// enough SplitMix64 for the detrand analyzer's allowed-source check.
+package mc
+
+// SplitMix64 mirrors the real O(1)-reseed rand.Source.
+type SplitMix64 struct{ s uint64 }
+
+func NewSplitMix64(seed int64) *SplitMix64 { return &SplitMix64{s: uint64(seed)} }
+
+func (m *SplitMix64) Seed(seed int64) { m.s = uint64(seed) }
+
+func (m *SplitMix64) Int63() int64 { return int64(m.next() >> 1) }
+
+func (m *SplitMix64) Uint64() uint64 { return m.next() }
+
+func (m *SplitMix64) next() uint64 {
+	m.s += 0x9e3779b97f4a7c15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

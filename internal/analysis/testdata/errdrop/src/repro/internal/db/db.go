@@ -1,0 +1,10 @@
+// Package db is a fixture stand-in for the real repro/internal/db
+// insert paths.
+package db
+
+type Database struct{}
+
+func (d *Database) Insert(rel string, t int) error         { return nil }
+func (d *Database) InsertBatch(rel string, ts []int) error { return nil }
+func (d *Database) Size() int                              { return 0 }
+func (d *Database) DropCaches()                            {}

@@ -1,0 +1,57 @@
+// Package server is the errdrop positive fixture: callers of the WAL
+// and store insert surfaces, dropping errors every way errdrop catches.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/wal"
+)
+
+func droppedStatements(l *wal.Log, st *wal.Store, d *db.Database) {
+	l.Append(1, nil)         // want `error return of wal.Append is discarded`
+	l.Sync()                 // want `error return of wal.Sync is discarded`
+	st.Checkpoint()          // want `error return of wal.Checkpoint is discarded`
+	st.InsertBatch("r", nil) // want `error return of wal.InsertBatch is discarded`
+	l.TruncatePrefix(0)      // want `error return of wal.TruncatePrefix is discarded`
+	d.Insert("r", 1)         // want `error return of db.Insert is discarded`
+	d.InsertBatch("r", nil)  // want `error return of db.InsertBatch is discarded`
+}
+
+func droppedBlank(l *wal.Log, d *db.Database) {
+	_ = l.Sync()         // want `error return of wal.Sync is assigned to _`
+	_ = d.Insert("r", 1) // want `error return of db.Insert is assigned to _`
+}
+
+func droppedGoDefer(l *wal.Log, st *wal.Store) {
+	go st.Checkpoint() // want `error return of wal.Checkpoint is discarded by go`
+	defer l.Sync()     // want `error return of wal.Sync is discarded by defer`
+}
+
+func checked(l *wal.Log, st *wal.Store, d *db.Database) error {
+	if err := l.Append(1, nil); err != nil {
+		return err
+	}
+	if err := d.InsertBatch("r", nil); err != nil {
+		return err
+	}
+	err := st.Checkpoint()
+	return err
+}
+
+// unguarded calls may drop errors freely — not this analyzer's business.
+func unguarded(d *db.Database) {
+	fmt.Println(d.Size())
+	d.DropCaches()
+}
+
+// allowedDrop uses the escape hatch — clean.
+func allowedDrop(l *wal.Log) {
+	_ = l.Sync() //lint:allow errdrop fault test tears the log on purpose
+}
+
+// missingReason keeps both diagnostics.
+func missingReason(l *wal.Log) {
+	_ = l.Sync() //lint:allow errdrop // want `//lint:allow errdrop is missing a reason` `error return of wal.Sync is assigned to _`
+}

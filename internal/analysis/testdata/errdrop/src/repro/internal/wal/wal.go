@@ -1,0 +1,16 @@
+// Package wal is a fixture stand-in for the real repro/internal/wal:
+// the durability surface whose error returns errdrop guards.
+package wal
+
+// Log mirrors the append/sync half of the WAL surface.
+type Log struct{}
+
+func (l *Log) Append(seq uint64, payload []byte) error { return nil }
+func (l *Log) Sync() error                             { return nil }
+func (l *Log) TruncatePrefix(keepFrom int64) error     { return nil }
+
+// Store mirrors the checkpoint/insert half.
+type Store struct{}
+
+func (s *Store) Checkpoint() error                          { return nil }
+func (s *Store) InsertBatch(rel string, tuples []int) error { return nil }

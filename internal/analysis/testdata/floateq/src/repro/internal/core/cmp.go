@@ -1,0 +1,78 @@
+// Package core is the floateq positive fixture.
+package core
+
+import "math"
+
+// variableCompare is the bug class: raw equality between two computed
+// floats — flagged.
+func variableCompare(a, b float64) bool {
+	return a == b // want `raw float ==`
+}
+
+func variableNotEqual(a, b float64) bool {
+	return a != b // want `raw float !=`
+}
+
+func float32Compare(a, b float32) bool {
+	return a == b // want `raw float ==`
+}
+
+// constGuard compares against a literal: deliberate exact arithmetic —
+// clean.
+func constGuard(b float64) bool {
+	if b == 0 {
+		return true
+	}
+	return b != 1.5
+}
+
+// bothConst folds at compile time — clean.
+func bothConst() bool {
+	return 1.0 == 2.0/2.0
+}
+
+// bitsCompare is the steered-toward fix — clean.
+func bitsCompare(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// float64Eq is an allowlisted helper name: the one place allowed to
+// state the raw-equality rule — clean.
+func float64Eq(a, b float64) bool {
+	return a == b
+}
+
+// intCompare involves no floats — clean.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// switchTag switches on a computed float — flagged.
+func switchTag(v float64) int {
+	switch v { // want `switch on a float tag`
+	case 1.0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// switchBits is the fix — clean.
+func switchBits(v float64) int {
+	switch math.Float64bits(v) {
+	case math.Float64bits(1.0):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// allowedCompare uses the escape hatch — clean.
+func allowedCompare(a, b float64) bool {
+	return a == b //lint:allow floateq inputs are integral counters stored as floats
+}
+
+// missingReason keeps both diagnostics.
+func missingReason(a, b float64) bool {
+	return a == b //lint:allow floateq // want `//lint:allow floateq is missing a reason` `raw float ==`
+}

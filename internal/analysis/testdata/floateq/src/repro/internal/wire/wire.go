@@ -1,0 +1,8 @@
+// Package wire is the floateq gating negative: the codec compares
+// floats when round-tripping, and that is its business — floateq only
+// gates the deterministic packages.
+package wire
+
+func RoundTripEqual(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,11 @@
+// Package client is the maporder gating negative: not a deterministic
+// or wire-building package, so map-order here is not checked.
+package client
+
+func Endpoints(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package server is the maporder positive fixture: map ranges feeding
+// order-sensitive sinks, with and without the collect-then-sort idiom.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendNoSort builds a payload in map iteration order — flagged.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside a map range with no sort after the loop`
+	}
+	return out
+}
+
+// collectThenSort is the idiom the analyzer steers toward — clean.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sendInRange externalizes iteration order on a channel — always flagged.
+func sendInRange(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `order-sensitive write inside a map range`
+	}
+}
+
+// encodeInRange writes JSON in iteration order — always flagged, a sort
+// after the loop cannot repair an order already observed.
+func encodeInRange(m map[string]int, w io.Writer) {
+	enc := json.NewEncoder(w)
+	var keys []string
+	for k := range m {
+		_ = enc.Encode(k) // want `order-sensitive write inside a map range`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+}
+
+// fprintInRange prints in iteration order — flagged.
+func fprintInRange(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `order-sensitive write inside a map range`
+	}
+}
+
+// sliceRange iterates a slice, not a map — clean.
+func sliceRange(s []string, ch chan string) {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+		ch <- v
+	}
+}
+
+// countOnly aggregates without ordering — clean.
+func countOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// allowed demonstrates the escape hatch on an intentionally unordered
+// payload.
+func allowed(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //lint:allow maporder consumer treats this as an unordered set
+	}
+}
