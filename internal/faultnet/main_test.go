@@ -1,0 +1,14 @@
+package faultnet
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind: the
+// fault-injection proxy's per-connection pumps must exit on Close even
+// with partitions and latency faults active.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,0 +1,13 @@
+package replica
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind:
+// catchup loops and log-shipping tails must exit when a replica stops.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

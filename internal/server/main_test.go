@@ -1,0 +1,14 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind:
+// stream workers, admission waiters, and replication shippers must all
+// be torn down by Close.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

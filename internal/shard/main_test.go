@@ -1,0 +1,14 @@
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind:
+// the scatter-gather coordinator's per-shard workers must drain on
+// Close even when a shard is mid-query.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}
