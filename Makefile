@@ -1,13 +1,40 @@
 GO ?= go
+GOFMT ?= gofmt
+# Pinned staticcheck version: CI installs exactly this; locally the
+# staticcheck step is skipped when the binary is not on PATH (offline
+# dev containers cannot go install it).
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check vet build test race bench-smoke bench bench-check fuzz-smoke crash-check replica-check shard-check
+.PHONY: check vet build test race lint-check bench-smoke bench bench-check fuzz-smoke crash-check replica-check shard-check
 
-# check is what CI runs: static checks, build, tests, and a one-iteration
-# benchmark smoke so the Figure 1 pipeline stays runnable.
-check: vet build test bench-smoke
+# check is what CI runs: static checks, build, tests, the determinism
+# lint gate, and a one-iteration benchmark smoke so the Figure 1
+# pipeline stays runnable.
+check: vet build test lint-check bench-smoke
 
+# vet layers three formatting/correctness gates: gofmt (fail on any
+# unformatted file), go vet, and staticcheck when available.
 vet:
+	@unformatted=$$($(GOFMT) -l . 2>/dev/null); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
+# lint-check runs the determinism invariant linters (cmd/arithdb-lint:
+# detrand, maporder, floateq, ctxpoll, errdrop) over the whole tree and
+# their analysistest fixture suites. Must be run from the repo root —
+# the source importer resolves the module from the working directory.
+lint-check:
+	$(GO) run ./cmd/arithdb-lint ./...
+	$(GO) test ./internal/analysis/...
 
 build:
 	$(GO) build ./...
